@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces paper Figure 15: speedup of non-pipelined and pipelined
+ * PipeLayer over the GPU baseline, for all ten networks in both
+ * training and testing, with geometric means.
+ *
+ * Paper reference points: gmean testing speedup 42.45x, training
+ * lower than testing, overall gmean across both phases ~13.85x;
+ * highest pipelined speedup 46.58x; non-pipelined far lower.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "common/args.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipelayer;
+    using namespace pipelayer::bench;
+
+    setLogLevel(LogLevel::Warn);
+    const ArgParser args(argc, argv);
+    args.rejectUnknown({"batch", "images"});
+    EvalConfig config;
+    config.batch_size = args.integer("batch", config.batch_size);
+    config.num_images = args.integer("images", config.num_images);
+
+    std::cout << "Figure 15: speedups of networks in training and "
+                 "testing (GPU = 1x)\n";
+    std::cout << "batch size B = " << config.batch_size << ", N = "
+              << config.num_images << " images\n\n";
+
+    Table table({"network", "phase", "GPU", "PipeLayer w/o pipeline",
+                 "PipeLayer"});
+
+    double overall_log_sum = 0.0;
+    int overall_count = 0;
+    for (const bool training : {true, false}) {
+        const auto rows = evaluateAll(training, config);
+        for (const auto &row : rows) {
+            table.addRow({row.network + (training ? "_train" : "_test"),
+                          training ? "train" : "test", "1.00",
+                          Table::num(row.speedupNoPipe(), 2),
+                          Table::num(row.speedup(), 2)});
+        }
+        const double gm_nopipe = geomeanOf(rows, &EvalRow::speedupNoPipe);
+        const double gm = geomeanOf(rows, &EvalRow::speedup);
+        table.addSeparator();
+        table.addRow({std::string("Gmean_") +
+                          (training ? "train" : "test"),
+                      training ? "train" : "test", "1.00",
+                      Table::num(gm_nopipe, 2), Table::num(gm, 2)});
+        table.addSeparator();
+        for (const auto &row : rows) {
+            overall_log_sum += std::log(row.speedup());
+            ++overall_count;
+        }
+    }
+    const double gm_all = std::exp(overall_log_sum / overall_count);
+    table.addRow({"Gmean_all", "both", "1.00", "-",
+                  Table::num(gm_all, 2)});
+    table.print(std::cout);
+
+    std::cout << "\npaper reference: Gmean_test 42.45x, Gmean_all "
+                 "~13.85x, best pipelined 46.58x\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces paper Figure 17 (speedup vs parallelism granularity) and
+ * Table 5 (default per-layer G of the VGG networks).
+ *
+ * The per-layer default granularity is scaled by
+ * λ ∈ {0, 0.25, 0.5, 1, 2, 4, ∞}; λ = 0 forces G = 1 everywhere and
+ * λ = ∞ the per-layer maximum.  Paper reference: speedup (testing,
+ * vs GPU) increases monotonically with λ.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "arch/granularity.hh"
+#include "baseline/gpu_model.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/simulator.hh"
+#include "workloads/model_zoo.hh"
+
+int
+main()
+{
+    using namespace pipelayer;
+
+    setLogLevel(LogLevel::Warn);
+
+    // ---- Table 5: default granularity per conv layer --------------
+    std::cout << "Table 5: default parallelism granularity G per "
+                 "array layer (balanced configuration)\n\n";
+    for (const auto &spec : workloads::vggNetworks()) {
+        const auto g = arch::GranularityConfig::balanced(spec);
+        std::cout << "  " << spec.name << ": " << g.toString() << "\n";
+    }
+
+    // ---- Figure 17: speedup vs lambda ------------------------------
+    const std::vector<double> lambdas = {0.0, 0.25, 0.5, 1.0, 2.0, 4.0,
+                                         1e18};
+    std::cout << "\nFigure 17: testing speedup over GPU vs granularity "
+                 "scale lambda\n\n";
+    std::vector<std::string> header = {"network"};
+    for (double l : lambdas) {
+        header.push_back(l > 1e9 ? std::string("inf")
+                                 : Table::num(l, 2));
+    }
+    Table table(std::move(header));
+
+    const baseline::GpuModel gpu;
+    for (const auto &spec : workloads::vggNetworks()) {
+        const double gpu_time = gpu.testing(spec).time_per_image;
+        const auto base = arch::GranularityConfig::balanced(spec);
+        std::vector<std::string> row = {spec.name};
+        for (double lambda : lambdas) {
+            const auto g = base.scaled(spec, lambda);
+            const sim::Simulator simulator(spec, reram::DeviceParams(),
+                                           g);
+            sim::SimConfig config;
+            config.phase = sim::Phase::Testing;
+            config.num_images = 64;
+            const auto report = simulator.run(config);
+            row.push_back(
+                Table::num(gpu_time / report.time_per_image, 2));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\npaper reference: speedup increases monotonically "
+                 "with lambda for every VGG network\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces paper Figure 18: area vs parallelism granularity.
+ *
+ * For each VGG network the default per-layer granularity is scaled by
+ * λ ∈ {0, 0.25, 0.5, 1, 2, 4, ∞} and the resulting accelerator area
+ * (morphable arrays + memory buffers, training provisioning) is
+ * printed in mm^2.  Paper reference: area rises monotonically with
+ * λ, from a few mm^2 to beyond 100 mm^2 on a log scale; the default
+ * (λ = 1) configuration of the largest network sits near the paper's
+ * 82.6 mm^2 overall area.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "arch/granularity.hh"
+#include "arch/mapping.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "workloads/model_zoo.hh"
+
+int
+main()
+{
+    using namespace pipelayer;
+
+    setLogLevel(LogLevel::Warn);
+
+    const std::vector<double> lambdas = {0.0, 0.25, 0.5, 1.0, 2.0, 4.0,
+                                         1e18};
+    std::cout << "Figure 18: accelerator area (mm^2, training "
+                 "provisioning, B = 64) vs granularity scale lambda\n\n";
+
+    std::vector<std::string> header = {"network"};
+    for (double l : lambdas)
+        header.push_back(l > 1e9 ? std::string("inf") : Table::num(l, 2));
+    Table table(std::move(header));
+
+    const reram::DeviceParams params;
+    for (const auto &spec : workloads::vggNetworks()) {
+        const auto base = arch::GranularityConfig::balanced(spec);
+        std::vector<std::string> row = {spec.name};
+        for (double lambda : lambdas) {
+            const arch::NetworkMapping map(
+                spec, base.scaled(spec, lambda), params, true, 64);
+            row.push_back(Table::num(map.areaMm2(), 1));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\npaper reference: monotonic growth with lambda; "
+                 "PipeLayer's overall area is 82.6 mm^2 at the default "
+                 "configuration\n";
+    return 0;
+}

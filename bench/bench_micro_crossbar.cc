@@ -1,0 +1,92 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the ReRAM functional model and
+ * the pipeline scheduler.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/granularity.hh"
+#include "arch/mapping.hh"
+#include "arch/pipeline.hh"
+#include "common/rng.hh"
+#include "reram/array_group.hh"
+#include "reram/crossbar.hh"
+#include "workloads/model_zoo.hh"
+
+namespace {
+
+using namespace pipelayer;
+
+void
+BM_CrossbarMatVec(benchmark::State &state)
+{
+    const reram::DeviceParams params;
+    reram::CrossbarArray array(params);
+    Rng rng(1);
+    for (int64_t r = 0; r < params.array_rows; ++r)
+        for (int64_t c = 0; c < params.array_cols; ++c)
+            array.programCell(r, c,
+                              static_cast<int64_t>(rng.uniformInt(16)));
+    std::vector<int64_t> codes(static_cast<size_t>(params.array_rows));
+    for (auto &code : codes)
+        code = static_cast<int64_t>(rng.uniformInt(65536));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(array.matVecCodes(codes));
+    }
+    state.SetItemsProcessed(state.iterations() * params.array_rows *
+                            params.array_cols);
+}
+BENCHMARK(BM_CrossbarMatVec);
+
+void
+BM_ArrayGroupMatVec(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    const reram::DeviceParams params;
+    Rng rng(2);
+    const Tensor w = Tensor::randn({n, n}, rng);
+    reram::ArrayGroup group(params, w);
+    Tensor x({n});
+    for (int64_t i = 0; i < n; ++i)
+        x(i) = static_cast<float>(rng.uniform());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(group.matVec(x));
+    }
+}
+BENCHMARK(BM_ArrayGroupMatVec)->Arg(64)->Arg(256);
+
+void
+BM_ArrayGroupProgram(benchmark::State &state)
+{
+    const reram::DeviceParams params;
+    Rng rng(3);
+    const Tensor w = Tensor::randn({128, 128}, rng);
+    for (auto _ : state) {
+        reram::ArrayGroup group(params, w);
+        benchmark::DoNotOptimize(group.arrayCount());
+    }
+}
+BENCHMARK(BM_ArrayGroupProgram);
+
+void
+BM_ScheduleVggTraining(benchmark::State &state)
+{
+    const auto spec = workloads::vggE();
+    const reram::DeviceParams params;
+    const auto g = arch::GranularityConfig::balanced(spec);
+    const arch::NetworkMapping map(spec, g, params, true, 64);
+    arch::ScheduleConfig config;
+    config.pipelined = true;
+    config.training = true;
+    config.batch_size = 64;
+    config.num_images = state.range(0);
+    for (auto _ : state) {
+        arch::PipelineScheduler scheduler(map, config);
+        benchmark::DoNotOptimize(scheduler.run().total_cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScheduleVggTraining)->Arg(256)->Arg(1024);
+
+} // namespace

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the tensor primitives that
+ * dominate the functional substrate: convolution, im2col, matrix
+ * products and pooling.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "tensor/ops.hh"
+#include "tensor/tensor.hh"
+
+namespace {
+
+using namespace pipelayer;
+
+void
+BM_Conv2d(benchmark::State &state)
+{
+    const int64_t channels = state.range(0);
+    Rng rng(1);
+    const Tensor in = Tensor::randn({channels, 28, 28}, rng);
+    const Tensor k = Tensor::randn({8, channels, 3, 3}, rng);
+    const Tensor b = Tensor::randn({8}, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::conv2d(in, k, b, 1, 1));
+    }
+    state.SetItemsProcessed(state.iterations() * 8 * 28 * 28 *
+                            channels * 9);
+}
+BENCHMARK(BM_Conv2d)->Arg(1)->Arg(8)->Arg(32);
+
+void
+BM_Im2col(benchmark::State &state)
+{
+    Rng rng(2);
+    const Tensor in = Tensor::randn({state.range(0), 28, 28}, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::im2col(in, 3, 3, 1, 1));
+    }
+}
+BENCHMARK(BM_Im2col)->Arg(1)->Arg(16);
+
+void
+BM_MatVec(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(3);
+    const Tensor w = Tensor::randn({n, n}, rng);
+    const Tensor x = Tensor::randn({n}, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::matVec(w, x));
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_MatVec)->Arg(128)->Arg(512)->Arg(1024);
+
+void
+BM_MaxPool(benchmark::State &state)
+{
+    Rng rng(4);
+    const Tensor in = Tensor::randn({32, 28, 28}, rng);
+    Tensor indices;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::maxPool(in, 2, &indices));
+    }
+}
+BENCHMARK(BM_MaxPool);
+
+void
+BM_ConvBackwardKernel(benchmark::State &state)
+{
+    Rng rng(5);
+    const Tensor in = Tensor::randn({8, 16, 16}, rng);
+    const Tensor delta = Tensor::randn({8, 14, 14}, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ops::conv2dBackwardKernel(in, delta, 3, 3));
+    }
+}
+BENCHMARK(BM_ConvBackwardKernel);
+
+} // namespace

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces paper §6.6 ("Computation Efficiency Results"):
+ *
+ *   - area of PipeLayer:            82.6 mm^2
+ *   - computational efficiency:     1485 GOPS/s/mm^2
+ *   - power efficiency:             142.9 GOPS/s/W
+ *     (vs DaDianNao 63.46 GOPS/s/mm^2, 286.4 GOPS/s/W and
+ *      ISAAC 479.0 GOPS/s/mm^2, 380.7 GOPS/s/W)
+ *
+ * The paper reports single aggregate numbers; we print the metrics
+ * per network and phase for the default configuration, flagging the
+ * calibration anchor (VGG-E training), plus the paper's comparison
+ * row.
+ */
+
+#include <iostream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/simulator.hh"
+#include "workloads/model_zoo.hh"
+
+int
+main()
+{
+    using namespace pipelayer;
+
+    setLogLevel(LogLevel::Warn);
+
+    std::cout << "Section 6.6: computation efficiency (default "
+                 "granularity, B = 64)\n\n";
+    Table table({"network", "phase", "area mm^2", "GOPS/s",
+                 "GOPS/s/mm^2", "GOPS/s/W"});
+
+    for (const bool training : {true, false}) {
+        for (const auto &spec : workloads::evaluationNetworks()) {
+            const sim::Simulator simulator(spec,
+                                           reram::DeviceParams());
+            sim::SimConfig config;
+            config.phase = training ? sim::Phase::Training
+                                    : sim::Phase::Testing;
+            config.batch_size = 64;
+            config.num_images = 256;
+            const auto r = simulator.run(config);
+            table.addRow({spec.name, training ? "train" : "test",
+                          Table::num(r.area_mm2, 1),
+                          Table::num(r.gops_per_s, 0),
+                          Table::num(r.gops_per_s_per_mm2, 1),
+                          Table::num(r.gops_per_w, 1)});
+        }
+        table.addSeparator();
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\ncalibration anchor: VGG-E training -> paper reports "
+           "area 82.6 mm^2 and power efficiency 142.9 GOPS/s/W\n"
+        << "paper comparison row: PipeLayer 1485 GOPS/s/mm^2 / 142.9 "
+           "GOPS/s/W; DaDianNao 63.46 / 286.4; ISAAC 479.0 / 380.7\n"
+        << "note: the paper's single computational-efficiency number "
+           "sits between our testing and training values; it mixes "
+           "phases (see EXPERIMENTS.md)\n";
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Reproduces paper Table 2 ("Cycle and Cost of PipeLayer
+ * Architecture") and the Fig. 7 latency analysis: for a sweep of
+ * (L, B, N) the closed-form cycle counts are printed next to the
+ * cycle counts *measured* by executing the schedule, plus the
+ * array/buffer cost accounting.  Also prints Table 3 (the MNIST
+ * network hyper-parameters as reconstructed).
+ */
+
+#include <iostream>
+
+#include "arch/granularity.hh"
+#include "arch/mapping.hh"
+#include "arch/pipeline.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "workloads/model_zoo.hh"
+
+namespace {
+
+using namespace pipelayer;
+
+void
+printCycleTable()
+{
+    std::cout << "Table 2 / Fig. 7: training cycles, formula vs "
+                 "simulated schedule\n\n";
+    Table table({"L", "B", "N", "formula non-pipelined",
+                 "simulated", "formula pipelined", "simulated",
+                 "speedup"});
+
+    const reram::DeviceParams params;
+    for (const int64_t depth : {2, 3, 5, 11, 19}) {
+        for (const int64_t batch : {16, 64}) {
+            const int64_t images = 4 * batch;
+            // Build a synthetic chain of the right depth.
+            workloads::NetworkSpec spec;
+            spec.name = "chain";
+            for (int64_t i = 0; i < depth; ++i) {
+                spec.layers.push_back(
+                    workloads::LayerSpec::innerProduct(64, 64));
+            }
+            const auto g = arch::GranularityConfig::naive(spec);
+            const arch::NetworkMapping map(spec, g, params, true, batch);
+
+            arch::ScheduleConfig config;
+            config.training = true;
+            config.batch_size = batch;
+            config.num_images = images;
+
+            config.pipelined = false;
+            const int64_t serial_sim =
+                arch::PipelineScheduler(map, config).run().total_cycles;
+            const int64_t serial_formula =
+                arch::PipelineScheduler::analyticTrainingCycles(
+                    depth, images, batch, false);
+
+            config.pipelined = true;
+            const int64_t piped_sim =
+                arch::PipelineScheduler(map, config).run().total_cycles;
+            const int64_t piped_formula =
+                arch::PipelineScheduler::analyticTrainingCycles(
+                    depth, images, batch, true);
+
+            table.addRow({std::to_string(depth), std::to_string(batch),
+                          std::to_string(images),
+                          std::to_string(serial_formula),
+                          std::to_string(serial_sim),
+                          std::to_string(piped_formula),
+                          std::to_string(piped_sim),
+                          Table::num(static_cast<double>(serial_sim) /
+                                         static_cast<double>(piped_sim),
+                                     2)});
+            PL_ASSERT(serial_sim == serial_formula &&
+                      piped_sim == piped_formula,
+                      "scheduler diverged from the paper formulas");
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nnon-pipelined formula: (2L+1)N + N/B    pipelined "
+                 "formula: (N/B)(2L+B+1)\n\n";
+}
+
+void
+printArrayCostTable()
+{
+    std::cout << "Table 2 (cost rows): morphable arrays and memory "
+                 "buffer entries per network (B = 64)\n\n";
+    Table table({"network", "L", "arrays (testing)",
+                 "arrays (training)", "mem entries non-pipelined",
+                 "mem entries pipelined"});
+    const reram::DeviceParams params;
+    for (const auto &spec : workloads::evaluationNetworks()) {
+        const auto g = arch::GranularityConfig::balanced(spec);
+        const arch::NetworkMapping testing(spec, g, params, false, 64);
+        const arch::NetworkMapping training(spec, g, params, true, 64);
+        table.addRow({spec.name, std::to_string(testing.depth()),
+                      std::to_string(testing.morphableArrays()),
+                      std::to_string(training.morphableArrays()),
+                      std::to_string(training.memoryBufferEntries(false)),
+                      std::to_string(training.memoryBufferEntries(true))});
+    }
+    table.print(std::cout);
+    std::cout << "\nbuffer sizing per stage: 2(L-l)+1 entries "
+                 "(validated cycle-by-cycle in tests/test_pipeline)\n\n";
+}
+
+void
+printTable3()
+{
+    std::cout << "Table 3: MNIST network hyper-parameters "
+                 "(reconstruction; see DESIGN.md)\n\n";
+    Table table({"network", "topology", "params", "fwd ops/img"});
+    for (const char *name : {"Mnist-A", "Mnist-B", "Mnist-C", "Mnist-0"}) {
+        const auto spec = workloads::networkByName(name);
+        std::string topo;
+        for (size_t i = 0; i < spec.layers.size(); ++i) {
+            if (i)
+                topo += " ";
+            topo += spec.layers[i].describe();
+        }
+        table.addRow({name, topo, std::to_string(spec.paramCount()),
+                      std::to_string(spec.forwardOps())});
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    printCycleTable();
+    printArrayCostTable();
+    printTable3();
+    return 0;
+}

@@ -1,0 +1,66 @@
+#include "bench/bench_util.hh"
+
+#include <vector>
+
+#include "common/units.hh"
+#include "workloads/model_zoo.hh"
+
+namespace pipelayer {
+namespace bench {
+
+EvalRow
+evaluateNetwork(const workloads::NetworkSpec &spec, bool training,
+                const EvalConfig &config)
+{
+    EvalRow row;
+    row.network = spec.name;
+    row.training = training;
+
+    const baseline::GpuModel gpu;
+    const baseline::GpuCost gpu_cost =
+        training ? gpu.training(spec) : gpu.testing(spec);
+    row.gpu_time = gpu_cost.time_per_image;
+    row.gpu_energy = gpu_cost.energy_per_image;
+
+    const sim::Simulator simulator(spec, reram::DeviceParams());
+    sim::SimConfig sim_config;
+    sim_config.phase =
+        training ? sim::Phase::Training : sim::Phase::Testing;
+    sim_config.batch_size = config.batch_size;
+    sim_config.num_images = config.num_images;
+
+    sim_config.pipelined = true;
+    const sim::SimReport piped = simulator.run(sim_config);
+    row.pl_time = piped.time_per_image;
+    row.pl_energy = piped.energy_per_image;
+    row.pl_area = piped.area_mm2;
+
+    sim_config.pipelined = false;
+    const sim::SimReport serial = simulator.run(sim_config);
+    row.pl_time_nopipe = serial.time_per_image;
+
+    return row;
+}
+
+std::vector<EvalRow>
+evaluateAll(bool training, const EvalConfig &config)
+{
+    std::vector<EvalRow> rows;
+    for (const auto &spec : workloads::evaluationNetworks())
+        rows.push_back(evaluateNetwork(spec, training, config));
+    return rows;
+}
+
+double
+geomeanOf(const std::vector<EvalRow> &rows,
+          double (EvalRow::*metric)() const)
+{
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (const auto &row : rows)
+        values.push_back((row.*metric)());
+    return geomean(values.data(), values.size());
+}
+
+} // namespace bench
+} // namespace pipelayer

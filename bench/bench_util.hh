@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses: runs
+ * every evaluation network through the PipeLayer simulator and the
+ * GPU baseline model and collects per-network speedup/energy rows.
+ */
+
+#ifndef PIPELAYER_BENCH_BENCH_UTIL_HH_
+#define PIPELAYER_BENCH_BENCH_UTIL_HH_
+
+#include <string>
+#include <vector>
+
+#include "baseline/gpu_model.hh"
+#include "sim/simulator.hh"
+#include "workloads/layer_spec.hh"
+
+namespace pipelayer {
+namespace bench {
+
+/** One evaluation row: a (network, phase) pair's modelled costs. */
+struct EvalRow
+{
+    std::string network;
+    bool training = false;
+
+    double gpu_time = 0.0;          //!< s per image
+    double gpu_energy = 0.0;        //!< J per image
+    double pl_time_nopipe = 0.0;    //!< PipeLayer w/o pipeline
+    double pl_time = 0.0;           //!< pipelined PipeLayer
+    double pl_energy = 0.0;         //!< J per image (pipelined)
+    double pl_area = 0.0;           //!< mm^2 (training provisioning)
+
+    double speedupNoPipe() const { return gpu_time / pl_time_nopipe; }
+    double speedup() const { return gpu_time / pl_time; }
+    double energySaving() const { return gpu_energy / pl_energy; }
+};
+
+/** Evaluation batch/volume settings (paper: batch 64). */
+struct EvalConfig
+{
+    int64_t batch_size = 64;
+    int64_t num_images = 256;
+};
+
+/**
+ * Run one network through GPU model + simulator for one phase.
+ */
+EvalRow evaluateNetwork(const workloads::NetworkSpec &spec, bool training,
+                        const EvalConfig &config);
+
+/** All ten evaluation networks for one phase, in the paper's order. */
+std::vector<EvalRow> evaluateAll(bool training, const EvalConfig &config);
+
+/** Geometric mean of a row metric over a set of rows. */
+double geomeanOf(const std::vector<EvalRow> &rows,
+                 double (EvalRow::*metric)() const);
+
+} // namespace bench
+} // namespace pipelayer
+
+#endif // PIPELAYER_BENCH_BENCH_UTIL_HH_

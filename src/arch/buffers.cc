@@ -1,0 +1,63 @@
+#include "arch/buffers.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pipelayer {
+namespace arch {
+
+CircularBuffer::CircularBuffer(std::string name, int64_t entries)
+    : name_(std::move(name)), capacity_(entries),
+      slots_(static_cast<size_t>(entries))
+{
+    PL_ASSERT(entries >= 1, "buffer %s needs at least one entry",
+              name_.c_str());
+}
+
+int64_t
+CircularBuffer::liveCount() const
+{
+    int64_t live = 0;
+    for (const auto &slot : slots_)
+        live += slot.live ? 1 : 0;
+    return live;
+}
+
+void
+CircularBuffer::write(int64_t tag)
+{
+    Slot &slot = slots_[static_cast<size_t>(write_idx_)];
+    if (slot.live)
+        ++violations_; // overwrote data that was still needed
+    slot.tag = tag;
+    slot.live = true;
+    write_idx_ = (write_idx_ + 1) % capacity_;
+    ++writes_;
+    peak_live_ = std::max(peak_live_, liveCount());
+}
+
+void
+CircularBuffer::read(int64_t tag, bool final_read)
+{
+    for (auto &slot : slots_) {
+        if (slot.live && slot.tag == tag) {
+            ++reads_;
+            if (final_read)
+                slot.live = false;
+            return;
+        }
+    }
+    ++violations_; // the datum was evicted before its last use
+}
+
+bool
+CircularBuffer::contains(int64_t tag) const
+{
+    return std::any_of(slots_.begin(), slots_.end(), [&](const Slot &s) {
+        return s.live && s.tag == tag;
+    });
+}
+
+} // namespace arch
+} // namespace pipelayer

@@ -1,0 +1,117 @@
+#include "arch/granularity.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pipelayer {
+namespace arch {
+
+namespace {
+
+/** Window counts of the array layers, in order. */
+std::vector<int64_t>
+arrayLayerWindows(const workloads::NetworkSpec &spec)
+{
+    std::vector<int64_t> windows;
+    for (const auto &layer : spec.layers) {
+        if (layer.usesArrays())
+            windows.push_back(layer.numWindows());
+    }
+    PL_ASSERT(!windows.empty(), "network %s has no array layers",
+              spec.name.c_str());
+    return windows;
+}
+
+} // namespace
+
+GranularityConfig
+GranularityConfig::naive(const workloads::NetworkSpec &spec)
+{
+    return GranularityConfig(std::vector<int64_t>(
+        arrayLayerWindows(spec).size(), 1));
+}
+
+GranularityConfig
+GranularityConfig::balanced(const workloads::NetworkSpec &spec)
+{
+    const std::vector<int64_t> windows = arrayLayerWindows(spec);
+    // Balance the pipeline: every layer should take about the same
+    // number of sequential steps per logical cycle.  The step target
+    // scales with the largest layer so replication stays bounded on
+    // ImageNet-scale networks (the paper's Table 5 keeps VGG conv1 at
+    // a few hundred copies), while small MNIST-scale networks afford
+    // full replication (one step per cycle).
+    const int64_t max_windows = *std::max_element(windows.begin(),
+                                                  windows.end());
+    const int64_t target =
+        std::max<int64_t>(1, (max_windows + 127) / 128);
+    std::vector<int64_t> g;
+    g.reserve(windows.size());
+    for (int64_t w : windows)
+        g.push_back(std::max<int64_t>(1, (w + target - 1) / target));
+    return GranularityConfig(std::move(g));
+}
+
+GranularityConfig
+GranularityConfig::maximal(const workloads::NetworkSpec &spec)
+{
+    return GranularityConfig(arrayLayerWindows(spec));
+}
+
+GranularityConfig
+GranularityConfig::scaled(const workloads::NetworkSpec &spec,
+                          double lambda) const
+{
+    PL_ASSERT(lambda >= 0.0, "negative lambda");
+    const std::vector<int64_t> windows = arrayLayerWindows(spec);
+    PL_ASSERT(windows.size() == g_.size(),
+              "granularity config does not match network");
+    std::vector<int64_t> g(g_.size());
+    for (size_t i = 0; i < g_.size(); ++i) {
+        const double scaled_d = lambda * static_cast<double>(g_[i]);
+        // Clamp in the double domain first: llround on huge values
+        // (the λ = ∞ sweep point) is undefined behaviour.
+        int64_t scaled_g;
+        if (scaled_d >= static_cast<double>(windows[i]))
+            scaled_g = windows[i];
+        else
+            scaled_g = std::llround(scaled_d);
+        g[i] = std::clamp<int64_t>(scaled_g, 1, windows[i]);
+    }
+    return GranularityConfig(std::move(g));
+}
+
+int64_t
+GranularityConfig::g(size_t i) const
+{
+    PL_ASSERT(i < g_.size(), "granularity index %lld out of range",
+              (long long)i);
+    return g_[i];
+}
+
+void
+GranularityConfig::set(size_t i, int64_t g)
+{
+    PL_ASSERT(i < g_.size(), "granularity index %lld out of range",
+              (long long)i);
+    PL_ASSERT(g >= 1, "G must be at least 1");
+    g_[i] = g;
+}
+
+std::string
+GranularityConfig::toString() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < g_.size(); ++i) {
+        if (i)
+            os << " ";
+        os << g_[i];
+    }
+    return os.str();
+}
+
+} // namespace arch
+} // namespace pipelayer

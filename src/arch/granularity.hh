@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Parallelism granularity G (paper §3.2.3, Table 5, Fig. 17/18).
+ *
+ * G is the number of replicated copies of a layer's weight arrays:
+ * with G copies, G convolution windows are processed per logical
+ * cycle, so a layer needs ceil(#windows / G) sequential steps.  G = 1
+ * is the naive scheme of Fig. 4 (2544 steps in the example); G =
+ * #windows produces the whole layer in one step at maximal array
+ * cost.  The paper picks per-layer defaults that balance speedup
+ * against area and scales them by a factor λ in the sensitivity
+ * study.
+ */
+
+#ifndef PIPELAYER_ARCH_GRANULARITY_HH_
+#define PIPELAYER_ARCH_GRANULARITY_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/layer_spec.hh"
+
+namespace pipelayer {
+namespace arch {
+
+/** Per-network granularity configuration: one G per array layer. */
+class GranularityConfig
+{
+  public:
+    /** All-ones configuration (the naive scheme, λ = 0). */
+    static GranularityConfig naive(const workloads::NetworkSpec &spec);
+
+    /**
+     * The default balanced configuration (the paper's Table 5 role):
+     * every array layer gets G = ceil(windows / target_steps) where
+     * target_steps is the smallest per-layer window count of the
+     * network, so all layers take approximately equally many steps
+     * per logical cycle and the pipeline is balanced.
+     */
+    static GranularityConfig balanced(const workloads::NetworkSpec &spec);
+
+    /** Maximal configuration: G = #windows everywhere (λ = ∞). */
+    static GranularityConfig maximal(const workloads::NetworkSpec &spec);
+
+    /**
+     * Scale this configuration by λ (Fig. 17/18): G' = round(λ G)
+     * clamped to [1, windows].  λ = 0 yields the naive config.
+     */
+    GranularityConfig scaled(const workloads::NetworkSpec &spec,
+                             double lambda) const;
+
+    /** G of array layer @p i (indexed over array layers, in order). */
+    int64_t g(size_t i) const;
+
+    /** Number of array layers covered. */
+    size_t size() const { return g_.size(); }
+
+    /** Mutable access, for custom configurations. */
+    void set(size_t i, int64_t g);
+
+    /** Render as "16 8 4 ..." for Table-5-style output. */
+    std::string toString() const;
+
+  private:
+    explicit GranularityConfig(std::vector<int64_t> g) : g_(std::move(g)) {}
+
+    std::vector<int64_t> g_;
+};
+
+} // namespace arch
+} // namespace pipelayer
+
+#endif // PIPELAYER_ARCH_GRANULARITY_HH_

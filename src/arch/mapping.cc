@@ -1,0 +1,222 @@
+#include "arch/mapping.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pipelayer {
+namespace arch {
+
+namespace {
+
+int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+double
+LayerMapping::cycleLatency(const reram::DeviceParams &params) const
+{
+    // Each sequential step streams one window through the arrays:
+    // data_bits spike slots at the per-spike read latency.  All G
+    // copies (and all tiles) work in parallel.
+    return static_cast<double>(steps_per_cycle) * params.mvmLatency();
+}
+
+NetworkMapping::NetworkMapping(const workloads::NetworkSpec &spec,
+                               const GranularityConfig &g,
+                               const reram::DeviceParams &params,
+                               bool training, int64_t batch_size)
+    : spec_(spec), params_(params), training_(training),
+      batch_size_(batch_size)
+{
+    PL_ASSERT(batch_size >= 1, "batch size must be at least 1");
+    spec_.validate();
+
+    size_t gi = 0;
+    for (const auto &layer : spec_.layers) {
+        if (!layer.usesArrays())
+            continue;
+        LayerMapping m;
+        m.spec = layer;
+        m.g = g.g(gi++);
+        m.tiles_r = ceilDiv(layer.weightRows(), params_.array_rows);
+        // Grouped convolutions are block-diagonal: every group maps
+        // its own column region, so partial tiles do not straddle
+        // group boundaries.
+        const int64_t groups =
+            layer.kind == workloads::SpecKind::Conv ? layer.groups : 1;
+        m.tiles_c = groups * ceilDiv(layer.weightCols() / groups,
+                                     params_.array_cols);
+        m.arrays_per_copy =
+            2 * params_.sliceGroups() * m.tiles_r * m.tiles_c;
+        m.forward_arrays = m.g * m.arrays_per_copy;
+        m.steps_per_cycle = ceilDiv(layer.numWindows(), m.g);
+        PL_ASSERT(m.steps_per_cycle >= 1, "layer with zero steps");
+        layers_.push_back(m);
+    }
+    PL_ASSERT(gi == g.size(),
+              "granularity config covers %lld layers, network has %lld",
+              (long long)g.size(), (long long)gi);
+
+    if (training_) {
+        // Error-backward arrays A_l2 hold the reordered kernels (W)*
+        // for every stage except the first (δ never propagates past
+        // the input layer, Fig. 3).
+        for (size_t l = 0; l < layers_.size(); ++l)
+            layers_[l].backward_arrays =
+                l == 0 ? 0 : layers_[l].forward_arrays;
+    }
+}
+
+int64_t
+NetworkMapping::morphableArrays() const
+{
+    int64_t total = 0;
+    for (const auto &m : layers_)
+        total += m.forward_arrays + m.backward_arrays;
+    return total + derivativeArrays();
+}
+
+int64_t
+NetworkMapping::derivativeArrays() const
+{
+    if (!training_)
+        return 0;
+    // ∂W is computed by convolving stored forward data d with the
+    // streamed error δ (paper §4.4.1, Fig. 12): the data d_{l-1} of
+    // each in-flight input is written into morphable arrays sized
+    // like the layer input.  Pipelined training keeps up to B inputs
+    // in flight, one derivative-array set per batch slot (the B·L
+    // term of Table 2).
+    int64_t total = 0;
+    for (const auto &m : layers_) {
+        const int64_t data_rows = m.spec.inputSize();
+        const int64_t tiles =
+            ceilDiv(data_rows, params_.array_rows * params_.array_cols);
+        total += batch_size_ * std::max<int64_t>(1, tiles);
+    }
+    return total;
+}
+
+int64_t
+NetworkMapping::memoryBufferEntries(bool pipelined) const
+{
+    const int64_t depth_l = depth();
+    if (!pipelined) {
+        // One d buffer and one δ buffer per stage.
+        return 2 * depth_l;
+    }
+    int64_t total = 0;
+    for (int64_t l = 1; l <= depth_l; ++l)
+        total += 2 * (depth_l - l) + 1;
+    // Duplicated buffers for same-cycle read+write at d_L and each
+    // δ_l (paper §3.3: "this happens for the buffer at d, δ3, δ2, δ1").
+    total += depth_l + 1;
+    return total;
+}
+
+int64_t
+NetworkMapping::bufferEntriesAt(size_t l) const
+{
+    PL_ASSERT(l < layers_.size(), "stage index out of range");
+    // Paper formula with 1-based l: 2(L - l) + 1.
+    const int64_t one_based = static_cast<int64_t>(l) + 1;
+    return 2 * (depth() - one_based) + 1;
+}
+
+double
+NetworkMapping::cycleTime() const
+{
+    double worst = 0.0;
+    for (const auto &m : layers_)
+        worst = std::max(worst, m.cycleLatency(params_));
+    return worst;
+}
+
+double
+NetworkMapping::areaMm2() const
+{
+    const auto arrays = static_cast<double>(morphableArrays());
+
+    // Memory subarrays: each stage's circular buffer holds
+    // 2(L-l)+1 entries of that stage's output cube, stored at
+    // cell_bits per cell; training duplicates one δ entry per stage
+    // for same-cycle read/write (paper §3.3).
+    const double cells_per_mem_array = static_cast<double>(
+        params_.array_rows * params_.array_cols);
+    auto mem_arrays_for = [&](int64_t values, int64_t entries) {
+        const double cells = static_cast<double>(values) *
+            static_cast<double>(params_.data_bits) /
+            static_cast<double>(params_.cell_bits);
+        return static_cast<double>(entries) *
+               std::max(1.0, cells / cells_per_mem_array);
+    };
+
+    double mem_arrays = 0.0;
+    const int64_t depth_l = depth();
+    // Input staging buffer d_0 needs 2L+1 entries.
+    mem_arrays += mem_arrays_for(layers_.front().spec.inputSize(),
+                                 2 * depth_l + 1);
+    for (int64_t l = 0; l < depth_l; ++l) {
+        const auto &m = layers_[static_cast<size_t>(l)];
+        const int64_t entries = 2 * (depth_l - (l + 1)) + 1;
+        mem_arrays += mem_arrays_for(m.spec.outputSize(), entries);
+        if (training_) {
+            // δ_l buffer: one entry, duplicated for same-cycle r/w.
+            mem_arrays += mem_arrays_for(m.spec.outputSize(), 2);
+        }
+    }
+
+    return arrays * params_.array_area_mm2 +
+           mem_arrays * params_.mem_array_area_mm2;
+}
+
+int64_t
+NetworkMapping::totalWeightParams() const
+{
+    int64_t total = 0;
+    for (const auto &m : layers_)
+        total += m.spec.paramCount();
+    return total;
+}
+
+GranularityConfig
+autoTuneGranularity(const workloads::NetworkSpec &spec,
+                    const reram::DeviceParams &params,
+                    double area_budget_mm2, bool training,
+                    int64_t batch_size)
+{
+    PL_ASSERT(area_budget_mm2 > 0.0, "area budget must be positive");
+    const GranularityConfig base = GranularityConfig::balanced(spec);
+
+    auto area_at = [&](double lambda) {
+        const NetworkMapping map(spec, base.scaled(spec, lambda),
+                                 params, training, batch_size);
+        return map.areaMm2();
+    };
+
+    // The naive mapping is the floor; if even that exceeds the
+    // budget, return it (the caller sees the overshoot in the map).
+    if (area_at(0.0) >= area_budget_mm2)
+        return base.scaled(spec, 0.0);
+
+    // Grow an upper bound, then bisect.  Area is monotone in λ.
+    double lo = 0.0, hi = 1.0;
+    while (area_at(hi) < area_budget_mm2 && hi < 1e12)
+        hi *= 2.0;
+    for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (area_at(mid) <= area_budget_mm2)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return base.scaled(spec, lo);
+}
+
+} // namespace arch
+} // namespace pipelayer

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Kernel-to-array mapping and array-cost accounting
+ * (paper §3.2.1, §3.2.3, Fig. 4/5 and Table 2).
+ *
+ * A layer's weight matrix has weightRows() word lines (the unrolled
+ * kernel, e.g. 3*3*128+1 = 1153 in Fig. 4) and weightCols() bit lines
+ * (one kernel per bit line, 256 in Fig. 4).  The matrix is decomposed
+ * into array-sized tiles (Fig. 5); signed weights double the tiles
+ * (positive/negative subarrays) and 16-bit resolution over 4-bit
+ * cells quadruples them (Fig. 14).  Parallelism granularity G
+ * replicates the whole set G times.
+ *
+ * Training additionally provisions (paper §3.1, Fig. 3):
+ *  - error-backward arrays (A_l2) holding the reordered kernels (W)*
+ *    for every layer except the first — same geometry as forward;
+ *  - derivative arrays where forward data d is written to act as
+ *    convolution kernels for ∂W (§4.4.1); pipelined training keeps B
+ *    in-flight inputs, needing one set per batch slot.
+ */
+
+#ifndef PIPELAYER_ARCH_MAPPING_HH_
+#define PIPELAYER_ARCH_MAPPING_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/granularity.hh"
+#include "reram/params.hh"
+#include "workloads/layer_spec.hh"
+
+namespace pipelayer {
+namespace arch {
+
+/** Array-cost breakdown of one mapped layer. */
+struct LayerMapping
+{
+    workloads::LayerSpec spec;
+    int64_t g = 1;            //!< parallelism granularity of this layer
+
+    int64_t tiles_r = 0;      //!< vertical tiles (input dimension)
+    int64_t tiles_c = 0;      //!< horizontal tiles (output dimension)
+    int64_t arrays_per_copy = 0; //!< 2 signs x slice groups x tiles
+
+    int64_t forward_arrays = 0;  //!< G copies for the forward pass
+    int64_t backward_arrays = 0; //!< G copies of reordered kernels
+    int64_t steps_per_cycle = 0; //!< ceil(windows / G) sequential steps
+
+    /** Seconds for this layer's logical-cycle work in compute mode. */
+    double cycleLatency(const reram::DeviceParams &params) const;
+};
+
+/** Complete mapping of a network onto PipeLayer. */
+class NetworkMapping
+{
+  public:
+    /**
+     * Map @p spec with granularity @p g.
+     *
+     * @param training   provision backward/derivative arrays.
+     * @param batch_size B, for the per-batch-slot derivative arrays
+     *                   of pipelined training.
+     */
+    NetworkMapping(const workloads::NetworkSpec &spec,
+                   const GranularityConfig &g,
+                   const reram::DeviceParams &params, bool training,
+                   int64_t batch_size);
+
+    const workloads::NetworkSpec &spec() const { return spec_; }
+    const reram::DeviceParams &params() const { return params_; }
+    bool training() const { return training_; }
+    int64_t batchSize() const { return batch_size_; }
+
+    /** Per array-layer mappings, in pipeline order. */
+    const std::vector<LayerMapping> &layers() const { return layers_; }
+
+    /** Pipeline depth L (number of array layers). */
+    int64_t depth() const
+    {
+        return static_cast<int64_t>(layers_.size());
+    }
+
+    /** Total morphable subarrays (forward + backward + derivative). */
+    int64_t morphableArrays() const;
+
+    /** Derivative-computation arrays (training only). */
+    int64_t derivativeArrays() const;
+
+    /**
+     * Memory-subarray buffer entries required between stages.
+     * Pipelined training: Σ_l [2(L-l)+1] plus the duplicated
+     * buffers for same-cycle read/write (paper §3.3, Fig. 8);
+     * non-pipelined: 2 per layer (one d, one δ).
+     */
+    int64_t memoryBufferEntries(bool pipelined) const;
+
+    /**
+     * Circular-buffer entries required after array layer @p l
+     * (0-based) under pipelined execution: 2(L-l)-1 for interior
+     * stages per the paper's 2(L-l)+1 with l 1-based.
+     */
+    int64_t bufferEntriesAt(size_t l) const;
+
+    /**
+     * The logical cycle time: the slowest stage's latency (the
+     * pipeline clocks at the slowest sequence of operations,
+     * paper Table 1 discussion).
+     */
+    double cycleTime() const;
+
+    /** Total chip area in mm^2 (compute arrays + buffers). */
+    double areaMm2() const;
+
+    /** Weight cells across all forward arrays (for update costs). */
+    int64_t totalWeightParams() const;
+
+  private:
+    workloads::NetworkSpec spec_;
+    reram::DeviceParams params_;
+    bool training_;
+    int64_t batch_size_;
+    std::vector<LayerMapping> layers_;
+};
+
+/**
+ * The "automatically optimized by compiler" path of paper §5.2:
+ * find the largest granularity scale λ whose mapping fits the given
+ * area budget, and return the scaled configuration.  Area grows
+ * monotonically with λ, so a bisection over λ suffices.
+ *
+ * @param area_budget_mm2 total accelerator area allowed.
+ * @param training        provision training arrays (larger).
+ * @param batch_size      B (affects derivative-array count).
+ * @return the best-fitting configuration (at least the naive G = 1
+ *         mapping, even if it exceeds the budget — fatal() only if
+ *         you pass a non-positive budget).
+ */
+GranularityConfig autoTuneGranularity(const workloads::NetworkSpec &spec,
+                                      const reram::DeviceParams &params,
+                                      double area_budget_mm2,
+                                      bool training, int64_t batch_size);
+
+} // namespace arch
+} // namespace pipelayer
+
+#endif // PIPELAYER_ARCH_MAPPING_HH_

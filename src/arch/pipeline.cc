@@ -1,0 +1,348 @@
+#include "arch/pipeline.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace pipelayer {
+namespace arch {
+
+namespace {
+
+int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+PipelineScheduler::PipelineScheduler(const NetworkMapping &mapping,
+                                     const ScheduleConfig &config,
+                                     int64_t buffer_slack)
+    : mapping_(mapping), config_(config), buffer_slack_(buffer_slack)
+{
+    PL_ASSERT(config.num_images >= 1, "need at least one image");
+    PL_ASSERT(config.batch_size >= 1, "batch size must be positive");
+}
+
+int64_t
+PipelineScheduler::analyticTrainingCycles(int64_t depth, int64_t n,
+                                          int64_t b, bool pipelined)
+{
+    const int64_t batches = ceilDiv(n, b);
+    if (pipelined) {
+        // (N/B)(2L + B + 1) when B | N; generalised to partial batches.
+        return n + batches * (2 * depth + 1);
+    }
+    return n * (2 * depth + 1) + batches;
+}
+
+int64_t
+PipelineScheduler::analyticTestingCycles(int64_t depth, int64_t n,
+                                         bool pipelined)
+{
+    return pipelined ? n + depth - 1 : n * depth;
+}
+
+void
+PipelineScheduler::scheduleImage(int64_t image, int64_t t0,
+                                 std::vector<std::vector<Op>> &by_cycle)
+{
+    const int64_t depth = mapping_.depth();
+    auto add = [&](int64_t cycle, Op op) {
+        PL_ASSERT(cycle >= 0 &&
+                  cycle < static_cast<int64_t>(by_cycle.size()),
+                  "op scheduled at cycle %lld beyond horizon %lld",
+                  (long long)cycle, (long long)by_cycle.size());
+        by_cycle[static_cast<size_t>(cycle)].push_back(op);
+    };
+
+    for (int64_t s = 0; s < depth; ++s)
+        add(t0 + s + 1, {Op::Kind::Forward, image, s});
+
+    if (!config_.training)
+        return;
+
+    add(t0 + depth + 1, {Op::Kind::ErrorSeed, image, depth - 1});
+    for (int64_t s = depth - 1; s >= 0; --s) {
+        const int64_t cycle = t0 + 2 * depth + 1 - s;
+        if (s >= 1)
+            add(cycle, {Op::Kind::ErrorBack, image, s});
+        add(cycle, {Op::Kind::Derivative, image, s});
+    }
+}
+
+int64_t
+PipelineScheduler::buildSchedule(std::vector<std::vector<Op>> &by_cycle,
+                                 std::vector<int64_t> &entry_cycle)
+{
+    const int64_t depth = mapping_.depth();
+    const int64_t n = config_.num_images;
+    const int64_t b = config_.batch_size;
+
+    const int64_t horizon = 2 +
+        (config_.training
+             ? analyticTrainingCycles(depth, n, b, config_.pipelined)
+             : analyticTestingCycles(depth, n, config_.pipelined));
+    by_cycle.assign(static_cast<size_t>(horizon + 2 * depth + 4), {});
+    entry_cycle.assign(static_cast<size_t>(n), 0);
+
+    int64_t last_cycle = 0;
+    if (config_.training) {
+        int64_t base = 0;
+        int64_t image = 0;
+        while (image < n) {
+            const int64_t batch = std::min<int64_t>(b, n - image);
+            for (int64_t i = 0; i < batch; ++i) {
+                const int64_t t0 = config_.pipelined
+                    ? base + i
+                    : base + i * (2 * depth + 1);
+                entry_cycle[static_cast<size_t>(image + i)] = t0;
+                scheduleImage(image + i, t0, by_cycle);
+            }
+            // Weight update one cycle after the last image drains.
+            const int64_t drain = config_.pipelined
+                ? base + (batch - 1) + 2 * depth + 1
+                : base + batch * (2 * depth + 1);
+            const int64_t update = drain + 1;
+            by_cycle[static_cast<size_t>(update)].push_back(
+                {Op::Kind::Update, -1, -1});
+            base = update; // next batch enters after the update
+            image += batch;
+            last_cycle = update;
+        }
+    } else {
+        for (int64_t i = 0; i < n; ++i) {
+            const int64_t t0 = config_.pipelined ? i : i * depth;
+            entry_cycle[static_cast<size_t>(i)] = t0;
+            scheduleImage(i, t0, by_cycle);
+            last_cycle = t0 + depth;
+        }
+    }
+    return last_cycle;
+}
+
+ScheduleStats
+PipelineScheduler::run()
+{
+    const int64_t depth = mapping_.depth();
+    const int64_t n = config_.num_images;
+
+    std::vector<std::vector<Op>> by_cycle;
+    std::vector<int64_t> entry_cycle;
+    const int64_t last_cycle = buildSchedule(by_cycle, entry_cycle);
+
+    // ---- Buffers: d_0..d_L and δ_1..δ_L ---------------------------
+    std::vector<CircularBuffer> d_buffers;
+    for (int64_t j = 0; j <= depth; ++j) {
+        const int64_t entries =
+            std::max<int64_t>(1, 2 * (depth - j) + 1 + buffer_slack_);
+        d_buffers.emplace_back("d" + std::to_string(j), entries);
+    }
+    std::vector<CircularBuffer> delta_buffers;
+    for (int64_t j = 0; j < depth; ++j) {
+        const int64_t entries = std::max<int64_t>(1, 1 + buffer_slack_);
+        delta_buffers.emplace_back("delta" + std::to_string(j + 1),
+                                   entries);
+    }
+
+    // ---- Walk the cycles ------------------------------------------
+    ScheduleStats stats;
+    std::map<std::pair<int, int64_t>, int64_t> unit_claims;
+
+    // Pre-compute input-write cycles: image i writes d_0 at t0.
+    std::vector<std::vector<int64_t>> input_writes(by_cycle.size());
+    for (int64_t i = 0; i < n; ++i) {
+        const int64_t t0 = entry_cycle[static_cast<size_t>(i)];
+        input_writes[static_cast<size_t>(t0)].push_back(i);
+    }
+
+    for (size_t cycle = 0; cycle < by_cycle.size(); ++cycle) {
+        const auto &ops = by_cycle[cycle];
+
+        // Structural-hazard check: one claim per (unit kind, stage).
+        unit_claims.clear();
+        for (const auto &op : ops) {
+            const auto key = std::make_pair(static_cast<int>(op.kind),
+                                            op.stage);
+            if (++unit_claims[key] > 1)
+                ++stats.structural_hazards;
+        }
+
+        // Phase 1: non-final reads.
+        for (const auto &op : ops) {
+            switch (op.kind) {
+              case Op::Kind::Forward:
+                // Training keeps d for the derivative pass, so the
+                // forward read is not the last use; in testing the
+                // read is final (phase 2).
+                if (config_.training) {
+                    d_buffers[static_cast<size_t>(op.stage)].read(
+                        op.image, /*final_read=*/false);
+                }
+                break;
+              case Op::Kind::ErrorBack:
+                delta_buffers[static_cast<size_t>(op.stage)].read(
+                    op.image, /*final_read=*/false);
+                break;
+              default:
+                break;
+            }
+        }
+
+        // Phase 2: final reads.
+        for (const auto &op : ops) {
+            switch (op.kind) {
+              case Op::Kind::Forward:
+                if (!config_.training) {
+                    d_buffers[static_cast<size_t>(op.stage)].read(
+                        op.image, /*final_read=*/true);
+                }
+                break;
+              case Op::Kind::ErrorSeed:
+                d_buffers[static_cast<size_t>(depth)].read(
+                    op.image, /*final_read=*/true);
+                break;
+              case Op::Kind::Derivative:
+                d_buffers[static_cast<size_t>(op.stage)].read(
+                    op.image, /*final_read=*/true);
+                delta_buffers[static_cast<size_t>(op.stage)].read(
+                    op.image, /*final_read=*/true);
+                break;
+              default:
+                break;
+            }
+        }
+
+        // Phase 3: writes.
+        for (int64_t img : input_writes[cycle])
+            d_buffers[0].write(img);
+        for (const auto &op : ops) {
+            switch (op.kind) {
+              case Op::Kind::Forward:
+                // In testing the last stage streams its result out via
+                // the Connection unit instead of buffering it.
+                if (config_.training || op.stage < depth - 1) {
+                    d_buffers[static_cast<size_t>(op.stage + 1)].write(
+                        op.image);
+                }
+                ++stats.forward_ops;
+                break;
+              case Op::Kind::ErrorSeed:
+                delta_buffers[static_cast<size_t>(depth - 1)].write(
+                    op.image);
+                ++stats.error_ops;
+                break;
+              case Op::Kind::ErrorBack:
+                delta_buffers[static_cast<size_t>(op.stage - 1)].write(
+                    op.image);
+                ++stats.error_ops;
+                break;
+              case Op::Kind::Derivative:
+                ++stats.derivative_ops;
+                break;
+              case Op::Kind::Update:
+                ++stats.update_cycles;
+                break;
+            }
+        }
+    }
+
+    stats.total_cycles = last_cycle;
+
+    // Occupancy: stage-op slots actually used over the run.
+    const double unit_count = static_cast<double>(
+        config_.training ? 3 * depth + 1 : depth);
+    const double busy = static_cast<double>(
+        stats.forward_ops + stats.error_ops + stats.derivative_ops);
+    stats.stage_utilization =
+        busy / (unit_count * static_cast<double>(stats.total_cycles));
+
+    for (auto &buf : d_buffers) {
+        stats.buffer_violations += buf.violations();
+        stats.peak_buffer_entries.push_back(buf.peakLive());
+    }
+    for (auto &buf : delta_buffers)
+        stats.buffer_violations += buf.violations();
+
+    return stats;
+}
+
+std::string
+PipelineScheduler::renderTimeline(int64_t max_cycles)
+{
+    const int64_t depth = mapping_.depth();
+    std::vector<std::vector<Op>> by_cycle;
+    std::vector<int64_t> entry_cycle;
+    const int64_t last_cycle = buildSchedule(by_cycle, entry_cycle);
+    const int64_t cycles = std::min<int64_t>(last_cycle, max_cycles);
+
+    // Unit rows: forward stages A1..AL, the error units (seed at the
+    // top stage, A_l2 below it), the derivative units, and the update.
+    struct UnitRow
+    {
+        std::string label;
+        Op::Kind kind;
+        int64_t stage;
+    };
+    std::vector<UnitRow> rows;
+    for (int64_t s = 0; s < depth; ++s)
+        rows.push_back({"A" + std::to_string(s + 1),
+                        Op::Kind::Forward, s});
+    if (config_.training) {
+        rows.push_back({"ErrL", Op::Kind::ErrorSeed, depth - 1});
+        for (int64_t s = depth - 1; s >= 1; --s)
+            rows.push_back({"A" + std::to_string(s + 1) + "2",
+                            Op::Kind::ErrorBack, s});
+        for (int64_t s = depth - 1; s >= 0; --s)
+            rows.push_back({"dW" + std::to_string(s + 1),
+                            Op::Kind::Derivative, s});
+        rows.push_back({"Upd", Op::Kind::Update, -1});
+    }
+
+    size_t label_width = 0;
+    for (const auto &row : rows)
+        label_width = std::max(label_width, row.label.size());
+
+    auto image_glyph = [](int64_t image) {
+        // Images cycle through 0-9 then a-z for readability.
+        if (image < 0)
+            return std::string("*");
+        const int64_t m = image % 36;
+        return std::string(
+            1, m < 10 ? static_cast<char>('0' + m)
+                      : static_cast<char>('a' + (m - 10)));
+    };
+
+    std::string out;
+    // Header: cycle numbers mod 10.
+    out.append(label_width + 2, ' ');
+    for (int64_t c = 1; c <= cycles; ++c)
+        out += std::to_string(c % 10);
+    out += "\n";
+
+    for (const auto &row : rows) {
+        out += row.label;
+        out.append(label_width - row.label.size() + 2, ' ');
+        for (int64_t c = 1; c <= cycles; ++c) {
+            std::string cell = ".";
+            for (const auto &op : by_cycle[static_cast<size_t>(c)]) {
+                if (op.kind == row.kind && op.stage == row.stage) {
+                    cell = image_glyph(op.image);
+                    break;
+                }
+            }
+            out += cell;
+        }
+        out += "\n";
+    }
+    if (last_cycle > cycles)
+        out += "(clipped after " + std::to_string(cycles) + " of " +
+               std::to_string(last_cycle) + " cycles)\n";
+    return out;
+}
+
+} // namespace arch
+} // namespace pipelayer

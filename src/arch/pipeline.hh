@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The PipeLayer training/testing pipeline scheduler
+ * (paper §3.1 Fig. 3, §3.3 Fig. 6/7, Table 2).
+ *
+ * The scheduler executes the logical-cycle schedule cycle by cycle:
+ * image i entering at logical cycle t0 performs
+ *  - forward at stage l in cycle t0 + l            (produces d_l),
+ *  - output-error seeding in cycle t0 + L + 1      (δ_L from d_L),
+ *  - error backward + derivative at stage l in
+ *    cycle t0 + 2L + 2 - l                          (δ_{l-1}, ∂W_l),
+ * finishing after 2L + 1 cycles.  Pipelined execution admits one new
+ * image per cycle within a batch; a weight-update cycle separates
+ * batches.  The scheduler drives the inter-stage circular buffers so
+ * structural hazards and buffer sizing are checked, not assumed.
+ */
+
+#ifndef PIPELAYER_ARCH_PIPELINE_HH_
+#define PIPELAYER_ARCH_PIPELINE_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/buffers.hh"
+#include "arch/mapping.hh"
+
+namespace pipelayer {
+namespace arch {
+
+/** What to schedule. */
+struct ScheduleConfig
+{
+    bool pipelined = true;
+    bool training = true;   //!< false: forward-only (testing phase)
+    int64_t batch_size = 64;
+    int64_t num_images = 64;
+};
+
+/** Everything the scheduler measured. */
+struct ScheduleStats
+{
+    int64_t total_cycles = 0;
+
+    int64_t forward_ops = 0;    //!< stage-forward activations
+    int64_t error_ops = 0;      //!< error-backward activations
+    int64_t derivative_ops = 0; //!< ∂W computations
+    int64_t update_cycles = 0;  //!< weight-update cycles
+
+    /** Busy stage-slots / (stages * cycles): pipeline occupancy. */
+    double stage_utilization = 0.0;
+
+    /** Structural hazards detected (same unit claimed twice). */
+    int64_t structural_hazards = 0;
+
+    /** Buffer overwrite/eviction violations across all stages. */
+    int64_t buffer_violations = 0;
+
+    /** Peak live entries per stage buffer. */
+    std::vector<int64_t> peak_buffer_entries;
+};
+
+/**
+ * Cycle-level scheduler for one network mapping.
+ */
+class PipelineScheduler
+{
+  public:
+    /**
+     * @param buffer_slack extra (or, if negative, fewer) entries per
+     *        stage buffer relative to the paper's 2(L-l)+1 sizing —
+     *        used by tests to show the sizing is tight.
+     */
+    PipelineScheduler(const NetworkMapping &mapping,
+                      const ScheduleConfig &config,
+                      int64_t buffer_slack = 0);
+
+    /** Run the schedule and return the measurements. */
+    ScheduleStats run();
+
+    /**
+     * Render the schedule as a Fig.-6-style occupancy chart: one row
+     * per unit (forward stages, error units, derivative units,
+     * update), one column per logical cycle, each cell showing the
+     * image occupying the unit.
+     *
+     * @param max_cycles clip the chart after this many cycles.
+     */
+    std::string renderTimeline(int64_t max_cycles = 40);
+
+    /** @name Closed forms of paper Fig. 7 / Table 2. */
+    ///@{
+
+    /** Non-pipelined training: (2L+1)N + N/B cycles. */
+    static int64_t analyticTrainingCycles(int64_t depth, int64_t n,
+                                          int64_t b, bool pipelined);
+
+    /** Testing: N + L - 1 pipelined, L*N non-pipelined. */
+    static int64_t analyticTestingCycles(int64_t depth, int64_t n,
+                                         bool pipelined);
+    ///@}
+
+  private:
+    /** One scheduled operation. */
+    struct Op
+    {
+        enum class Kind { Forward, ErrorSeed, ErrorBack, Derivative,
+                          Update };
+        Kind kind;
+        int64_t image;  //!< image id (-1 for updates)
+        int64_t stage;  //!< 0-based stage (-1 for updates)
+    };
+
+    void scheduleImage(int64_t image, int64_t t0,
+                       std::vector<std::vector<Op>> &by_cycle);
+
+    /**
+     * Build the complete cycle-indexed operation list.
+     * @param entry_cycle out: per-image entry cycle t0.
+     * @return the last occupied cycle.
+     */
+    int64_t buildSchedule(std::vector<std::vector<Op>> &by_cycle,
+                          std::vector<int64_t> &entry_cycle);
+
+    const NetworkMapping &mapping_;
+    ScheduleConfig config_;
+    int64_t buffer_slack_;
+};
+
+} // namespace arch
+} // namespace pipelayer
+
+#endif // PIPELAYER_ARCH_PIPELINE_HH_

@@ -1,0 +1,102 @@
+#include "baseline/gpu_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pipelayer {
+namespace baseline {
+
+GpuModel::GpuModel(const GpuParams &params) : params_(params)
+{
+    PL_ASSERT(params_.batch_size >= 1, "bad GPU batch size");
+}
+
+double
+GpuModel::layerComputeTime(const workloads::LayerSpec &layer,
+                           bool backward) const
+{
+    using workloads::SpecKind;
+    double efficiency = params_.pool_efficiency;
+    if (layer.kind == SpecKind::Conv)
+        efficiency = params_.conv_efficiency;
+    else if (layer.kind == SpecKind::InnerProduct)
+        efficiency = params_.fc_efficiency;
+
+    const double flops = static_cast<double>(
+        backward ? layer.backwardOps() : layer.forwardOps());
+    const double batch = static_cast<double>(params_.batch_size);
+    const double compute =
+        flops * batch / (params_.peak_flops * efficiency);
+
+    // Memory roofline: activations move per image, parameters once
+    // per batch (they stay resident across the batch).
+    const double act_bytes =
+        static_cast<double>(layer.inputSize() + layer.outputSize()) *
+        params_.bytes_per_value * batch;
+    const double param_bytes = static_cast<double>(layer.paramCount()) *
+        params_.bytes_per_value * (backward ? 2.0 : 1.0);
+    const double memory =
+        (act_bytes + param_bytes) / params_.mem_bandwidth;
+
+    return std::max(compute, memory);
+}
+
+GpuCost
+GpuModel::cost(const workloads::NetworkSpec &spec, bool training) const
+{
+    double compute_time = 0.0;
+    double overhead_time = params_.batch_overhead;
+
+    for (const auto &layer : spec.layers) {
+        compute_time += layerComputeTime(layer, /*backward=*/false);
+        // Each modelled layer launches its compute kernel plus an
+        // activation kernel for array layers; Caffe adds a loss
+        // kernel at the end (accounted below).
+        const double kernels = layer.usesArrays() ? 2.0 : 1.0;
+        overhead_time += kernels * params_.kernel_overhead;
+        if (training) {
+            compute_time += layerComputeTime(layer, /*backward=*/true);
+            overhead_time += kernels * params_.kernel_overhead *
+                             params_.backward_overhead_factor;
+        }
+    }
+    overhead_time += params_.kernel_overhead; // softmax/loss kernel
+    if (training) {
+        // Weight-update kernels: one elementwise pass over the
+        // parameters per batch (bandwidth bound: read grad + weight,
+        // write weight).
+        const double update_bytes = 3.0 *
+            static_cast<double>(spec.paramCount()) *
+            params_.bytes_per_value;
+        compute_time += update_bytes / params_.mem_bandwidth;
+        overhead_time += params_.kernel_overhead;
+    }
+
+    GpuCost out;
+    out.time_per_batch = compute_time + overhead_time;
+    out.time_per_image =
+        out.time_per_batch / static_cast<double>(params_.batch_size);
+    out.compute_fraction = compute_time / out.time_per_batch;
+
+    const double power = params_.board_power_idle +
+        (params_.board_power_active - params_.board_power_idle) *
+            out.compute_fraction;
+    out.energy_per_image = out.time_per_image * power;
+    return out;
+}
+
+GpuCost
+GpuModel::testing(const workloads::NetworkSpec &spec) const
+{
+    return cost(spec, /*training=*/false);
+}
+
+GpuCost
+GpuModel::training(const workloads::NetworkSpec &spec) const
+{
+    return cost(spec, /*training=*/true);
+}
+
+} // namespace baseline
+} // namespace pipelayer

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Analytical model of the paper's GPU baseline (§6.2, Table 4):
+ * GTX 1080 + Caffe, run times from Caffe, energy from nvidia-smi.
+ *
+ * We have no GTX 1080, so the baseline is a calibrated roofline
+ * model (see DESIGN.md §2): each layer of a batch costs
+ * max(compute, memory) time plus a fixed per-kernel framework
+ * overhead.  The overhead term is what makes small MNIST networks
+ * two orders of magnitude less efficient on the GPU than their FLOP
+ * count suggests — the effect behind the paper's large MNIST
+ * speedups.  Energy integrates a utilisation-weighted board power.
+ */
+
+#ifndef PIPELAYER_BASELINE_GPU_MODEL_HH_
+#define PIPELAYER_BASELINE_GPU_MODEL_HH_
+
+#include <cstdint>
+
+#include "workloads/layer_spec.hh"
+
+namespace pipelayer {
+namespace baseline {
+
+/** Parameters of the GPU platform (paper Table 4 + calibration). */
+struct GpuParams
+{
+    double peak_flops = 8.87e12;      //!< GTX 1080 FP32 peak
+    double mem_bandwidth = 320e9;     //!< GDDR5X bytes/s
+    double conv_efficiency = 0.50;    //!< cuDNN conv fraction of peak
+    double fc_efficiency = 0.25;      //!< batched GEMM fraction of peak
+    double pool_efficiency = 0.02;    //!< elementwise ops (bw-bound)
+    double kernel_overhead = 100e-6;  //!< s per kernel launch per batch
+    double batch_overhead = 600e-6;   //!< s framework cost per batch
+    double backward_overhead_factor = 1.6; //!< extra kernels backward
+    int64_t batch_size = 64;          //!< Caffe batch
+    double board_power_active = 180.0; //!< W at full utilisation
+    double board_power_idle = 55.0;    //!< W while overhead-bound
+    double bytes_per_value = 4.0;      //!< FP32
+};
+
+/** Modelled execution cost of one phase on the GPU. */
+struct GpuCost
+{
+    double time_per_batch = 0.0;   //!< seconds
+    double time_per_image = 0.0;   //!< seconds
+    double energy_per_image = 0.0; //!< joules
+    double compute_fraction = 0.0; //!< compute time / total time
+};
+
+/**
+ * The GPU baseline model.
+ */
+class GpuModel
+{
+  public:
+    explicit GpuModel(const GpuParams &params = GpuParams());
+
+    /** Forward-only (testing phase) cost. */
+    GpuCost testing(const workloads::NetworkSpec &spec) const;
+
+    /** Forward + backward + update (training phase) cost. */
+    GpuCost training(const workloads::NetworkSpec &spec) const;
+
+    const GpuParams &params() const { return params_; }
+
+  private:
+    /** Roofline time of one layer for a whole batch, in seconds. */
+    double layerComputeTime(const workloads::LayerSpec &layer,
+                            bool backward) const;
+
+    GpuCost cost(const workloads::NetworkSpec &spec, bool training) const;
+
+    GpuParams params_;
+};
+
+} // namespace baseline
+} // namespace pipelayer
+
+#endif // PIPELAYER_BASELINE_GPU_MODEL_HH_

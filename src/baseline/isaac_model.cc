@@ -1,0 +1,81 @@
+#include "baseline/isaac_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace pipelayer {
+namespace baseline {
+
+PipelineThroughput
+isaacThroughput(const workloads::NetworkSpec &spec,
+                const IsaacParams &params, int64_t b)
+{
+    PL_ASSERT(b >= 1, "batch must be positive");
+    PipelineThroughput out;
+    out.pipeline_depth = params.stages_per_layer * spec.pipelineDepth();
+    const double batch = static_cast<double>(b);
+    const double cycles = batch +
+        static_cast<double>(out.pipeline_depth) +
+        params.bubble_cycles_per_image * batch;
+    out.cycles_per_image = cycles / batch;
+    out.utilization = batch / cycles;
+    return out;
+}
+
+int64_t
+dependenceFanIn(const workloads::NetworkSpec &spec, int64_t window)
+{
+    PL_ASSERT(window >= 1, "window must be positive");
+    // Collect the conv kernels, most-downstream first.
+    std::vector<int64_t> kernels;
+    for (auto it = spec.layers.rbegin(); it != spec.layers.rend(); ++it) {
+        if (it->kind == workloads::SpecKind::Conv)
+            kernels.push_back(it->kernel);
+    }
+    const int64_t depth =
+        std::min<int64_t>(window, static_cast<int64_t>(kernels.size()));
+    int64_t fan = 0;
+    int64_t running = 1;
+    for (int64_t i = 0; i < depth; ++i) {
+        running *= kernels[static_cast<size_t>(i)] *
+                   kernels[static_cast<size_t>(i)];
+        fan += running;
+    }
+    return fan;
+}
+
+double
+expectedBubbleCycles(const workloads::NetworkSpec &spec,
+                     double delay_prob, int64_t window)
+{
+    PL_ASSERT(delay_prob >= 0.0 && delay_prob < 1.0,
+              "delay probability out of range");
+    if (delay_prob == 0.0)
+        return 0.0;
+    // Per pipeline stage chain, the probability that at least one of
+    // the fan-in points is late stalls the stage for one cycle.
+    const auto fan = static_cast<double>(dependenceFanIn(spec, window));
+    const double stall_prob =
+        1.0 - std::pow(1.0 - delay_prob, fan);
+    return stall_prob * static_cast<double>(spec.pipelineDepth());
+}
+
+PipelineThroughput
+pipeLayerThroughput(const workloads::NetworkSpec &spec, int64_t b)
+{
+    PL_ASSERT(b >= 1, "batch must be positive");
+    PipelineThroughput out;
+    const int64_t depth = spec.pipelineDepth();
+    out.pipeline_depth = 2 * depth + 1;
+    const double batch = static_cast<double>(b);
+    const double cycles = batch + static_cast<double>(out.pipeline_depth);
+    out.cycles_per_image = cycles / batch;
+    out.utilization = batch / cycles;
+    return out;
+}
+
+} // namespace baseline
+} // namespace pipelayer

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Simplified model of the ISAAC-style deep intra-layer pipeline
+ * (paper §2.3, §3.2.2, §5.3) used for the qualitative stall
+ * comparison.
+ *
+ * ISAAC pipelines *within* layers: small tiles of a layer feed the
+ * next layer in the next cycle, producing a very deep pipeline that
+ * performs well only when a long run of consecutive inputs is
+ * available.  Training limits that run to the batch size B, so the
+ * fill/drain overhead is paid every batch; data-dependent bubbles add
+ * further stalls (a point in layer l+5 transitively depends on
+ * hundreds of earlier points — any late one stalls it).
+ */
+
+#ifndef PIPELAYER_BASELINE_ISAAC_MODEL_HH_
+#define PIPELAYER_BASELINE_ISAAC_MODEL_HH_
+
+#include <cstdint>
+
+#include "workloads/layer_spec.hh"
+
+namespace pipelayer {
+namespace baseline {
+
+/** Parameters of the ISAAC-style pipeline model. */
+struct IsaacParams
+{
+    /**
+     * Pipeline stages per network layer: ISAAC's 22-cycle balanced
+     * inference pipeline amortised per layer tile chain.
+     */
+    int64_t stages_per_layer = 22;
+
+    /**
+     * Average extra bubble cycles injected per image by dependence
+     * stalls (0 = ideal pipeline).
+     */
+    double bubble_cycles_per_image = 0.0;
+};
+
+/** Throughput characteristics of a batched run. */
+struct PipelineThroughput
+{
+    int64_t pipeline_depth = 0;  //!< fill/drain cycles
+    double cycles_per_image = 0.0; //!< amortised, including fill/drain
+    double utilization = 0.0;      //!< B / (B + depth + bubbles)
+};
+
+/** ISAAC-style deep pipeline throughput for batch size @p b. */
+PipelineThroughput isaacThroughput(const workloads::NetworkSpec &spec,
+                                   const IsaacParams &params, int64_t b);
+
+/**
+ * PipeLayer's layer-grained pipeline throughput for the same batch:
+ * a batch costs 2L + B + 1 cycles (paper Fig. 7b), so utilisation is
+ * B / (2L + B + 1).
+ */
+PipelineThroughput pipeLayerThroughput(const workloads::NetworkSpec &spec,
+                                       int64_t b);
+
+/**
+ * Transitive dependence fan-in of one output point across the last
+ * @p window conv layers of @p spec (paper §3.2.2: with 2x2 kernels a
+ * point in layer l+5 depends on 4 + 16 + 64 + 256 = 340 upstream
+ * points).  Pooling layers are transparent (they only reindex).
+ */
+int64_t dependenceFanIn(const workloads::NetworkSpec &spec,
+                        int64_t window);
+
+/**
+ * Expected bubble cycles per image in the tile-grained pipeline when
+ * any upstream point is independently late with probability
+ * @p delay_prob: one stall whenever at least one of the fan-in
+ * points misses its slot, accumulated over the layers.
+ */
+double expectedBubbleCycles(const workloads::NetworkSpec &spec,
+                            double delay_prob, int64_t window = 4);
+
+} // namespace baseline
+} // namespace pipelayer
+
+#endif // PIPELAYER_BASELINE_ISAAC_MODEL_HH_

@@ -1,0 +1,104 @@
+#include "common/logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pipelayer {
+
+namespace {
+
+LogLevel g_level = LogLevel::Inform;
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+namespace detail {
+
+std::string
+vformat(const char *fmt, std::va_list args)
+{
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::string out(static_cast<size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    return out;
+}
+
+void
+emit(const char *prefix, const std::string &msg)
+{
+    std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
+}
+
+} // namespace detail
+
+void
+inform(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Inform)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    detail::emit("info: ", detail::vformat(fmt, args));
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Warn)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    detail::emit("warn: ", detail::vformat(fmt, args));
+    va_end(args);
+}
+
+void
+debug(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Debug)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    detail::emit("debug: ", detail::vformat(fmt, args));
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    detail::emit("fatal: ", detail::vformat(fmt, args));
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    detail::emit("panic: ", detail::vformat(fmt, args));
+    va_end(args);
+    std::abort();
+}
+
+} // namespace pipelayer

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component of the reproduction (synthetic datasets,
+ * weight initialisation) draws from this generator so that runs are
+ * bit-reproducible across platforms; std::mt19937 distributions are
+ * not guaranteed identical across standard libraries, so we implement
+ * the distributions ourselves on top of xoshiro256**.
+ */
+
+#ifndef PIPELAYER_COMMON_RNG_HH_
+#define PIPELAYER_COMMON_RNG_HH_
+
+#include <cstdint>
+
+namespace pipelayer {
+
+/**
+ * xoshiro256** generator with splitmix64 seeding.
+ *
+ * Reference: Blackman & Vigna, "Scrambled Linear Pseudorandom Number
+ * Generators" (2018).  Passes BigCrush; period 2^256 - 1.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t nextU64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n).  @pre n > 0. */
+    uint64_t uniformInt(uint64_t n);
+
+    /** Standard normal variate (Box-Muller, cached pair). */
+    double gaussian();
+
+    /** Normal variate with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /**
+     * Create an independent stream for a named sub-component.
+     * Deterministic: same (parent seed, stream id) -> same stream.
+     */
+    Rng split(uint64_t stream_id) const;
+
+  private:
+    uint64_t s_[4];
+    double cached_gaussian_ = 0.0;
+    bool has_cached_gaussian_ = false;
+    uint64_t seed_; //!< original seed, kept for split()
+};
+
+} // namespace pipelayer
+
+#endif // PIPELAYER_COMMON_RNG_HH_

@@ -1,0 +1,65 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace pipelayer {
+namespace stats {
+
+void
+StatGroup::addScalar(const std::string &name, const Scalar *scalar,
+                     std::string desc)
+{
+    PL_ASSERT(scalar != nullptr, "null scalar registered as %s",
+              name.c_str());
+    entries_.push_back({name, scalar, nullptr, std::move(desc)});
+}
+
+void
+StatGroup::addFormula(const std::string &name, std::function<double()> fn,
+                      std::string desc)
+{
+    PL_ASSERT(fn != nullptr, "null formula registered as %s", name.c_str());
+    entries_.push_back({name, nullptr, std::move(fn), std::move(desc)});
+}
+
+double
+StatGroup::entryValue(const Entry &e) const
+{
+    return e.scalar ? e.scalar->value() : e.formula();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &e : entries_) {
+        os << std::left << std::setw(40) << (prefix_ + "." + e.name)
+           << std::right << std::setw(18) << entryValue(e)
+           << "  # " << e.desc << "\n";
+    }
+}
+
+double
+StatGroup::lookup(const std::string &name) const
+{
+    for (const auto &e : entries_) {
+        if (e.name == name)
+            return entryValue(e);
+    }
+    panic("no statistic named '%s' in group '%s'", name.c_str(),
+          prefix_.c_str());
+}
+
+std::vector<std::string>
+StatGroup::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &e : entries_)
+        out.push_back(e.name);
+    return out;
+}
+
+} // namespace stats
+} // namespace pipelayer

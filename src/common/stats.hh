@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's Stats.
+ *
+ * Components register named scalar statistics with a StatGroup; the
+ * group can be dumped as an aligned table.  Only the features the
+ * simulator needs are implemented: scalar counters/values, formulas
+ * evaluated at dump time, and hierarchical naming via group prefixes.
+ */
+
+#ifndef PIPELAYER_COMMON_STATS_HH_
+#define PIPELAYER_COMMON_STATS_HH_
+
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pipelayer {
+namespace stats {
+
+/** A named scalar statistic (a double-valued accumulator). */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    /** Add to the accumulated value. */
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    /** Set the value directly. */
+    Scalar &operator=(double v) { value_ = v; return *this; }
+    /** Read the current value. */
+    double value() const { return value_; }
+    /** Reset to zero. */
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * A collection of named statistics with a common prefix.
+ *
+ * Ownership: the group stores *pointers* to scalars owned by the
+ * registering component, so the component must outlive any dump.
+ */
+class StatGroup
+{
+  public:
+    /** Create a group with a hierarchical name prefix ("sim.energy"). */
+    explicit StatGroup(std::string prefix) : prefix_(std::move(prefix)) {}
+
+    /** Register a scalar under @p name with a description. */
+    void addScalar(const std::string &name, const Scalar *scalar,
+                   std::string desc);
+
+    /**
+     * Register a formula: a callable evaluated at dump time
+     * (e.g. derived ratios like energy/op).
+     */
+    void addFormula(const std::string &name, std::function<double()> fn,
+                    std::string desc);
+
+    /** Write all statistics as "prefix.name  value  # desc" lines. */
+    void dump(std::ostream &os) const;
+
+    /** Look up a registered statistic's current value by name. */
+    double lookup(const std::string &name) const;
+
+    /** All registered names, in registration order. */
+    std::vector<std::string> names() const;
+
+    const std::string &prefix() const { return prefix_; }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        const Scalar *scalar; //!< nullptr for formulas
+        std::function<double()> formula;
+        std::string desc;
+    };
+
+    double entryValue(const Entry &e) const;
+
+    std::string prefix_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace stats
+} // namespace pipelayer
+
+#endif // PIPELAYER_COMMON_STATS_HH_

@@ -1,0 +1,78 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace pipelayer {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    PL_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    PL_ASSERT(cells.size() == header_.size(),
+              "row has %zu cells, table has %zu columns", cells.size(),
+              header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.emplace_back(); // empty vector marks a separator
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_rule = [&]() {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            os << std::string(widths[c] + 2, '-');
+            if (c + 1 < widths.size())
+                os << "+";
+        }
+        os << "\n";
+    };
+
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            os << " " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+            if (c + 1 < widths.size())
+                os << "|";
+        }
+        os << "\n";
+    };
+
+    print_cells(header_);
+    print_rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            print_rule();
+        else
+            print_cells(row);
+    }
+}
+
+} // namespace pipelayer

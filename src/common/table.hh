@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to emit
+ * paper-style rows (Fig. 15/16/17/18 etc.).
+ */
+
+#ifndef PIPELAYER_COMMON_TABLE_HH_
+#define PIPELAYER_COMMON_TABLE_HH_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pipelayer {
+
+/**
+ * Column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"network", "speedup"});
+ *   t.addRow({"AlexNet", "8.1x"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct with header labels; column count is fixed from here. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row.  @pre cells.size() == column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Helper: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_; //!< empty row = separator
+};
+
+} // namespace pipelayer
+
+#endif // PIPELAYER_COMMON_TABLE_HH_

@@ -1,0 +1,66 @@
+#include "common/units.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pipelayer {
+
+namespace {
+
+std::string
+formatWithUnit(double value, const char *const *names,
+               const double *scales, int count)
+{
+    // Pick the largest unit whose scaled value is >= 1 (or the
+    // smallest unit if none are).
+    int pick = count - 1;
+    for (int i = 0; i < count; ++i) {
+        if (std::fabs(value) >= scales[i]) {
+            pick = i;
+            break;
+        }
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3g %s", value / scales[pick],
+                  names[pick]);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatTime(double seconds)
+{
+    static const char *const names[] = {"s", "ms", "us", "ns", "ps"};
+    static const double scales[] = {1.0, 1e-3, 1e-6, 1e-9, 1e-12};
+    return formatWithUnit(seconds, names, scales, 5);
+}
+
+std::string
+formatEnergy(double joules)
+{
+    static const char *const names[] = {"J", "mJ", "uJ", "nJ", "pJ"};
+    static const double scales[] = {1.0, 1e-3, 1e-6, 1e-9, 1e-12};
+    return formatWithUnit(joules, names, scales, 5);
+}
+
+std::string
+formatCount(double count)
+{
+    static const char *const names[] = {"T", "G", "M", "K", ""};
+    static const double scales[] = {1e12, 1e9, 1e6, 1e3, 1.0};
+    return formatWithUnit(count, names, scales, 5);
+}
+
+double
+geomean(const double *values, size_t n)
+{
+    if (n == 0)
+        return 0.0;
+    double log_sum = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        log_sum += std::log(values[i]);
+    return std::exp(log_sum / static_cast<double>(n));
+}
+
+} // namespace pipelayer

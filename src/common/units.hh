@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Physical-unit helpers for the timing/energy/area models.
+ *
+ * All simulator-internal quantities are stored in SI base units
+ * (seconds, joules, square metres are overkill for mm^2-scale areas,
+ * so area is kept in mm^2 by convention).  The literals here make
+ * constant definitions read like the paper ("29.31 ns per spike").
+ */
+
+#ifndef PIPELAYER_COMMON_UNITS_HH_
+#define PIPELAYER_COMMON_UNITS_HH_
+
+#include <string>
+
+namespace pipelayer {
+
+/** Seconds per nanosecond, etc. — multiply to convert into seconds. */
+constexpr double kNano = 1e-9;
+constexpr double kMicro = 1e-6;
+constexpr double kMilli = 1e-3;
+
+/** Joules per picojoule / nanojoule. */
+constexpr double kPico = 1e-12;
+
+/** Giga multiplier (for GOPS, GB/s). */
+constexpr double kGiga = 1e9;
+
+namespace units {
+
+/** Nanoseconds -> seconds. */
+constexpr double ns(double v) { return v * kNano; }
+/** Microseconds -> seconds. */
+constexpr double us(double v) { return v * kMicro; }
+/** Milliseconds -> seconds. */
+constexpr double ms(double v) { return v * kMilli; }
+/** Picojoules -> joules. */
+constexpr double pJ(double v) { return v * kPico; }
+/** Nanojoules -> joules. */
+constexpr double nJ(double v) { return v * kNano; }
+/** Microjoules -> joules. */
+constexpr double uJ(double v) { return v * kMicro; }
+
+} // namespace units
+
+/** Format a time in seconds with an auto-selected unit ("12.3 us"). */
+std::string formatTime(double seconds);
+
+/** Format an energy in joules with an auto-selected unit ("4.2 mJ"). */
+std::string formatEnergy(double joules);
+
+/** Format a count with engineering suffix ("3.2M", "1.5G"). */
+std::string formatCount(double count);
+
+/** Geometric mean of a range of positive values; 0 if empty. */
+double geomean(const double *values, size_t n);
+
+} // namespace pipelayer
+
+#endif // PIPELAYER_COMMON_UNITS_HH_

@@ -1,0 +1,389 @@
+#include "core/pipelined_trainer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "nn/layers.hh"
+#include "nn/loss.hh"
+#include "tensor/ops.hh"
+
+namespace pipelayer {
+namespace core {
+
+/** A non-array op riding in a stage's activation unit. */
+struct TailOp
+{
+    nn::LayerKind kind;
+    int64_t window = 0; //!< pooling window
+};
+
+/** One pipeline stage: an array layer plus its activation-unit tail. */
+struct PipelinedTrainer::Stage
+{
+    nn::Layer *array_layer = nullptr;
+    nn::LayerKind array_kind = nn::LayerKind::Conv;
+    int64_t conv_pad = 0;
+    int64_t conv_kernel = 0;
+    std::vector<TailOp> tail;
+
+    Tensor weight_grad;
+    Tensor bias_grad;
+};
+
+/** What one image leaves in a stage's output buffer. */
+struct PipelinedTrainer::Entry
+{
+    Tensor output;               //!< d_l: the stage output (post tail)
+    std::vector<Tensor> aux;     //!< per tail op (masks/indices)
+    std::vector<Shape> in_shape; //!< per tail op input shape
+};
+
+namespace {
+
+/** Forward one tail op, recording what backward will need. */
+Tensor
+tailForward(const TailOp &op, const Tensor &x, Tensor *aux)
+{
+    switch (op.kind) {
+      case nn::LayerKind::ReLU: {
+        Tensor out = x;
+        for (int64_t i = 0; i < out.numel(); ++i)
+            out.at(i) = out.at(i) > 0.0f ? out.at(i) : 0.0f;
+        *aux = out;
+        return out;
+      }
+      case nn::LayerKind::Sigmoid: {
+        Tensor out = x;
+        for (int64_t i = 0; i < out.numel(); ++i)
+            out.at(i) = 1.0f / (1.0f + std::exp(-out.at(i)));
+        *aux = out;
+        return out;
+      }
+      case nn::LayerKind::MaxPool:
+        return ops::maxPool(x, op.window, aux);
+      case nn::LayerKind::AvgPool:
+        return ops::avgPool(x, op.window);
+      case nn::LayerKind::Flatten:
+        return x.reshape({x.numel()});
+      default:
+        panic("unsupported tail op");
+    }
+}
+
+/** Backward one tail op from its recorded aux data. */
+Tensor
+tailBackwardOp(const TailOp &op, const Tensor &delta, const Tensor &aux,
+               const Shape &in_shape)
+{
+    switch (op.kind) {
+      case nn::LayerKind::ReLU: {
+        Tensor out = delta;
+        for (int64_t i = 0; i < out.numel(); ++i) {
+            if (aux.at(i) <= 0.0f)
+                out.at(i) = 0.0f;
+        }
+        return out;
+      }
+      case nn::LayerKind::Sigmoid: {
+        Tensor out = delta;
+        for (int64_t i = 0; i < out.numel(); ++i) {
+            const float s = aux.at(i);
+            out.at(i) *= s * (1.0f - s);
+        }
+        return out;
+      }
+      case nn::LayerKind::MaxPool:
+        return ops::maxPoolBackward(delta, aux, in_shape);
+      case nn::LayerKind::AvgPool:
+        return ops::avgPoolBackward(delta, op.window, in_shape);
+      case nn::LayerKind::Flatten:
+        return delta.reshape(in_shape);
+      default:
+        panic("unsupported tail op");
+    }
+}
+
+TailOp
+makeTailOp(nn::Layer &layer)
+{
+    TailOp op;
+    op.kind = layer.kind();
+    if (op.kind == nn::LayerKind::MaxPool)
+        op.window = static_cast<nn::MaxPoolLayer &>(layer).window();
+    else if (op.kind == nn::LayerKind::AvgPool)
+        op.window = static_cast<nn::AvgPoolLayer &>(layer).window();
+    return op;
+}
+
+} // namespace
+
+PipelinedTrainer::PipelinedTrainer(nn::Network &net) : net_(net)
+{
+    // Partition the layer list into array-layer stages; non-array
+    // layers before the first array layer would need a prefix stage —
+    // the supported networks start with an array layer or a flatten,
+    // which we fold into a synthetic leading reshape below.
+    Stage *current = nullptr;
+    std::vector<TailOp> prefix;
+    for (size_t i = 0; i < net_.numLayers(); ++i) {
+        nn::Layer &layer = net_.layer(i);
+        switch (layer.kind()) {
+          case nn::LayerKind::Conv: {
+            auto &conv = static_cast<nn::ConvLayer &>(layer);
+            PL_ASSERT(conv.stride() == 1,
+                      "pipelined training maps stride-1 convolutions");
+            auto stage = std::make_unique<Stage>();
+            stage->array_layer = &layer;
+            stage->array_kind = nn::LayerKind::Conv;
+            stage->conv_pad = conv.pad();
+            stage->conv_kernel = conv.kernel();
+            stage->weight_grad = Tensor(conv.parameters()[0]->shape());
+            stage->bias_grad = Tensor(conv.parameters()[1]->shape());
+            stages_.push_back(std::move(stage));
+            current = stages_.back().get();
+            break;
+          }
+          case nn::LayerKind::InnerProduct: {
+            auto &ip = static_cast<nn::InnerProductLayer &>(layer);
+            auto stage = std::make_unique<Stage>();
+            stage->array_layer = &layer;
+            stage->array_kind = nn::LayerKind::InnerProduct;
+            stage->weight_grad = Tensor(ip.parameters()[0]->shape());
+            stage->bias_grad = Tensor(ip.parameters()[1]->shape());
+            stages_.push_back(std::move(stage));
+            current = stages_.back().get();
+            break;
+          }
+          default:
+            if (current)
+                current->tail.push_back(makeTailOp(layer));
+            else
+                prefix.push_back(makeTailOp(layer));
+            break;
+        }
+    }
+    PL_ASSERT(!stages_.empty(), "network has no array layers");
+    // A leading flatten (MLPs) is harmless to drop: the inner-product
+    // stage reshapes its input anyway.  Anything else up front is
+    // unsupported.
+    for (const TailOp &op : prefix) {
+        PL_ASSERT(op.kind == nn::LayerKind::Flatten,
+                  "unsupported pre-array layer in pipelined training");
+    }
+}
+
+PipelinedTrainer::~PipelinedTrainer() = default;
+
+int64_t
+PipelinedTrainer::depth() const
+{
+    return static_cast<int64_t>(stages_.size());
+}
+
+PipelinedBatchResult
+PipelinedTrainer::trainBatch(const std::vector<Tensor> &inputs,
+                             const std::vector<int64_t> &labels,
+                             float lr, nn::LossKind loss)
+{
+    PL_ASSERT(inputs.size() == labels.size() && !inputs.empty(),
+              "bad pipelined batch");
+    const int64_t depth_l = depth();
+    const auto batch = static_cast<int64_t>(inputs.size());
+
+    for (auto &stage : stages_) {
+        stage->weight_grad.fill(0.0f);
+        stage->bias_grad.fill(0.0f);
+    }
+
+    // d buffers: index j in [0, L], capacity 2(L-j)+1 (paper §3.3).
+    std::vector<std::map<int64_t, Entry>> d_buf(
+        static_cast<size_t>(depth_l + 1));
+    // δ buffers: index l in [1, L] (stored at l-1), capacity 1.
+    std::vector<std::map<int64_t, Tensor>> delta_buf(
+        static_cast<size_t>(depth_l));
+
+    PipelinedBatchResult result;
+    const int64_t total_cycles = 2 * depth_l + batch + 1;
+    result.logical_cycles = total_cycles;
+
+    auto check_capacity = [&](int64_t j) {
+        const auto cap = static_cast<size_t>(2 * (depth_l - j) + 1);
+        PL_ASSERT(d_buf[static_cast<size_t>(j)].size() <= cap,
+                  "buffer d%lld exceeded its 2(L-l)+1 capacity",
+                  (long long)j);
+        result.peak_buffer_entries = std::max(
+            result.peak_buffer_entries,
+            static_cast<int64_t>(d_buf[static_cast<size_t>(j)].size()));
+    };
+
+    auto stage_forward = [&](Stage &stage, const Tensor &input,
+                             Entry *entry) {
+        const auto params = stage.array_layer->parameters();
+        Tensor x;
+        if (stage.array_kind == nn::LayerKind::Conv) {
+            x = ops::conv2d(input, *params[0], *params[1], 1,
+                            stage.conv_pad);
+        } else {
+            x = ops::matVec(*params[0], input.reshape({input.numel()}));
+            x += *params[1];
+        }
+        entry->aux.clear();
+        entry->in_shape.clear();
+        for (const TailOp &op : stage.tail) {
+            entry->in_shape.push_back(x.shape());
+            Tensor aux;
+            x = tailForward(op, x, &aux);
+            entry->aux.push_back(std::move(aux));
+        }
+        entry->output = x;
+    };
+
+    // Back a stage-output error through the stage tail only, to the
+    // array-layer output.
+    auto tail_backward = [&](const Stage &stage, Tensor delta,
+                             const Entry &entry) {
+        for (size_t k = stage.tail.size(); k-- > 0;) {
+            delta = tailBackwardOp(stage.tail[k], delta, entry.aux[k],
+                                   entry.in_shape[k]);
+        }
+        return delta;
+    };
+
+    for (int64_t cycle = 1; cycle <= total_cycles; ++cycle) {
+        // ---- image entry: d_0 staged at t0 = i (cycle i, i.e. the
+        // write lands before the image's first compute cycle) -------
+        const int64_t entering = cycle - 1;
+        if (entering >= 0 && entering < batch) {
+            Entry e;
+            e.output = inputs[static_cast<size_t>(entering)];
+            d_buf[0][entering] = std::move(e);
+            check_capacity(0);
+        }
+
+        // Images are walked in ascending order, so an image whose
+        // final read frees a slot is processed before the younger
+        // image whose write reuses it — the paper's read-before-write
+        // same-cycle semantics (§3.3).
+        for (int64_t i = std::max<int64_t>(0, cycle - 2 * depth_l - 2);
+             i < batch && i < cycle; ++i) {
+            const int64_t t0 = i;
+
+            // Forward stage s at cycle t0 + s + 1.
+            const int64_t s = cycle - t0 - 1;
+            if (s >= 0 && s < depth_l) {
+                Stage &stage = *stages_[static_cast<size_t>(s)];
+                const Entry &in = d_buf[static_cast<size_t>(s)].at(i);
+                Entry out;
+                stage_forward(stage, in.output, &out);
+                d_buf[static_cast<size_t>(s + 1)][i] = std::move(out);
+                check_capacity(s + 1);
+            }
+
+            // Error seed at cycle t0 + L + 1.
+            if (cycle == t0 + depth_l + 1) {
+                const Entry &top =
+                    d_buf[static_cast<size_t>(depth_l)].at(i);
+                nn::LossResult seed;
+                if (loss == nn::LossKind::Softmax) {
+                    seed = nn::softmaxLoss(
+                        top.output, labels[static_cast<size_t>(i)]);
+                } else {
+                    Tensor target(top.output.shape());
+                    target.at(labels[static_cast<size_t>(i)]) = 1.0f;
+                    seed = nn::l2Loss(top.output, target);
+                }
+                result.mean_loss += seed.loss;
+                // δ_L lands at the array output of the last stage.
+                const Stage &last =
+                    *stages_[static_cast<size_t>(depth_l - 1)];
+                delta_buf[static_cast<size_t>(depth_l - 1)][i] =
+                    tail_backward(last, seed.delta, top);
+                // d_L's last use: free the slot now (read-before-
+                // write within the cycle).
+                d_buf[static_cast<size_t>(depth_l)].erase(i);
+            }
+
+            // Backward pair for 1-based stage l at t0 + 2L + 2 - l.
+            const int64_t l = t0 + 2 * depth_l + 2 - cycle;
+            if (l >= 1 && l <= depth_l) {
+                Stage &stage = *stages_[static_cast<size_t>(l - 1)];
+                const Tensor &delta_array =
+                    delta_buf[static_cast<size_t>(l - 1)].at(i);
+                const Entry &input_entry =
+                    d_buf[static_cast<size_t>(l - 1)].at(i);
+                const auto params = stage.array_layer->parameters();
+
+                // Derivative unit: ∂W_l from d_{l-1} and δ_l.
+                if (stage.array_kind == nn::LayerKind::Conv) {
+                    stage.weight_grad += ops::conv2dBackwardKernel(
+                        input_entry.output, delta_array,
+                        stage.conv_kernel, stage.conv_kernel,
+                        stage.conv_pad);
+                    for (int64_t c = 0; c < delta_array.dim(0); ++c) {
+                        double acc = 0.0;
+                        for (int64_t y = 0; y < delta_array.dim(1); ++y)
+                            for (int64_t x = 0; x < delta_array.dim(2);
+                                 ++x)
+                                acc += delta_array(c, y, x);
+                        stage.bias_grad(c) += static_cast<float>(acc);
+                    }
+                } else {
+                    const Tensor flat_in = input_entry.output.reshape(
+                        {input_entry.output.numel()});
+                    stage.weight_grad += ops::outer(
+                        flat_in,
+                        delta_array.reshape({delta_array.numel()}));
+                    stage.bias_grad +=
+                        delta_array.reshape({delta_array.numel()});
+                }
+
+                // Error-backward unit (skipped at the first stage).
+                if (l >= 2) {
+                    Tensor delta_in;
+                    if (stage.array_kind == nn::LayerKind::Conv) {
+                        delta_in = ops::conv2dBackwardInput(
+                            delta_array, *params[0], stage.conv_pad);
+                    } else {
+                        delta_in =
+                            ops::matVecT(*params[0],
+                                         delta_array.reshape(
+                                             {delta_array.numel()}));
+                    }
+                    delta_in =
+                        delta_in.reshape(input_entry.output.shape());
+                    const Stage &below =
+                        *stages_[static_cast<size_t>(l - 2)];
+                    delta_buf[static_cast<size_t>(l - 2)][i] =
+                        tail_backward(below, delta_in, input_entry);
+                }
+
+                // Last uses of d_{l-1} and δ_l for this image: free
+                // the slots before any younger image writes them.
+                d_buf[static_cast<size_t>(l - 1)].erase(i);
+                delta_buf[static_cast<size_t>(l - 1)].erase(i);
+            }
+        }
+
+        for (const auto &buf : delta_buf) {
+            PL_ASSERT(buf.size() <= 1,
+                      "delta buffer exceeded its single entry");
+        }
+    }
+
+    // Update cycle: apply the batch-averaged gradients.
+    for (auto &stage : stages_) {
+        const auto params = stage->array_layer->parameters();
+        const float scale = lr / static_cast<float>(batch);
+        for (int64_t i = 0; i < params[0]->numel(); ++i)
+            params[0]->at(i) -= scale * stage->weight_grad.at(i);
+        for (int64_t i = 0; i < params[1]->numel(); ++i)
+            params[1]->at(i) -= scale * stage->bias_grad.at(i);
+    }
+
+    result.mean_loss /= static_cast<double>(batch);
+    return result;
+}
+
+} // namespace core
+} // namespace pipelayer

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Functional execution of the pipelined training schedule.
+ *
+ * The cycle-level scheduler (arch::PipelineScheduler) proves the
+ * *timing* of the paper's Fig. 6 pipeline; this trainer proves its
+ * *semantics*: it executes the same schedule with real tensors —
+ * one new image entering per logical cycle, intermediate data held
+ * in capacity-constrained inter-stage buffers of exactly 2(L-l)+1
+ * entries — and must produce the same weights as plain sequential
+ * batch training (the interleaving only reorders commutative
+ * gradient accumulations).
+ *
+ * Stages are stateless here: layer caches cannot be used because
+ * several images are in flight per layer simultaneously — precisely
+ * the problem the paper's memory-subarray buffers solve.  Everything
+ * the backward pass needs (the stage output d_l, pooling argmax
+ * indices, activation outputs) travels in the buffer entry.
+ */
+
+#ifndef PIPELAYER_CORE_PIPELINED_TRAINER_HH_
+#define PIPELAYER_CORE_PIPELINED_TRAINER_HH_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "nn/network.hh"
+#include "tensor/tensor.hh"
+
+namespace pipelayer {
+namespace core {
+
+/** Outcome of a pipelined batch. */
+struct PipelinedBatchResult
+{
+    double mean_loss = 0.0;
+    int64_t logical_cycles = 0;   //!< 2L + B + 1 (Fig. 7b)
+    int64_t peak_buffer_entries = 0; //!< max live entries in any buffer
+};
+
+/**
+ * Pipelined batch-SGD trainer over a functional network.
+ *
+ * The network is borrowed; its parameters are read for the stateless
+ * forward/backward evaluation and updated at the batch's update
+ * cycle.  Supported layers: Conv (stride 1), InnerProduct, ReLU,
+ * Sigmoid, MaxPool, AvgPool, Flatten.
+ */
+class PipelinedTrainer
+{
+  public:
+    explicit PipelinedTrainer(nn::Network &net);
+    ~PipelinedTrainer();
+
+    PipelinedTrainer(const PipelinedTrainer &) = delete;
+    PipelinedTrainer &operator=(const PipelinedTrainer &) = delete;
+
+    /** Pipeline depth L (array-layer stages). */
+    int64_t depth() const;
+
+    /**
+     * Train one batch through the pipelined schedule and apply the
+     * averaged update (paper Fig. 6 + §4.4.2).
+     */
+    PipelinedBatchResult trainBatch(const std::vector<Tensor> &inputs,
+                                    const std::vector<int64_t> &labels,
+                                    float lr,
+                                    nn::LossKind loss =
+                                        nn::LossKind::Softmax);
+
+  private:
+    struct Stage;
+    struct Entry;
+
+    nn::Network &net_;
+    std::vector<std::unique_ptr<Stage>> stages_;
+};
+
+} // namespace core
+} // namespace pipelayer
+
+#endif // PIPELAYER_CORE_PIPELINED_TRAINER_HH_

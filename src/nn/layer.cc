@@ -1,0 +1,40 @@
+#include "nn/layer.hh"
+
+#include "common/logging.hh"
+
+namespace pipelayer {
+namespace nn {
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv: return "conv";
+      case LayerKind::MaxPool: return "maxpool";
+      case LayerKind::AvgPool: return "avgpool";
+      case LayerKind::InnerProduct: return "ip";
+      case LayerKind::ReLU: return "relu";
+      case LayerKind::Sigmoid: return "sigmoid";
+      case LayerKind::Flatten: return "flatten";
+    }
+    panic("unknown LayerKind %d", static_cast<int>(kind));
+}
+
+void
+Layer::applyUpdate(float lr, int64_t batch_size)
+{
+    (void)lr;
+    (void)batch_size;
+}
+
+int64_t
+Layer::parameterCount()
+{
+    int64_t n = 0;
+    for (const Tensor *p : parameters())
+        n += p->numel();
+    return n;
+}
+
+} // namespace nn
+} // namespace pipelayer

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Layer interface of the functional CNN substrate.
+ *
+ * The substrate implements exactly the forward/backward dataflow of
+ * paper §2.1-§2.2: forward u_l = W_l d_{l-1} + b_l, d_l = f(u_l);
+ * backward δ_l = (W_{l+1})^T δ_{l+1} ⊙ f'(u_l), ∂J/∂W_l = d_{l-1} δ_l^T.
+ * PipeLayer's accelerator model maps these same computations onto
+ * ReRAM subarrays; this module is the golden functional reference.
+ */
+
+#ifndef PIPELAYER_NN_LAYER_HH_
+#define PIPELAYER_NN_LAYER_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace pipelayer {
+namespace nn {
+
+/** Classification of layers, used by the architectural mapper. */
+enum class LayerKind {
+    Conv,
+    MaxPool,
+    AvgPool,
+    InnerProduct,
+    ReLU,
+    Sigmoid,
+    Flatten,
+};
+
+/** Human-readable layer-kind name. */
+const char *layerKindName(LayerKind kind);
+
+/**
+ * Abstract neural-network layer.
+ *
+ * Layers are stateful across a forward/backward pair: forward() caches
+ * whatever backward() needs, and backward() accumulates parameter
+ * gradients (so a batch is a sequence of forward/backward calls
+ * followed by one applyUpdate(), matching the paper's batched weight
+ * update in §4.4).
+ */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** The layer kind (for mapping and reporting). */
+    virtual LayerKind kind() const = 0;
+
+    /** Short description like "conv5x20" or "500-10". */
+    virtual std::string describe() const = 0;
+
+    /** Compute the output shape for a given input shape. */
+    virtual Shape outputShape(const Shape &input_shape) const = 0;
+
+    /** Forward pass for one sample; caches state for backward(). */
+    virtual Tensor forward(const Tensor &input) = 0;
+
+    /**
+     * Inference-only forward pass: identical numerics to forward()
+     * but caches nothing.  Default delegates to forward().
+     */
+    virtual Tensor infer(const Tensor &input) { return forward(input); }
+
+    /**
+     * Backward pass: map the error at this layer's output to the
+     * error at its input, accumulating parameter gradients.
+     */
+    virtual Tensor backward(const Tensor &delta_out) = 0;
+
+    /** Clear accumulated gradients (start of a batch). */
+    virtual void zeroGrads() {}
+
+    /**
+     * Apply the batch-averaged gradient update
+     * W <- W - lr * (1/B) Σ ∂J/∂W  (paper §4.4.2), with optional
+     * momentum (v <- m v + g; W <- W - lr v) when configured.
+     */
+    virtual void applyUpdate(float lr, int64_t batch_size);
+
+    /**
+     * Set the momentum coefficient used by applyUpdate (0 = plain
+     * SGD, the paper's update rule).  No-op for parameter-free
+     * layers.
+     */
+    virtual void setMomentum(float momentum) { (void)momentum; }
+
+    /**
+     * Mutable views of this layer's parameter tensors (weights then
+     * bias), empty for parameter-free layers.  Used by the
+     * quantisation study and by PipeLayerDevice::Weight_load.
+     */
+    virtual std::vector<Tensor *> parameters() { return {}; }
+
+    /** Number of trainable parameters. */
+    int64_t parameterCount();
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+} // namespace nn
+} // namespace pipelayer
+
+#endif // PIPELAYER_NN_LAYER_HH_

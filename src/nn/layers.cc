@@ -1,0 +1,447 @@
+#include "nn/layers.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "tensor/ops.hh"
+
+namespace pipelayer {
+namespace nn {
+
+namespace {
+
+/** He-style initialisation scale for a fan-in of @p fan_in. */
+float
+initStddev(int64_t fan_in)
+{
+    return std::sqrt(2.0f / static_cast<float>(fan_in));
+}
+
+/**
+ * Shared SGD-with-momentum step: v <- m v + g/B, p <- p - lr v.
+ * With momentum 0 this reduces to the paper's plain update and the
+ * velocity tensor stays untouched (empty).
+ */
+void
+sgdStep(Tensor &param, const Tensor &grad, Tensor &velocity,
+        float momentum, float lr, int64_t batch_size)
+{
+    const float inv_b = 1.0f / static_cast<float>(batch_size);
+    if (momentum == 0.0f) {
+        const float scale = lr * inv_b;
+        float *p = param.data();
+        const float *g = grad.data();
+        for (int64_t i = 0; i < param.numel(); ++i)
+            p[i] -= scale * g[i];
+        return;
+    }
+    if (velocity.numel() != param.numel())
+        velocity = Tensor(param.shape());
+    float *p = param.data();
+    float *v = velocity.data();
+    const float *g = grad.data();
+    for (int64_t i = 0; i < param.numel(); ++i) {
+        v[i] = momentum * v[i] + g[i] * inv_b;
+        p[i] -= lr * v[i];
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// ConvLayer
+// ---------------------------------------------------------------------
+
+ConvLayer::ConvLayer(int64_t in_channels, int64_t out_channels,
+                     int64_t kernel, int64_t stride, int64_t pad, Rng &rng)
+    : in_channels_(in_channels), out_channels_(out_channels),
+      kernel_(kernel), stride_(stride), pad_(pad),
+      weight_(Tensor::randn({out_channels, in_channels, kernel, kernel},
+                            rng, 0.0f,
+                            initStddev(in_channels * kernel * kernel))),
+      bias_({out_channels}),
+      weight_grad_({out_channels, in_channels, kernel, kernel}),
+      bias_grad_({out_channels})
+{
+    PL_ASSERT(in_channels > 0 && out_channels > 0 && kernel > 0 &&
+              stride > 0 && pad >= 0, "bad ConvLayer geometry");
+}
+
+std::string
+ConvLayer::describe() const
+{
+    std::ostringstream os;
+    os << "conv" << kernel_ << "x" << out_channels_;
+    if (stride_ != 1)
+        os << "/s" << stride_;
+    if (pad_ != 0)
+        os << "/p" << pad_;
+    return os.str();
+}
+
+Shape
+ConvLayer::outputShape(const Shape &input_shape) const
+{
+    PL_ASSERT(input_shape.size() == 3, "conv input must be (C, H, W)");
+    PL_ASSERT(input_shape[0] == in_channels_,
+              "conv expects %lld channels, got %lld",
+              (long long)in_channels_, (long long)input_shape[0]);
+    const int64_t ho = (input_shape[1] + 2 * pad_ - kernel_) / stride_ + 1;
+    const int64_t wo = (input_shape[2] + 2 * pad_ - kernel_) / stride_ + 1;
+    return {out_channels_, ho, wo};
+}
+
+Tensor
+ConvLayer::forward(const Tensor &input)
+{
+    cached_input_ = input;
+    return ops::conv2d(input, weight_, bias_, stride_, pad_);
+}
+
+Tensor
+ConvLayer::infer(const Tensor &input)
+{
+    return ops::conv2d(input, weight_, bias_, stride_, pad_);
+}
+
+Tensor
+ConvLayer::backward(const Tensor &delta_out)
+{
+    PL_ASSERT(stride_ == 1, "conv backward implemented for stride 1 only");
+    PL_ASSERT(cached_input_.numel() > 0, "backward before forward");
+
+    // ∂J/∂b_c = Σ_{u,v} δ[c, u, v]  (paper §4.4.1).
+    for (int64_t c = 0; c < out_channels_; ++c) {
+        double acc = 0.0;
+        for (int64_t y = 0; y < delta_out.dim(1); ++y)
+            for (int64_t x = 0; x < delta_out.dim(2); ++x)
+                acc += delta_out(c, y, x);
+        bias_grad_(c) += static_cast<float>(acc);
+    }
+
+    weight_grad_ += ops::conv2dBackwardKernel(cached_input_, delta_out,
+                                              kernel_, kernel_, pad_);
+    return ops::conv2dBackwardInput(delta_out, weight_, pad_);
+}
+
+void
+ConvLayer::zeroGrads()
+{
+    weight_grad_.fill(0.0f);
+    bias_grad_.fill(0.0f);
+}
+
+void
+ConvLayer::applyUpdate(float lr, int64_t batch_size)
+{
+    sgdStep(weight_, weight_grad_, weight_vel_, momentum_, lr,
+            batch_size);
+    sgdStep(bias_, bias_grad_, bias_vel_, momentum_, lr, batch_size);
+}
+
+void
+ConvLayer::setMomentum(float momentum)
+{
+    PL_ASSERT(momentum >= 0.0f && momentum < 1.0f,
+              "momentum must be in [0, 1)");
+    momentum_ = momentum;
+}
+
+std::vector<Tensor *>
+ConvLayer::parameters()
+{
+    return {&weight_, &bias_};
+}
+
+// ---------------------------------------------------------------------
+// MaxPoolLayer
+// ---------------------------------------------------------------------
+
+MaxPoolLayer::MaxPoolLayer(int64_t window) : window_(window)
+{
+    PL_ASSERT(window > 1, "pooling window must exceed 1");
+}
+
+std::string
+MaxPoolLayer::describe() const
+{
+    std::ostringstream os;
+    os << "maxpool" << window_;
+    return os.str();
+}
+
+Shape
+MaxPoolLayer::outputShape(const Shape &input_shape) const
+{
+    PL_ASSERT(input_shape.size() == 3, "pool input must be (C, H, W)");
+    return {input_shape[0], input_shape[1] / window_,
+            input_shape[2] / window_};
+}
+
+Tensor
+MaxPoolLayer::forward(const Tensor &input)
+{
+    cached_input_shape_ = input.shape();
+    return ops::maxPool(input, window_, &cached_indices_);
+}
+
+Tensor
+MaxPoolLayer::infer(const Tensor &input)
+{
+    return ops::maxPool(input, window_, nullptr);
+}
+
+Tensor
+MaxPoolLayer::backward(const Tensor &delta_out)
+{
+    return ops::maxPoolBackward(delta_out, cached_indices_,
+                                cached_input_shape_);
+}
+
+// ---------------------------------------------------------------------
+// AvgPoolLayer
+// ---------------------------------------------------------------------
+
+AvgPoolLayer::AvgPoolLayer(int64_t window) : window_(window)
+{
+    PL_ASSERT(window > 1, "pooling window must exceed 1");
+}
+
+std::string
+AvgPoolLayer::describe() const
+{
+    std::ostringstream os;
+    os << "avgpool" << window_;
+    return os.str();
+}
+
+Shape
+AvgPoolLayer::outputShape(const Shape &input_shape) const
+{
+    PL_ASSERT(input_shape.size() == 3, "pool input must be (C, H, W)");
+    return {input_shape[0], input_shape[1] / window_,
+            input_shape[2] / window_};
+}
+
+Tensor
+AvgPoolLayer::forward(const Tensor &input)
+{
+    cached_input_shape_ = input.shape();
+    return ops::avgPool(input, window_);
+}
+
+Tensor
+AvgPoolLayer::infer(const Tensor &input)
+{
+    return ops::avgPool(input, window_);
+}
+
+Tensor
+AvgPoolLayer::backward(const Tensor &delta_out)
+{
+    return ops::avgPoolBackward(delta_out, window_, cached_input_shape_);
+}
+
+// ---------------------------------------------------------------------
+// InnerProductLayer
+// ---------------------------------------------------------------------
+
+InnerProductLayer::InnerProductLayer(int64_t in_size, int64_t out_size,
+                                     Rng &rng)
+    : in_size_(in_size), out_size_(out_size),
+      weight_(Tensor::randn({out_size, in_size}, rng, 0.0f,
+                            initStddev(in_size))),
+      bias_({out_size}),
+      weight_grad_({out_size, in_size}),
+      bias_grad_({out_size})
+{
+    PL_ASSERT(in_size > 0 && out_size > 0, "bad InnerProduct geometry");
+}
+
+std::string
+InnerProductLayer::describe() const
+{
+    std::ostringstream os;
+    os << in_size_ << "-" << out_size_;
+    return os.str();
+}
+
+Shape
+InnerProductLayer::outputShape(const Shape &input_shape) const
+{
+    PL_ASSERT(shapeNumel(input_shape) == in_size_,
+              "inner product expects %lld inputs, got %s",
+              (long long)in_size_, shapeToString(input_shape).c_str());
+    return {out_size_};
+}
+
+Tensor
+InnerProductLayer::forward(const Tensor &input)
+{
+    cached_input_ = input.reshape({in_size_});
+    Tensor out = ops::matVec(weight_, cached_input_);
+    out += bias_;
+    return out;
+}
+
+Tensor
+InnerProductLayer::infer(const Tensor &input)
+{
+    Tensor out = ops::matVec(weight_, input.reshape({in_size_}));
+    out += bias_;
+    return out;
+}
+
+Tensor
+InnerProductLayer::backward(const Tensor &delta_out)
+{
+    PL_ASSERT(cached_input_.numel() > 0, "backward before forward");
+    weight_grad_ += ops::outer(cached_input_, delta_out);
+    bias_grad_ += delta_out;
+    return ops::matVecT(weight_, delta_out);
+}
+
+void
+InnerProductLayer::zeroGrads()
+{
+    weight_grad_.fill(0.0f);
+    bias_grad_.fill(0.0f);
+}
+
+void
+InnerProductLayer::applyUpdate(float lr, int64_t batch_size)
+{
+    sgdStep(weight_, weight_grad_, weight_vel_, momentum_, lr,
+            batch_size);
+    sgdStep(bias_, bias_grad_, bias_vel_, momentum_, lr, batch_size);
+}
+
+void
+InnerProductLayer::setMomentum(float momentum)
+{
+    PL_ASSERT(momentum >= 0.0f && momentum < 1.0f,
+              "momentum must be in [0, 1)");
+    momentum_ = momentum;
+}
+
+std::vector<Tensor *>
+InnerProductLayer::parameters()
+{
+    return {&weight_, &bias_};
+}
+
+// ---------------------------------------------------------------------
+// ReluLayer
+// ---------------------------------------------------------------------
+
+Shape
+ReluLayer::outputShape(const Shape &input_shape) const
+{
+    return input_shape;
+}
+
+Tensor
+ReluLayer::forward(const Tensor &input)
+{
+    Tensor out = input;
+    for (int64_t i = 0; i < out.numel(); ++i)
+        out.at(i) = out.at(i) > 0.0f ? out.at(i) : 0.0f;
+    cached_output_ = out;
+    return out;
+}
+
+Tensor
+ReluLayer::infer(const Tensor &input)
+{
+    Tensor out = input;
+    for (int64_t i = 0; i < out.numel(); ++i)
+        out.at(i) = out.at(i) > 0.0f ? out.at(i) : 0.0f;
+    return out;
+}
+
+Tensor
+ReluLayer::backward(const Tensor &delta_out)
+{
+    // δ_in = δ_out ⊙ [d > 0]: the AND-with-mask of paper Fig. 10(a).
+    Tensor grad = delta_out;
+    for (int64_t i = 0; i < grad.numel(); ++i) {
+        if (cached_output_.at(i) <= 0.0f)
+            grad.at(i) = 0.0f;
+    }
+    return grad;
+}
+
+// ---------------------------------------------------------------------
+// SigmoidLayer
+// ---------------------------------------------------------------------
+
+Shape
+SigmoidLayer::outputShape(const Shape &input_shape) const
+{
+    return input_shape;
+}
+
+Tensor
+SigmoidLayer::forward(const Tensor &input)
+{
+    Tensor out = input;
+    for (int64_t i = 0; i < out.numel(); ++i)
+        out.at(i) = 1.0f / (1.0f + std::exp(-out.at(i)));
+    cached_output_ = out;
+    return out;
+}
+
+Tensor
+SigmoidLayer::infer(const Tensor &input)
+{
+    Tensor out = input;
+    for (int64_t i = 0; i < out.numel(); ++i)
+        out.at(i) = 1.0f / (1.0f + std::exp(-out.at(i)));
+    return out;
+}
+
+Tensor
+SigmoidLayer::backward(const Tensor &delta_out)
+{
+    // f'(u) = f(u)(1 - f(u)), computable from the cached output.
+    Tensor grad = delta_out;
+    for (int64_t i = 0; i < grad.numel(); ++i) {
+        const float s = cached_output_.at(i);
+        grad.at(i) *= s * (1.0f - s);
+    }
+    return grad;
+}
+
+// ---------------------------------------------------------------------
+// FlattenLayer
+// ---------------------------------------------------------------------
+
+Shape
+FlattenLayer::outputShape(const Shape &input_shape) const
+{
+    return {shapeNumel(input_shape)};
+}
+
+Tensor
+FlattenLayer::forward(const Tensor &input)
+{
+    cached_input_shape_ = input.shape();
+    return input.reshape({input.numel()});
+}
+
+Tensor
+FlattenLayer::infer(const Tensor &input)
+{
+    return input.reshape({input.numel()});
+}
+
+Tensor
+FlattenLayer::backward(const Tensor &delta_out)
+{
+    return delta_out.reshape(cached_input_shape_);
+}
+
+} // namespace nn
+} // namespace pipelayer

@@ -1,0 +1,171 @@
+#include "nn/network.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pipelayer {
+namespace nn {
+
+Network::Network(std::string name, Shape input_shape, LossKind loss)
+    : name_(std::move(name)), input_shape_(std::move(input_shape)),
+      loss_(loss)
+{
+    shapes_.push_back(input_shape_);
+}
+
+void
+Network::add(LayerPtr layer)
+{
+    PL_ASSERT(layer != nullptr, "null layer added to network %s",
+              name_.c_str());
+    Shape out = layer->outputShape(shapes_.back());
+    layers_.push_back(std::move(layer));
+    shapes_.push_back(std::move(out));
+}
+
+Tensor
+Network::forward(const Tensor &input)
+{
+    PL_ASSERT(input.shape() == input_shape_,
+              "network %s expects input %s, got %s", name_.c_str(),
+              shapeToString(input_shape_).c_str(),
+              shapeToString(input.shape()).c_str());
+    Tensor x = input;
+    for (auto &layer : layers_)
+        x = layer->forward(x);
+    return x;
+}
+
+Tensor
+Network::infer(const Tensor &input) const
+{
+    Tensor x = input;
+    for (const auto &layer : layers_)
+        x = const_cast<Layer &>(*layer).infer(x);
+    return x;
+}
+
+void
+Network::backward(const Tensor &delta_out)
+{
+    Tensor delta = delta_out;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        delta = (*it)->backward(delta);
+}
+
+void
+Network::zeroGrads()
+{
+    for (auto &layer : layers_)
+        layer->zeroGrads();
+}
+
+void
+Network::applyUpdate(float lr, int64_t batch_size)
+{
+    for (auto &layer : layers_)
+        layer->applyUpdate(lr, batch_size);
+}
+
+void
+Network::setMomentum(float momentum)
+{
+    for (auto &layer : layers_)
+        layer->setMomentum(momentum);
+}
+
+double
+Network::trainBatch(const std::vector<Tensor> &inputs,
+                    const std::vector<int64_t> &labels, float lr)
+{
+    PL_ASSERT(inputs.size() == labels.size() && !inputs.empty(),
+              "bad batch in trainBatch");
+    zeroGrads();
+    double total_loss = 0.0;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const Tensor out = forward(inputs[i]);
+        LossResult lr_result = loss_ == LossKind::Softmax
+            ? softmaxLoss(out, labels[i])
+            : l2Loss(out, [&] {
+                  Tensor t(out.shape());
+                  t.at(labels[i]) = 1.0f;
+                  return t;
+              }());
+        total_loss += lr_result.loss;
+        backward(lr_result.delta);
+    }
+    applyUpdate(lr, static_cast<int64_t>(inputs.size()));
+    return total_loss / static_cast<double>(inputs.size());
+}
+
+int64_t
+Network::predict(const Tensor &input) const
+{
+    return infer(input).argmax();
+}
+
+double
+Network::accuracy(const std::vector<Tensor> &inputs,
+                  const std::vector<int64_t> &labels) const
+{
+    PL_ASSERT(inputs.size() == labels.size(), "bad eval set");
+    if (inputs.empty())
+        return 0.0;
+    int64_t correct = 0;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        if (predict(inputs[i]) == labels[i])
+            ++correct;
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(inputs.size());
+}
+
+Layer &
+Network::layer(size_t i)
+{
+    PL_ASSERT(i < layers_.size(), "layer index %zu out of range", i);
+    return *layers_[i];
+}
+
+const Layer &
+Network::layer(size_t i) const
+{
+    PL_ASSERT(i < layers_.size(), "layer index %zu out of range", i);
+    return *layers_[i];
+}
+
+const Shape &
+Network::layerInputShape(size_t i) const
+{
+    PL_ASSERT(i < layers_.size(), "layer index %zu out of range", i);
+    return shapes_[i];
+}
+
+const Shape &
+Network::outputShape() const
+{
+    return shapes_.back();
+}
+
+int64_t
+Network::parameterCount() const
+{
+    int64_t n = 0;
+    for (const auto &layer : layers_)
+        n += const_cast<Layer &>(*layer).parameterCount();
+    return n;
+}
+
+std::string
+Network::describe() const
+{
+    std::ostringstream os;
+    os << name_ << ": " << shapeToString(input_shape_);
+    for (const auto &layer : layers_)
+        os << " -> " << layer->describe();
+    return os.str();
+}
+
+} // namespace nn
+} // namespace pipelayer

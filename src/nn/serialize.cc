@@ -1,0 +1,139 @@
+#include "nn/serialize.hh"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "nn/network.hh"
+
+namespace pipelayer {
+namespace nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'L', 'W', '1'};
+
+void
+writeU64(std::ostream &os, uint64_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+uint64_t
+readU64(std::istream &is, const std::string &path)
+{
+    uint64_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!is)
+        fatal("truncated weight file '%s'", path.c_str());
+    return v;
+}
+
+/** Every parameter tensor of the network, in layer order. */
+std::vector<Tensor *>
+networkParams(Network &net)
+{
+    std::vector<Tensor *> out;
+    for (size_t l = 0; l < net.numLayers(); ++l)
+        for (Tensor *p : net.layer(l).parameters())
+            out.push_back(p);
+    return out;
+}
+
+} // namespace
+
+void
+saveTensors(const std::vector<const Tensor *> &tensors,
+            const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    os.write(kMagic, sizeof(kMagic));
+    writeU64(os, tensors.size());
+    for (const Tensor *t : tensors) {
+        PL_ASSERT(t != nullptr, "null tensor in saveTensors");
+        writeU64(os, static_cast<uint64_t>(t->rank()));
+        for (int64_t d = 0; d < t->rank(); ++d)
+            writeU64(os, static_cast<uint64_t>(t->dim(d)));
+        os.write(reinterpret_cast<const char *>(t->data()),
+                 static_cast<std::streamsize>(t->numel() *
+                                              sizeof(float)));
+    }
+    if (!os)
+        fatal("write failed for '%s'", path.c_str());
+}
+
+std::vector<Tensor>
+loadTensors(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open '%s' for reading", path.c_str());
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        fatal("'%s' is not a PipeLayer weight file", path.c_str());
+
+    const uint64_t count = readU64(is, path);
+    if (count > (1u << 20))
+        fatal("'%s' claims an implausible %llu tensors", path.c_str(),
+              (unsigned long long)count);
+    std::vector<Tensor> out;
+    out.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        const uint64_t rank = readU64(is, path);
+        if (rank > 8)
+            fatal("'%s': tensor %llu has implausible rank %llu",
+                  path.c_str(), (unsigned long long)i,
+                  (unsigned long long)rank);
+        Shape shape;
+        for (uint64_t d = 0; d < rank; ++d)
+            shape.push_back(static_cast<int64_t>(readU64(is, path)));
+        Tensor t(shape);
+        is.read(reinterpret_cast<char *>(t.data()),
+                static_cast<std::streamsize>(t.numel() *
+                                             sizeof(float)));
+        if (!is)
+            fatal("truncated weight file '%s'", path.c_str());
+        out.push_back(std::move(t));
+    }
+    return out;
+}
+
+void
+saveWeights(const Network &net, const std::string &path)
+{
+    auto &mutable_net = const_cast<Network &>(net);
+    std::vector<const Tensor *> tensors;
+    for (Tensor *p : networkParams(mutable_net))
+        tensors.push_back(p);
+    saveTensors(tensors, path);
+}
+
+void
+loadWeights(Network &net, const std::string &path)
+{
+    const std::vector<Tensor> tensors = loadTensors(path);
+    const std::vector<Tensor *> params = networkParams(net);
+    if (tensors.size() != params.size()) {
+        fatal("'%s' holds %zu tensors but network '%s' has %zu "
+              "parameters",
+              path.c_str(), tensors.size(), net.name().c_str(),
+              params.size());
+    }
+    for (size_t i = 0; i < params.size(); ++i) {
+        if (tensors[i].shape() != params[i]->shape()) {
+            fatal("'%s': tensor %zu has shape %s, network expects %s",
+                  path.c_str(), i,
+                  shapeToString(tensors[i].shape()).c_str(),
+                  shapeToString(params[i]->shape()).c_str());
+        }
+        *params[i] = tensors[i];
+    }
+}
+
+} // namespace nn
+} // namespace pipelayer

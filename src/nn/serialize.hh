@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Binary weight serialisation: the Weight_load flow of the paper
+ * (§5.2) loads *pretrained* weights in the testing phase, so a
+ * deployment needs a way to persist trained parameters.
+ *
+ * Format (little-endian):
+ *   magic "PLW1"             4 bytes
+ *   tensor count             u64
+ *   per tensor: rank (u64), dims (u64 each), data (f32 each)
+ */
+
+#ifndef PIPELAYER_NN_SERIALIZE_HH_
+#define PIPELAYER_NN_SERIALIZE_HH_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace pipelayer {
+namespace nn {
+
+class Network;
+
+/** Write a list of tensors to @p path; fatal() on I/O failure. */
+void saveTensors(const std::vector<const Tensor *> &tensors,
+                 const std::string &path);
+
+/**
+ * Read tensors back.  fatal() on I/O failure or a malformed file.
+ */
+std::vector<Tensor> loadTensors(const std::string &path);
+
+/** Save every parameter of @p net, in layer order. */
+void saveWeights(const Network &net, const std::string &path);
+
+/**
+ * Load parameters saved by saveWeights into @p net.
+ * fatal() if the tensor count or any shape does not match the
+ * network's topology (the file belongs to a different network).
+ */
+void loadWeights(Network &net, const std::string &path);
+
+} // namespace nn
+} // namespace pipelayer
+
+#endif // PIPELAYER_NN_SERIALIZE_HH_

@@ -1,0 +1,83 @@
+#include "nn/trainer.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace pipelayer {
+namespace nn {
+
+void
+Dataset::shuffle(Rng &rng)
+{
+    PL_ASSERT(inputs.size() == labels.size(), "dataset out of sync");
+    // Fisher-Yates with the deterministic generator.
+    for (size_t i = inputs.size(); i > 1; --i) {
+        const size_t j = static_cast<size_t>(rng.uniformInt(i));
+        std::swap(inputs[i - 1], inputs[j]);
+        std::swap(labels[i - 1], labels[j]);
+    }
+}
+
+Dataset
+Dataset::head(size_t n) const
+{
+    Dataset out;
+    const size_t take = std::min(n, inputs.size());
+    out.inputs.assign(inputs.begin(),
+                      inputs.begin() + static_cast<ptrdiff_t>(take));
+    out.labels.assign(labels.begin(),
+                      labels.begin() + static_cast<ptrdiff_t>(take));
+    return out;
+}
+
+TrainResult
+train(Network &net, Dataset &train_set, const Dataset &test,
+      const TrainConfig &config, Rng &rng)
+{
+    PL_ASSERT(config.batch_size > 0, "batch size must be positive");
+    PL_ASSERT(!train_set.inputs.empty(), "empty training set");
+
+    TrainResult result;
+    const size_t n = train_set.size();
+    const size_t bsz = static_cast<size_t>(config.batch_size);
+    net.setMomentum(config.momentum);
+
+    for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+        if (config.shuffle)
+            train_set.shuffle(rng);
+
+        double epoch_loss = 0.0;
+        int64_t batches = 0;
+        for (size_t start = 0; start < n; start += bsz) {
+            const size_t end = std::min(start + bsz, n);
+            std::vector<Tensor> inputs(
+                train_set.inputs.begin() + static_cast<ptrdiff_t>(start),
+                train_set.inputs.begin() + static_cast<ptrdiff_t>(end));
+            std::vector<int64_t> labels(
+                train_set.labels.begin() + static_cast<ptrdiff_t>(start),
+                train_set.labels.begin() + static_cast<ptrdiff_t>(end));
+            epoch_loss += net.trainBatch(inputs, labels,
+                                         config.learning_rate);
+            ++batches;
+        }
+        epoch_loss /= std::max<int64_t>(1, batches);
+        result.epoch_loss.push_back(epoch_loss);
+        result.batches_run += batches;
+        if (config.verbose) {
+            inform("%s epoch %lld/%lld: loss %.4f", net.name().c_str(),
+                   (long long)(epoch + 1), (long long)config.epochs,
+                   epoch_loss);
+        }
+    }
+
+    result.final_train_accuracy =
+        net.accuracy(train_set.inputs, train_set.labels);
+    result.final_test_accuracy = net.accuracy(test.inputs, test.labels);
+    return result;
+}
+
+} // namespace nn
+} // namespace pipelayer

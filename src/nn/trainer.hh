@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Batched SGD training loop and dataset container, mirroring the
+ * paper's training procedure: weights are frozen within a batch and
+ * updated once per batch from the averaged partial derivatives.
+ */
+
+#ifndef PIPELAYER_NN_TRAINER_HH_
+#define PIPELAYER_NN_TRAINER_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/network.hh"
+#include "tensor/tensor.hh"
+
+namespace pipelayer {
+
+class Rng;
+
+namespace nn {
+
+/** An in-memory labelled dataset. */
+struct Dataset
+{
+    std::vector<Tensor> inputs;
+    std::vector<int64_t> labels;
+
+    size_t size() const { return inputs.size(); }
+
+    /** Shuffle samples in place with the given generator. */
+    void shuffle(Rng &rng);
+
+    /** First @p n samples as a new dataset (for quick eval subsets). */
+    Dataset head(size_t n) const;
+};
+
+/** Hyper-parameters of a training run. */
+struct TrainConfig
+{
+    int64_t epochs = 5;
+    int64_t batch_size = 16; //!< the paper's B
+    float learning_rate = 0.05f;
+    float momentum = 0.0f;   //!< 0 = the paper's plain gradient descent
+    bool shuffle = true;
+    bool verbose = false;
+};
+
+/** Outcome of a training run. */
+struct TrainResult
+{
+    std::vector<double> epoch_loss; //!< mean loss per epoch
+    double final_train_accuracy = 0.0;
+    double final_test_accuracy = 0.0;
+    int64_t batches_run = 0;
+};
+
+/**
+ * Train @p net on @p train with batched SGD and evaluate on @p test.
+ *
+ * @param rng used only for shuffling (deterministic given the seed).
+ */
+TrainResult train(Network &net, Dataset &train, const Dataset &test,
+                  const TrainConfig &config, Rng &rng);
+
+} // namespace nn
+} // namespace pipelayer
+
+#endif // PIPELAYER_NN_TRAINER_HH_

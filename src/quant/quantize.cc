@@ -1,0 +1,130 @@
+#include "quant/quantize.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "nn/network.hh"
+
+namespace pipelayer {
+namespace quant {
+
+Quantizer
+Quantizer::forTensor(const Tensor &t, int bits)
+{
+    PL_ASSERT(bits == 0 || (bits >= 2 && bits <= 16),
+              "unsupported bit width %d", bits);
+    Quantizer q;
+    q.bits = bits;
+    if (bits == 0)
+        return q;
+    const float max_abs = t.absMax();
+    const auto levels = static_cast<float>(q.positiveLevels());
+    q.scale = max_abs > 0.0f ? max_abs / levels : 1.0f;
+    return q;
+}
+
+int64_t
+Quantizer::positiveLevels() const
+{
+    if (bits == 0)
+        return 0;
+    return (int64_t{1} << (bits - 1)) - 1;
+}
+
+float
+Quantizer::apply(float v) const
+{
+    if (bits == 0)
+        return v;
+    return static_cast<float>(code(v)) * scale;
+}
+
+int64_t
+Quantizer::code(float v) const
+{
+    if (bits == 0)
+        return 0;
+    const int64_t levels = positiveLevels();
+    const auto raw = static_cast<int64_t>(std::lround(v / scale));
+    return std::clamp(raw, -levels, levels);
+}
+
+Tensor
+quantizeTensor(const Tensor &t, int bits)
+{
+    const Quantizer q = Quantizer::forTensor(t, bits);
+    Tensor out = t;
+    for (int64_t i = 0; i < out.numel(); ++i)
+        out.at(i) = q.apply(out.at(i));
+    return out;
+}
+
+void
+quantizeNetworkWeights(nn::Network &net, int bits)
+{
+    if (bits == 0)
+        return;
+    for (size_t i = 0; i < net.numLayers(); ++i) {
+        for (Tensor *p : net.layer(i).parameters())
+            *p = quantizeTensor(*p, bits);
+    }
+}
+
+double
+quantizationMse(const Tensor &t, int bits)
+{
+    const Tensor q = quantizeTensor(t, bits);
+    double mse = 0.0;
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        const double d = t.at(i) - q.at(i);
+        mse += d * d;
+    }
+    return t.numel() > 0 ? mse / static_cast<double>(t.numel()) : 0.0;
+}
+
+Tensor
+quantizeTensorPerChannel(const Tensor &t, int bits)
+{
+    if (bits == 0 || t.rank() < 2)
+        return quantizeTensor(t, bits);
+    const int64_t channels = t.dim(0);
+    const int64_t per_channel = t.numel() / channels;
+    Tensor out = t;
+    for (int64_t c = 0; c < channels; ++c) {
+        // View one channel slice as its own tensor for scaling.
+        Tensor slice({per_channel});
+        for (int64_t i = 0; i < per_channel; ++i)
+            slice(i) = t.at(c * per_channel + i);
+        const Quantizer q = Quantizer::forTensor(slice, bits);
+        for (int64_t i = 0; i < per_channel; ++i)
+            out.at(c * per_channel + i) = q.apply(slice(i));
+    }
+    return out;
+}
+
+void
+quantizeNetworkWeightsPerChannel(nn::Network &net, int bits)
+{
+    if (bits == 0)
+        return;
+    for (size_t i = 0; i < net.numLayers(); ++i) {
+        for (Tensor *p : net.layer(i).parameters())
+            *p = quantizeTensorPerChannel(*p, bits);
+    }
+}
+
+double
+quantizationMsePerChannel(const Tensor &t, int bits)
+{
+    const Tensor q = quantizeTensorPerChannel(t, bits);
+    double mse = 0.0;
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        const double d = t.at(i) - q.at(i);
+        mse += d * d;
+    }
+    return t.numel() > 0 ? mse / static_cast<double>(t.numel()) : 0.0;
+}
+
+} // namespace quant
+} // namespace pipelayer

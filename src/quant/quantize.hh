@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Quantisation support for the resolution-vs-accuracy study
+ * (paper §5.1, Fig. 13) and for the ReRAM functional model.
+ *
+ * PipeLayer stores weights in limited-precision ReRAM cells; this
+ * module models that by symmetric uniform quantisation of trained
+ * weights to a chosen bit width.
+ */
+
+#ifndef PIPELAYER_QUANT_QUANTIZE_HH_
+#define PIPELAYER_QUANT_QUANTIZE_HH_
+
+#include <cstdint>
+
+#include "tensor/tensor.hh"
+
+namespace pipelayer {
+
+namespace nn { class Network; }
+
+namespace quant {
+
+/**
+ * Symmetric uniform quantiser.
+ *
+ * Values are mapped to integers in [-(2^(bits-1) - 1), 2^(bits-1) - 1]
+ * with a scale chosen from the maximum magnitude, then dequantised.
+ * bits == 0 is a pass-through ("float" in Fig. 13).
+ */
+struct Quantizer
+{
+    int bits = 0;     //!< 0 means full precision
+    float scale = 1.0f; //!< LSB step size
+
+    /** Build a quantiser whose range covers @p t's magnitude. */
+    static Quantizer forTensor(const Tensor &t, int bits);
+
+    /** Number of positive quantisation levels (2^(bits-1) - 1). */
+    int64_t positiveLevels() const;
+
+    /** Quantise one value (round-to-nearest, clamp to range). */
+    float apply(float v) const;
+
+    /** Signed integer code for one value (for the crossbar model). */
+    int64_t code(float v) const;
+};
+
+/** Return a copy of @p t quantised to @p bits (0 = unchanged). */
+Tensor quantizeTensor(const Tensor &t, int bits);
+
+/**
+ * In-place quantisation of every parameter tensor of @p net to
+ * @p bits, modelling deployment onto @p bits-resolution ReRAM cells.
+ * Each tensor gets its own scale (per-tensor quantisation).
+ */
+void quantizeNetworkWeights(nn::Network &net, int bits);
+
+/**
+ * Mean squared quantisation error of @p t at @p bits — used by the
+ * unit tests to check monotonicity in the bit width.
+ */
+double quantizationMse(const Tensor &t, int bits);
+
+/**
+ * Per-channel quantisation (extension study): each slice along the
+ * leading dimension — an output channel of a conv kernel or a row of
+ * an inner-product matrix, i.e. one bit-line's weights — gets its own
+ * scale.  Hardware cost: one per-bit-line scaling factor folded into
+ * the shift-add stage (Fig. 14a), standard in later accelerators.
+ * Never worse than the per-tensor scheme.
+ */
+Tensor quantizeTensorPerChannel(const Tensor &t, int bits);
+
+/** Per-channel variant of quantizeNetworkWeights. */
+void quantizeNetworkWeightsPerChannel(nn::Network &net, int bits);
+
+/** MSE of the per-channel scheme (tests: <= per-tensor MSE). */
+double quantizationMsePerChannel(const Tensor &t, int bits);
+
+} // namespace quant
+} // namespace pipelayer
+
+#endif // PIPELAYER_QUANT_QUANTIZE_HH_

@@ -1,0 +1,98 @@
+#include "reram/activation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pipelayer {
+namespace reram {
+
+ActivationUnit
+ActivationUnit::relu()
+{
+    ActivationUnit unit;
+    unit.mode_ = Mode::Relu;
+    return unit;
+}
+
+ActivationUnit
+ActivationUnit::bypass()
+{
+    ActivationUnit unit;
+    unit.mode_ = Mode::Bypass;
+    return unit;
+}
+
+ActivationUnit
+ActivationUnit::sigmoidLut(int lut_bits, float in_min, float in_max)
+{
+    return fromFunction(
+        [](float x) { return 1.0f / (1.0f + std::exp(-x)); }, lut_bits,
+        in_min, in_max);
+}
+
+ActivationUnit
+ActivationUnit::fromFunction(const std::function<float(float)> &fn,
+                             int lut_bits, float in_min, float in_max)
+{
+    PL_ASSERT(lut_bits >= 1 && lut_bits <= 16,
+              "unsupported LUT width %d", lut_bits);
+    PL_ASSERT(in_max > in_min, "empty LUT input range");
+    ActivationUnit unit;
+    unit.mode_ = Mode::Lut;
+    unit.in_min_ = in_min;
+    unit.in_max_ = in_max;
+    const int64_t entries = int64_t{1} << lut_bits;
+    unit.lut_.resize(static_cast<size_t>(entries));
+    for (int64_t i = 0; i < entries; ++i) {
+        // Each entry holds the function at its bin centre.
+        const float x = in_min +
+            (static_cast<float>(i) + 0.5f) * (in_max - in_min) /
+                static_cast<float>(entries);
+        unit.lut_[static_cast<size_t>(i)] = fn(x);
+    }
+    return unit;
+}
+
+float
+ActivationUnit::apply(float value) const
+{
+    switch (mode_) {
+      case Mode::Bypass:
+        return value;
+      case Mode::Relu:
+        return value > 0.0f ? value : 0.0f;
+      case Mode::Lut: {
+        const auto entries = static_cast<int64_t>(lut_.size());
+        const float t = (value - in_min_) / (in_max_ - in_min_);
+        const auto idx = std::clamp<int64_t>(
+            static_cast<int64_t>(t * static_cast<float>(entries)), 0,
+            entries - 1);
+        return lut_[static_cast<size_t>(idx)];
+      }
+    }
+    panic("bad activation mode");
+}
+
+void
+ActivationUnit::applyInPlace(float *values, int64_t count) const
+{
+    for (int64_t i = 0; i < count; ++i)
+        values[i] = apply(values[i]);
+}
+
+void
+ActivationUnit::resetMax()
+{
+    max_register_ = -std::numeric_limits<float>::infinity();
+}
+
+void
+ActivationUnit::streamForMax(float value)
+{
+    max_register_ = std::max(max_register_, value);
+}
+
+} // namespace reram
+} // namespace pipelayer

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The activation component of a PipeLayer stage (paper §4.2.3,
+ * Fig. 9c): a subtractor that combines the positive- and
+ * negative-subarray outputs, a configurable look-up table realising
+ * the activation function, and a max register realising max pooling
+ * over a streamed sequence.
+ *
+ * In weight-update mode the LUT is bypassed and the subtractor
+ * computes (old weight - averaged derivative) — that path is realised
+ * by ArrayGroup::updateWeights; this class models the data-path
+ * behaviour: configurable LUT activation and the max register.
+ */
+
+#ifndef PIPELAYER_RERAM_ACTIVATION_HH_
+#define PIPELAYER_RERAM_ACTIVATION_HH_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+namespace pipelayer {
+namespace reram {
+
+/**
+ * A LUT-based activation unit.
+ *
+ * The LUT discretises the activation function over a fixed input
+ * range with 2^lut_bits entries; inputs outside the range clamp to
+ * the edge entries (matching a hardware table addressed by the top
+ * bits of the subtractor output).  ReLU is realised exactly (a sign
+ * check plus pass-through needs no table).
+ */
+class ActivationUnit
+{
+  public:
+    /** Exact ReLU (hardware: sign-bit mux, no LUT needed). */
+    static ActivationUnit relu();
+
+    /** Identity / bypass (memory mode or weight update reads). */
+    static ActivationUnit bypass();
+
+    /**
+     * Sigmoid via LUT.
+     * @param lut_bits table address width (entries = 2^lut_bits).
+     * @param in_min/in_max input range covered by the table.
+     */
+    static ActivationUnit sigmoidLut(int lut_bits = 8,
+                                     float in_min = -8.0f,
+                                     float in_max = 8.0f);
+
+    /**
+     * Arbitrary function via LUT — the "configurable by different
+     * LUTs" hook of §4.2.3.
+     */
+    static ActivationUnit fromFunction(
+        const std::function<float(float)> &fn, int lut_bits,
+        float in_min, float in_max);
+
+    /**
+     * Apply the activation to one subtractor output
+     * (D_P - D_N, already combined by the caller).
+     */
+    float apply(float value) const;
+
+    /** Apply elementwise to a buffer. */
+    void applyInPlace(float *values, int64_t count) const;
+
+    /** @name Max register (max pooling over a streamed window). */
+    ///@{
+
+    /** Clear the max register before a new pooling window. */
+    void resetMax();
+
+    /** Stream one value; the register keeps the running maximum. */
+    void streamForMax(float value);
+
+    /** The pooled (maximum) value seen since the last reset. */
+    float maxValue() const { return max_register_; }
+    ///@}
+
+    /** Number of LUT entries (0 for the exact ReLU / bypass paths). */
+    int64_t lutEntries() const
+    {
+        return static_cast<int64_t>(lut_.size());
+    }
+
+  private:
+    enum class Mode { Relu, Bypass, Lut };
+
+    ActivationUnit() = default;
+
+    Mode mode_ = Mode::Bypass;
+    std::vector<float> lut_;
+    float in_min_ = 0.0f;
+    float in_max_ = 1.0f;
+    float max_register_ = -std::numeric_limits<float>::infinity();
+};
+
+} // namespace reram
+} // namespace pipelayer
+
+#endif // PIPELAYER_RERAM_ACTIVATION_HH_

@@ -1,0 +1,252 @@
+#include "reram/array_group.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "quant/quantize.hh"
+
+namespace pipelayer {
+namespace reram {
+
+namespace {
+
+int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+ArrayGroup::ArrayGroup(const DeviceParams &params, const Tensor &weight)
+    : params_(params)
+{
+    PL_ASSERT(weight.rank() == 2, "ArrayGroup weight must be a matrix");
+    PL_ASSERT(params_.data_bits % params_.cell_bits == 0,
+              "data_bits must be a multiple of cell_bits");
+    n_out_ = weight.dim(0);
+    m_in_ = weight.dim(1);
+    tiles_r_ = ceilDiv(m_in_, params_.array_rows);
+    tiles_c_ = ceilDiv(n_out_, params_.array_cols);
+
+    // Quantise the weights to signed data_bits codes.
+    const quant::Quantizer q =
+        quant::Quantizer::forTensor(weight, params_.data_bits);
+    weight_scale_ = q.scale;
+    codes_.resize(static_cast<size_t>(n_out_ * m_in_));
+    for (int64_t i = 0; i < n_out_; ++i)
+        for (int64_t j = 0; j < m_in_; ++j)
+            codes_[static_cast<size_t>(i * m_in_ + j)] = q.code(weight(i, j));
+
+    // Allocate the pos/neg x slice x tile subarrays, each with its
+    // own variation stream (distinct instance seeds).
+    const int groups = params_.sliceGroups();
+    uint64_t instance = weight.numel() > 0
+        ? static_cast<uint64_t>(n_out_ * 131071 + m_in_)
+        : 0;
+    arrays_.resize(2);
+    for (int sign = 0; sign < 2; ++sign) {
+        arrays_[static_cast<size_t>(sign)].resize(
+            static_cast<size_t>(groups));
+        for (int g = 0; g < groups; ++g) {
+            auto &tiles = arrays_[static_cast<size_t>(sign)]
+                                 [static_cast<size_t>(g)];
+            tiles.reserve(static_cast<size_t>(tiles_r_ * tiles_c_));
+            for (int64_t t = 0; t < tiles_r_ * tiles_c_; ++t) {
+                tiles.push_back(std::make_unique<CrossbarArray>(
+                    params_, instance++));
+            }
+        }
+    }
+    programCodes();
+}
+
+void
+ArrayGroup::programCodes()
+{
+    const int groups = params_.sliceGroups();
+    const int64_t slice_mask = params_.maxCellCode();
+
+    for (int64_t i = 0; i < n_out_; ++i) {
+        for (int64_t j = 0; j < m_in_; ++j) {
+            const int64_t code = codes_[static_cast<size_t>(i * m_in_ + j)];
+            const int64_t mag = std::llabs(code);
+            const int sign = code < 0 ? 1 : 0;
+            const int64_t tr = j / params_.array_rows;
+            const int64_t tc = i / params_.array_cols;
+            const int64_t row = j % params_.array_rows;
+            const int64_t col = i % params_.array_cols;
+            for (int g = 0; g < groups; ++g) {
+                const int64_t slice =
+                    (mag >> (g * params_.cell_bits)) & slice_mask;
+                // Program the magnitude into the sign's arrays and
+                // zero into the opposite sign's arrays so updates
+                // that flip a weight's sign are handled.
+                arrays_[static_cast<size_t>(sign)][static_cast<size_t>(g)]
+                       [static_cast<size_t>(tr * tiles_c_ + tc)]
+                           ->programCell(row, col, slice);
+                arrays_[static_cast<size_t>(1 - sign)]
+                       [static_cast<size_t>(g)]
+                       [static_cast<size_t>(tr * tiles_c_ + tc)]
+                           ->programCell(row, col, 0);
+            }
+        }
+    }
+}
+
+int64_t
+ArrayGroup::arrayCount() const
+{
+    return 2 * params_.sliceGroups() * tiles_r_ * tiles_c_;
+}
+
+std::vector<int64_t>
+ArrayGroup::signedPass(bool positive, const std::vector<int64_t> &codes)
+{
+    const int groups = params_.sliceGroups();
+    const size_t sign = positive ? 0 : 1;
+    std::vector<int64_t> out(static_cast<size_t>(n_out_), 0);
+
+    for (int64_t tr = 0; tr < tiles_r_; ++tr) {
+        // Slice of input codes feeding this tile row.
+        const int64_t row0 = tr * params_.array_rows;
+        const int64_t row1 = std::min(row0 + params_.array_rows, m_in_);
+        const std::vector<int64_t> chunk(
+            codes.begin() + static_cast<ptrdiff_t>(row0),
+            codes.begin() + static_cast<ptrdiff_t>(row1));
+        bool all_zero = true;
+        for (int64_t c : chunk)
+            all_zero &= (c == 0);
+        if (all_zero)
+            continue;
+
+        for (int64_t tc = 0; tc < tiles_c_; ++tc) {
+            for (int g = 0; g < groups; ++g) {
+                auto &array = *arrays_[sign][static_cast<size_t>(g)]
+                    [static_cast<size_t>(tr * tiles_c_ + tc)];
+                const std::vector<int64_t> counts =
+                    array.matVecCodes(chunk);
+                // Shift-add the slice result (Fig. 14a).
+                const int64_t shift = g * params_.cell_bits;
+                const int64_t col0 = tc * params_.array_cols;
+                const int64_t col1 =
+                    std::min(col0 + params_.array_cols, n_out_);
+                for (int64_t c = col0; c < col1; ++c) {
+                    out[static_cast<size_t>(c)] +=
+                        counts[static_cast<size_t>(c - col0)] << shift;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+ArrayGroup::matVec(const Tensor &x)
+{
+    PL_ASSERT(x.rank() == 1 && x.dim(0) == m_in_,
+              "matVec input must be (%lld), got %s", (long long)m_in_,
+              shapeToString(x.shape()).c_str());
+
+    // Quantise the input to data_bits codes (signed).
+    const quant::Quantizer qx =
+        quant::Quantizer::forTensor(x, params_.data_bits);
+    std::vector<int64_t> pos_codes(static_cast<size_t>(m_in_), 0);
+    std::vector<int64_t> neg_codes(static_cast<size_t>(m_in_), 0);
+    bool any_neg = false;
+    for (int64_t j = 0; j < m_in_; ++j) {
+        const int64_t code = qx.code(x(j));
+        if (code >= 0) {
+            pos_codes[static_cast<size_t>(j)] = code;
+        } else {
+            neg_codes[static_cast<size_t>(j)] = -code;
+            any_neg = true;
+        }
+    }
+
+    // Four partial results: (W⁺ - W⁻)(x⁺ - x⁻).
+    const std::vector<int64_t> pp = signedPass(true, pos_codes);
+    const std::vector<int64_t> np = signedPass(false, pos_codes);
+    std::vector<int64_t> pn(static_cast<size_t>(n_out_), 0);
+    std::vector<int64_t> nn(static_cast<size_t>(n_out_), 0);
+    if (any_neg) {
+        pn = signedPass(true, neg_codes);
+        nn = signedPass(false, neg_codes);
+    }
+
+    Tensor out({n_out_});
+    const float scale = weight_scale_ * qx.scale;
+    for (int64_t c = 0; c < n_out_; ++c) {
+        const int64_t acc = pp[static_cast<size_t>(c)] -
+                            np[static_cast<size_t>(c)] -
+                            pn[static_cast<size_t>(c)] +
+                            nn[static_cast<size_t>(c)];
+        out(c) = static_cast<float>(acc) * scale;
+    }
+    return out;
+}
+
+Tensor
+ArrayGroup::readWeights() const
+{
+    Tensor out({n_out_, m_in_});
+    const int groups = params_.sliceGroups();
+    for (int64_t i = 0; i < n_out_; ++i) {
+        for (int64_t j = 0; j < m_in_; ++j) {
+            const int64_t tr = j / params_.array_rows;
+            const int64_t tc = i / params_.array_cols;
+            const int64_t row = j % params_.array_rows;
+            const int64_t col = i % params_.array_cols;
+            int64_t pos = 0, neg = 0;
+            for (int g = 0; g < groups; ++g) {
+                const int64_t shift = g * params_.cell_bits;
+                pos += arrays_[0][static_cast<size_t>(g)]
+                              [static_cast<size_t>(tr * tiles_c_ + tc)]
+                                  ->cell(row, col) << shift;
+                neg += arrays_[1][static_cast<size_t>(g)]
+                              [static_cast<size_t>(tr * tiles_c_ + tc)]
+                                  ->cell(row, col) << shift;
+            }
+            out(i, j) = static_cast<float>(pos - neg) * weight_scale_;
+        }
+    }
+    return out;
+}
+
+void
+ArrayGroup::updateWeights(const Tensor &grad, float lr, int64_t batch_size)
+{
+    PL_ASSERT(grad.rank() == 2 && grad.dim(0) == n_out_ &&
+              grad.dim(1) == m_in_, "gradient shape mismatch");
+    PL_ASSERT(batch_size > 0, "batch size must be positive");
+
+    // new = old - lr * (1/B) Σ grad, computed in the code domain.
+    const float step = lr / static_cast<float>(batch_size);
+    const int64_t max_code =
+        (int64_t{1} << (params_.data_bits - 1)) - 1;
+    for (int64_t i = 0; i < n_out_; ++i) {
+        for (int64_t j = 0; j < m_in_; ++j) {
+            const float delta = step * grad(i, j);
+            const auto delta_code = static_cast<int64_t>(
+                std::lround(delta / weight_scale_));
+            int64_t &code = codes_[static_cast<size_t>(i * m_in_ + j)];
+            code = std::clamp(code - delta_code, -max_code, max_code);
+        }
+    }
+    programCodes();
+}
+
+ArrayActivity
+ArrayGroup::totalActivity() const
+{
+    ArrayActivity total;
+    for (const auto &sign : arrays_)
+        for (const auto &slice : sign)
+            for (const auto &array : slice)
+                total += array->activity();
+    return total;
+}
+
+} // namespace reram
+} // namespace pipelayer

@@ -1,0 +1,164 @@
+#include "reram/crossbar.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pipelayer {
+namespace reram {
+
+ArrayActivity &
+ArrayActivity::operator+=(const ArrayActivity &other)
+{
+    input_spikes += other.input_spikes;
+    write_pulses += other.write_pulses;
+    mvm_ops += other.mvm_ops;
+    return *this;
+}
+
+CrossbarArray::CrossbarArray(const DeviceParams &params,
+                             uint64_t instance_seed)
+    : params_(params),
+      cells_(static_cast<size_t>(params.array_rows * params.array_cols), 0),
+      variation_rng_(Rng(params.variation_seed).split(instance_seed))
+{
+    PL_ASSERT(params.array_rows > 0 && params.array_cols > 0,
+              "bad array geometry");
+    PL_ASSERT(params.write_noise_sigma >= 0.0 &&
+              params.stuck_at_fault_rate >= 0.0 &&
+              params.stuck_at_fault_rate <= 1.0,
+              "bad variation parameters");
+    has_variation_ = params.write_noise_sigma > 0.0 ||
+                     params.stuck_at_fault_rate > 0.0;
+    if (has_variation_) {
+        stuck_.assign(cells_.size(), int8_t{-1});
+        for (size_t i = 0; i < stuck_.size(); ++i) {
+            if (variation_rng_.uniform() < params.stuck_at_fault_rate) {
+                // A stuck cell freezes at one of the extremes.
+                const bool high = variation_rng_.uniform() < 0.5;
+                stuck_[i] = static_cast<int8_t>(
+                    high ? params.maxCellCode() : 0);
+                cells_[i] = stuck_[i];
+            }
+        }
+    }
+}
+
+int64_t
+CrossbarArray::stuckCellCount() const
+{
+    int64_t n = 0;
+    for (int8_t s : stuck_)
+        n += s >= 0 ? 1 : 0;
+    return n;
+}
+
+void
+CrossbarArray::programCell(int64_t row, int64_t col, int64_t code)
+{
+    PL_ASSERT(row >= 0 && row < rows() && col >= 0 && col < cols(),
+              "cell (%lld, %lld) out of array bounds", (long long)row,
+              (long long)col);
+    PL_ASSERT(code >= 0 && code <= params_.maxCellCode(),
+              "code %lld exceeds %d-bit cell", (long long)code,
+              params_.cell_bits);
+    const auto idx = static_cast<size_t>(row * cols() + col);
+    if (has_variation_) {
+        if (stuck_[idx] >= 0) {
+            // Stuck cells ignore programming pulses entirely.
+            activity_.write_pulses += params_.cell_bits;
+            return;
+        }
+        if (params_.write_noise_sigma > 0.0) {
+            const double noise = variation_rng_.gaussian(
+                0.0, params_.write_noise_sigma *
+                         static_cast<double>(params_.maxCellCode()));
+            code = std::clamp<int64_t>(
+                code + static_cast<int64_t>(std::llround(noise)), 0,
+                params_.maxCellCode());
+        }
+    }
+    cells_[idx] = code;
+    activity_.write_pulses += params_.cell_bits;
+}
+
+int64_t
+CrossbarArray::cell(int64_t row, int64_t col) const
+{
+    PL_ASSERT(row >= 0 && row < rows() && col >= 0 && col < cols(),
+              "cell (%lld, %lld) out of array bounds", (long long)row,
+              (long long)col);
+    return cells_[static_cast<size_t>(row * cols() + col)];
+}
+
+void
+CrossbarArray::programBlock(const std::vector<std::vector<int64_t>> &codes)
+{
+    PL_ASSERT(static_cast<int64_t>(codes.size()) <= rows(),
+              "block taller than array");
+    for (size_t r = 0; r < codes.size(); ++r) {
+        PL_ASSERT(static_cast<int64_t>(codes[r].size()) <= cols(),
+                  "block wider than array");
+        for (size_t c = 0; c < codes[r].size(); ++c)
+            programCell(static_cast<int64_t>(r), static_cast<int64_t>(c),
+                        codes[r][c]);
+    }
+}
+
+std::vector<int64_t>
+CrossbarArray::matVec(const std::vector<SpikeTrain> &inputs)
+{
+    PL_ASSERT(static_cast<int64_t>(inputs.size()) <= rows(),
+              "more input trains (%zu) than word lines (%lld)",
+              inputs.size(), (long long)rows());
+
+    std::vector<IntegrateFire> ifs(static_cast<size_t>(cols()),
+                                   IntegrateFire());
+    // Walk time slots in LSBF order, as the hardware would; slot t
+    // injects charge input_bit * 2^t * conductance into each bit line.
+    int max_bits = 0;
+    for (const auto &train : inputs)
+        max_bits = std::max(max_bits, train.bits());
+
+    for (int t = 0; t < max_bits; ++t) {
+        const int64_t weight = int64_t{1} << t;
+        for (size_t r = 0; r < inputs.size(); ++r) {
+            if (t >= inputs[r].bits() ||
+                !inputs[r].slots[static_cast<size_t>(t)]) {
+                continue;
+            }
+            ++activity_.input_spikes;
+            const int64_t row = static_cast<int64_t>(r);
+            for (int64_t c = 0; c < cols(); ++c) {
+                const int64_t g = cells_[static_cast<size_t>(
+                    row * cols() + c)];
+                if (g != 0)
+                    ifs[static_cast<size_t>(c)].integrate(weight * g);
+            }
+        }
+    }
+
+    ++activity_.mvm_ops;
+    last_saturated_ = false;
+    std::vector<int64_t> out(static_cast<size_t>(cols()));
+    for (int64_t c = 0; c < cols(); ++c) {
+        out[static_cast<size_t>(c)] = ifs[static_cast<size_t>(c)].count();
+        last_saturated_ |= ifs[static_cast<size_t>(c)].saturated();
+    }
+    return out;
+}
+
+std::vector<int64_t>
+CrossbarArray::matVecCodes(const std::vector<int64_t> &codes)
+{
+    const SpikeDriver driver(params_.data_bits);
+    std::vector<SpikeTrain> trains;
+    trains.reserve(codes.size());
+    for (int64_t code : codes)
+        trains.push_back(driver.encode(code));
+    return matVec(trains);
+}
+
+} // namespace reram
+} // namespace pipelayer

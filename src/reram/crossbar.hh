@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Functional model of one ReRAM crossbar subarray in compute mode.
+ *
+ * Cells store conductance codes in [0, 2^cell_bits - 1]; an input
+ * spike train drives the word lines and the bit-line currents are
+ * digitised by integrate-and-fire counters.  Because the spike scheme
+ * is weighted-binary and the IF threshold equals one unit of
+ * charge, the output counts are *exactly* Σ_r input_code[r]·g[r][c]
+ * (paper §4.2.2) — the crossbar computes an integer matrix-vector
+ * product in the analog domain.
+ */
+
+#ifndef PIPELAYER_RERAM_CROSSBAR_HH_
+#define PIPELAYER_RERAM_CROSSBAR_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "reram/params.hh"
+#include "reram/spike.hh"
+
+namespace pipelayer {
+namespace reram {
+
+/** Running totals of array activity, used for energy accounting. */
+struct ArrayActivity
+{
+    int64_t input_spikes = 0;  //!< word-line spikes driven
+    int64_t write_pulses = 0;  //!< programming pulses applied
+    int64_t mvm_ops = 0;       //!< matrix-vector operations performed
+
+    ArrayActivity &operator+=(const ArrayActivity &other);
+};
+
+/**
+ * One subarray of @c rows x @c cols multi-level cells.
+ *
+ * The array is "morphable" (paper §3): program() writes weights
+ * (storage / weight-update mode) and matVec() computes (compute
+ * mode).  Values are conductance *codes*; scaling to real weights is
+ * the job of ArrayGroup.
+ */
+class CrossbarArray
+{
+  public:
+    /**
+     * Construct an all-zero array.
+     *
+     * @param instance_seed distinguishes this array's variation draws
+     *        from its siblings (combined with params.variation_seed);
+     *        only relevant when the params enable non-idealities.
+     */
+    explicit CrossbarArray(const DeviceParams &params,
+                           uint64_t instance_seed = 0);
+
+    int64_t rows() const { return params_.array_rows; }
+    int64_t cols() const { return params_.array_cols; }
+
+    /**
+     * Program one cell to a conductance code.
+     * @pre 0 <= code <= params.maxCellCode().
+     */
+    void programCell(int64_t row, int64_t col, int64_t code);
+
+    /** Read one cell's conductance code (memory mode). */
+    int64_t cell(int64_t row, int64_t col) const;
+
+    /**
+     * Program a block of codes starting at the array origin.
+     * @param codes row-major block, codes[r][c].
+     */
+    void programBlock(const std::vector<std::vector<int64_t>> &codes);
+
+    /**
+     * Spike-driven matrix-vector product.
+     *
+     * @param inputs one spike train per word line (short vectors are
+     *        treated as zero on the remaining rows).
+     * @return per-bit-line IF counter values:
+     *         out[c] = Σ_r inputs[r].value() * cell(r, c).
+     */
+    std::vector<int64_t> matVec(const std::vector<SpikeTrain> &inputs);
+
+    /** Convenience: matVec from raw input codes (encodes internally). */
+    std::vector<int64_t> matVecCodes(const std::vector<int64_t> &codes);
+
+    /** Activity counters for the energy model. */
+    const ArrayActivity &activity() const { return activity_; }
+
+    /** True if any IF counter saturated during the last matVec. */
+    bool lastSaturated() const { return last_saturated_; }
+
+    /** Number of stuck cells in this array (0 for ideal devices). */
+    int64_t stuckCellCount() const;
+
+  private:
+    DeviceParams params_;
+    std::vector<int64_t> cells_; //!< row-major conductance codes
+    /** Per-cell stuck code, or -1 if the cell programs normally. */
+    std::vector<int8_t> stuck_;
+    Rng variation_rng_;
+    bool has_variation_ = false;
+    ArrayActivity activity_;
+    bool last_saturated_ = false;
+};
+
+} // namespace reram
+} // namespace pipelayer
+
+#endif // PIPELAYER_RERAM_CROSSBAR_HH_

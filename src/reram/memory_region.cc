@@ -1,0 +1,126 @@
+#include "reram/memory_region.hh"
+
+#include "common/logging.hh"
+
+namespace pipelayer {
+namespace reram {
+
+MemoryRegion::MemoryRegion(const DeviceParams &params, int64_t num_arrays)
+    : params_(params), num_arrays_(num_arrays)
+{
+    PL_ASSERT(num_arrays >= 1, "memory region needs at least one array");
+}
+
+int64_t
+MemoryRegion::capacityValues() const
+{
+    const int64_t cells =
+        num_arrays_ * params_.array_rows * params_.array_cols;
+    // data_bits-wide values over cell_bits-per-cell storage.
+    return cells * params_.cell_bits / params_.data_bits;
+}
+
+int64_t
+MemoryRegion::usedValues() const
+{
+    int64_t used = 0;
+    for (const auto &[name, tensor] : contents_) {
+        (void)name;
+        used += tensor.numel();
+    }
+    return used;
+}
+
+bool
+MemoryRegion::contains(const std::string &name) const
+{
+    return contents_.count(name) > 0;
+}
+
+int64_t
+MemoryRegion::bitsFor(int64_t values) const
+{
+    return values * params_.data_bits;
+}
+
+double
+MemoryRegion::accessTime(int64_t bits, bool write) const
+{
+    // Row-parallel access: one row moves array_cols * cell_bits bits;
+    // all arrays of the region stream in parallel.
+    const int64_t bits_per_row =
+        params_.array_cols * params_.cell_bits * num_arrays_;
+    const int64_t row_accesses = (bits + bits_per_row - 1) / bits_per_row;
+    const double per_row = write
+        ? params_.cellWriteLatency()
+        : params_.read_latency_per_spike *
+              static_cast<double>(params_.cell_bits);
+    return static_cast<double>(row_accesses) * per_row;
+}
+
+void
+MemoryRegion::write(const std::string &name, const Tensor &data)
+{
+    const int64_t incoming = data.numel();
+    const int64_t existing =
+        contains(name) ? contents_.at(name).numel() : 0;
+    const int64_t needed = usedValues() - existing + incoming;
+    if (needed > capacityValues()) {
+        fatal("memory region overflow: '%s' needs %lld values, only "
+              "%lld of %lld free",
+              name.c_str(), (long long)incoming,
+              (long long)(capacityValues() - usedValues() + existing),
+              (long long)capacityValues());
+    }
+    contents_[name] = data;
+
+    const int64_t bits = bitsFor(incoming);
+    ++stats_.writes;
+    stats_.bits_written += bits;
+    stats_.write_time += accessTime(bits, /*write=*/true);
+    stats_.energy += static_cast<double>(bits) *
+                     params_.mem_write_energy_per_bit;
+}
+
+Tensor
+MemoryRegion::read(const std::string &name)
+{
+    const auto it = contents_.find(name);
+    if (it == contents_.end())
+        fatal("memory region holds no tensor named '%s'", name.c_str());
+
+    const int64_t bits = bitsFor(it->second.numel());
+    ++stats_.reads;
+    stats_.bits_read += bits;
+    stats_.read_time += accessTime(bits, /*write=*/false);
+    stats_.energy += static_cast<double>(bits) *
+                     params_.mem_read_energy_per_bit;
+    return it->second;
+}
+
+void
+MemoryRegion::erase(const std::string &name)
+{
+    contents_.erase(name);
+}
+
+std::vector<std::string>
+MemoryRegion::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(contents_.size());
+    for (const auto &[name, tensor] : contents_) {
+        (void)tensor;
+        out.push_back(name);
+    }
+    return out;
+}
+
+double
+MemoryRegion::areaMm2() const
+{
+    return static_cast<double>(num_arrays_) * params_.mem_array_area_mm2;
+}
+
+} // namespace reram
+} // namespace pipelayer

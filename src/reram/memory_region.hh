@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Memory subarrays in storage mode (paper §3, §4.1): the partition of
+ * the ReRAM main memory that "is the same as conventional memory",
+ * used for inter-layer buffers and for host-visible staging
+ * (Copy_to_PL / Copy_to_CPU).
+ *
+ * The region tracks capacity in subarrays, stores named tensors, and
+ * accounts the access time/energy of every transfer so the device can
+ * report data-movement costs.
+ */
+
+#ifndef PIPELAYER_RERAM_MEMORY_REGION_HH_
+#define PIPELAYER_RERAM_MEMORY_REGION_HH_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "reram/params.hh"
+#include "tensor/tensor.hh"
+
+namespace pipelayer {
+namespace reram {
+
+/** Cumulative access statistics of a memory region. */
+struct MemoryStats
+{
+    int64_t writes = 0;        //!< write transactions
+    int64_t reads = 0;         //!< read transactions
+    int64_t bits_written = 0;
+    int64_t bits_read = 0;
+    double write_time = 0.0;   //!< seconds spent writing
+    double read_time = 0.0;    //!< seconds spent reading
+    double energy = 0.0;       //!< joules moved through the region
+};
+
+/**
+ * A block of memory subarrays holding named tensors.
+ *
+ * Values are stored at data_bits per element over cell_bits-per-cell
+ * ReRAM; a subarray holds rows*cols cells.  Writing a tensor that
+ * does not fit the remaining capacity is a user error (fatal).
+ */
+class MemoryRegion
+{
+  public:
+    /** @param num_arrays memory subarrays assigned to this region. */
+    MemoryRegion(const DeviceParams &params, int64_t num_arrays);
+
+    /** Capacity in data elements (values). */
+    int64_t capacityValues() const;
+
+    /** Elements currently stored. */
+    int64_t usedValues() const;
+
+    /** True if a tensor named @p name resides in the region. */
+    bool contains(const std::string &name) const;
+
+    /**
+     * Store (or overwrite) a named tensor; accounts write time and
+     * energy.  fatal() if the region cannot hold it.
+     */
+    void write(const std::string &name, const Tensor &data);
+
+    /** Read a named tensor back; accounts the read. fatal() if absent. */
+    Tensor read(const std::string &name);
+
+    /** Drop a named tensor, freeing its capacity. No-op if absent. */
+    void erase(const std::string &name);
+
+    /** Names currently resident, sorted. */
+    std::vector<std::string> names() const;
+
+    const MemoryStats &stats() const { return stats_; }
+
+    int64_t arrayCount() const { return num_arrays_; }
+
+    /** Area of this region's subarrays in mm^2. */
+    double areaMm2() const;
+
+  private:
+    /** Bits needed to store @p values elements. */
+    int64_t bitsFor(int64_t values) const;
+
+    /** Seconds for a row-parallel access of @p bits. */
+    double accessTime(int64_t bits, bool write) const;
+
+    DeviceParams params_;
+    int64_t num_arrays_;
+    std::map<std::string, Tensor> contents_;
+    MemoryStats stats_;
+};
+
+} // namespace reram
+} // namespace pipelayer
+
+#endif // PIPELAYER_RERAM_MEMORY_REGION_HH_

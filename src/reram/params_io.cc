@@ -1,0 +1,182 @@
+#include "reram/params_io.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pipelayer {
+namespace reram {
+
+namespace {
+
+/** Trim leading/trailing whitespace. */
+std::string
+trim(const std::string &s)
+{
+    const size_t begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    const size_t end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+/** The settable keys, as setters over a DeviceParams. */
+std::map<std::string, std::function<void(DeviceParams &, double)>>
+keyTable()
+{
+    return {
+        {"array_rows",
+         [](DeviceParams &p, double v) {
+             p.array_rows = static_cast<int64_t>(v);
+         }},
+        {"array_cols",
+         [](DeviceParams &p, double v) {
+             p.array_cols = static_cast<int64_t>(v);
+         }},
+        {"cell_bits",
+         [](DeviceParams &p, double v) {
+             p.cell_bits = static_cast<int>(v);
+         }},
+        {"data_bits",
+         [](DeviceParams &p, double v) {
+             p.data_bits = static_cast<int>(v);
+         }},
+        {"read_latency_per_spike",
+         [](DeviceParams &p, double v) { p.read_latency_per_spike = v; }},
+        {"write_latency_per_spike",
+         [](DeviceParams &p, double v) {
+             p.write_latency_per_spike = v;
+         }},
+        {"read_energy_per_spike",
+         [](DeviceParams &p, double v) { p.read_energy_per_spike = v; }},
+        {"write_energy_per_spike",
+         [](DeviceParams &p, double v) { p.write_energy_per_spike = v; }},
+        {"array_area_mm2",
+         [](DeviceParams &p, double v) { p.array_area_mm2 = v; }},
+        {"mem_array_area_mm2",
+         [](DeviceParams &p, double v) { p.mem_array_area_mm2 = v; }},
+        {"periph_energy_factor",
+         [](DeviceParams &p, double v) { p.periph_energy_factor = v; }},
+        {"mem_write_energy_per_bit",
+         [](DeviceParams &p, double v) {
+             p.mem_write_energy_per_bit = v;
+         }},
+        {"mem_read_energy_per_bit",
+         [](DeviceParams &p, double v) {
+             p.mem_read_energy_per_bit = v;
+         }},
+        {"controller_energy_per_image",
+         [](DeviceParams &p, double v) {
+             p.controller_energy_per_image = v;
+         }},
+        {"write_noise_sigma",
+         [](DeviceParams &p, double v) { p.write_noise_sigma = v; }},
+        {"stuck_at_fault_rate",
+         [](DeviceParams &p, double v) { p.stuck_at_fault_rate = v; }},
+        {"variation_seed",
+         [](DeviceParams &p, double v) {
+             p.variation_seed = static_cast<uint64_t>(v);
+         }},
+    };
+}
+
+} // namespace
+
+DeviceParams
+parseDeviceParams(const std::string &text)
+{
+    DeviceParams params = DeviceParams::paperDefault();
+    const auto table = keyTable();
+
+    std::istringstream is(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("device params line %d: expected 'key = value', got "
+                  "'%s'",
+                  line_no, line.c_str());
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        const auto it = table.find(key);
+        if (it == table.end())
+            fatal("device params line %d: unknown key '%s'", line_no,
+                  key.c_str());
+        char *end = nullptr;
+        const double v = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0')
+            fatal("device params line %d: '%s' is not a number",
+                  line_no, value.c_str());
+        it->second(params, v);
+    }
+    PL_ASSERT(params.data_bits % params.cell_bits == 0,
+              "data_bits must be a multiple of cell_bits");
+    return params;
+}
+
+DeviceParams
+loadDeviceParams(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open device params file '%s'", path.c_str());
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    return parseDeviceParams(buffer.str());
+}
+
+void
+writeDeviceParams(const DeviceParams &p, std::ostream &os)
+{
+    os << "# PipeLayer device parameters (see DESIGN.md section 5)\n";
+    os << "array_rows = " << p.array_rows << "\n";
+    os << "array_cols = " << p.array_cols << "\n";
+    os << "cell_bits = " << p.cell_bits << "\n";
+    os << "data_bits = " << p.data_bits << "\n";
+    os << "read_latency_per_spike = " << p.read_latency_per_spike
+       << "  # seconds\n";
+    os << "write_latency_per_spike = " << p.write_latency_per_spike
+       << "\n";
+    os << "read_energy_per_spike = " << p.read_energy_per_spike
+       << "  # joules\n";
+    os << "write_energy_per_spike = " << p.write_energy_per_spike
+       << "\n";
+    os << "array_area_mm2 = " << p.array_area_mm2 << "\n";
+    os << "mem_array_area_mm2 = " << p.mem_array_area_mm2 << "\n";
+    os << "periph_energy_factor = " << p.periph_energy_factor << "\n";
+    os << "mem_write_energy_per_bit = " << p.mem_write_energy_per_bit
+       << "\n";
+    os << "mem_read_energy_per_bit = " << p.mem_read_energy_per_bit
+       << "\n";
+    os << "controller_energy_per_image = "
+       << p.controller_energy_per_image << "\n";
+    os << "write_noise_sigma = " << p.write_noise_sigma << "\n";
+    os << "stuck_at_fault_rate = " << p.stuck_at_fault_rate << "\n";
+    os << "variation_seed = " << p.variation_seed << "\n";
+}
+
+void
+saveDeviceParams(const DeviceParams &params, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    writeDeviceParams(params, os);
+    if (!os)
+        fatal("write failed for '%s'", path.c_str());
+}
+
+} // namespace reram
+} // namespace pipelayer

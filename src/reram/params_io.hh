@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Load/save DeviceParams as key = value text, so the calibration
+ * knobs documented in DESIGN.md §5 can be changed without
+ * recompiling (e.g. to model a different ReRAM process).
+ *
+ * Format: one `key = value` pair per line; `#` starts a comment;
+ * unknown keys are fatal (they are typos, not extensions).
+ */
+
+#ifndef PIPELAYER_RERAM_PARAMS_IO_HH_
+#define PIPELAYER_RERAM_PARAMS_IO_HH_
+
+#include <ostream>
+#include <string>
+
+#include "reram/params.hh"
+
+namespace pipelayer {
+namespace reram {
+
+/**
+ * Parse a device-parameter file.  Starts from the paper defaults and
+ * overrides whatever keys the file sets; fatal() on unknown keys,
+ * malformed values or I/O errors.
+ */
+DeviceParams loadDeviceParams(const std::string &path);
+
+/** Parse parameters from an in-memory string (for tests/tools). */
+DeviceParams parseDeviceParams(const std::string &text);
+
+/** Write every parameter as commented key = value lines. */
+void writeDeviceParams(const DeviceParams &params, std::ostream &os);
+
+/** Write to a file; fatal() on I/O failure. */
+void saveDeviceParams(const DeviceParams &params,
+                      const std::string &path);
+
+} // namespace reram
+} // namespace pipelayer
+
+#endif // PIPELAYER_RERAM_PARAMS_IO_HH_

@@ -1,0 +1,82 @@
+#include "reram/spike.hh"
+
+#include "common/logging.hh"
+
+namespace pipelayer {
+namespace reram {
+
+int64_t
+SpikeTrain::spikeCount() const
+{
+    int64_t n = 0;
+    for (bool s : slots)
+        n += s ? 1 : 0;
+    return n;
+}
+
+int64_t
+SpikeTrain::value() const
+{
+    int64_t v = 0;
+    for (int t = 0; t < bits(); ++t) {
+        if (slots[static_cast<size_t>(t)])
+            v += int64_t{1} << t;
+    }
+    return v;
+}
+
+SpikeDriver::SpikeDriver(int bits) : bits_(bits)
+{
+    PL_ASSERT(bits >= 1 && bits <= 32, "unsupported spike resolution %d",
+              bits);
+}
+
+SpikeTrain
+SpikeDriver::encode(int64_t code) const
+{
+    PL_ASSERT(code >= 0 && code < (int64_t{1} << bits_),
+              "code %lld out of %d-bit range", (long long)code, bits_);
+    SpikeTrain train;
+    train.slots.resize(static_cast<size_t>(bits_));
+    for (int t = 0; t < bits_; ++t)
+        train.slots[static_cast<size_t>(t)] = (code >> t) & 1;
+    return train;
+}
+
+IntegrateFire::IntegrateFire(int counter_bits)
+{
+    PL_ASSERT(counter_bits >= 1 && counter_bits <= 62,
+              "unsupported counter width %d", counter_bits);
+    max_count_ = (int64_t{1} << counter_bits) - 1;
+}
+
+void
+IntegrateFire::reset()
+{
+    count_ = 0;
+    saturated_ = false;
+}
+
+void
+IntegrateFire::integrate(int64_t charge)
+{
+    PL_ASSERT(charge >= 0, "negative charge %lld", (long long)charge);
+    // One unit of charge crosses the comparator threshold once, so
+    // the counter advances by the full charge (paper §4.2.2: a K-times
+    // stronger current yields K times the spikes).
+    if (count_ > max_count_ - charge) {
+        count_ = max_count_;
+        saturated_ = true;
+    } else {
+        count_ += charge;
+    }
+}
+
+int64_t
+IntegrateFire::count() const
+{
+    return count_;
+}
+
+} // namespace reram
+} // namespace pipelayer

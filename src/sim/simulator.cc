@@ -1,0 +1,342 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/units.hh"
+
+namespace pipelayer {
+namespace sim {
+
+namespace {
+
+int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Windows streamed during the error-backward pass of one layer. */
+int64_t
+errorWindows(const workloads::LayerSpec &spec)
+{
+    // δ_{l-1} = conv2(δ_l, rot180(K), 'full') (paper Fig. 11): one
+    // window per *input* spatial position; inner products stream one
+    // vector.
+    if (spec.kind == workloads::SpecKind::Conv)
+        return spec.in_h * spec.in_w;
+    return 1;
+}
+
+} // namespace
+
+void
+SimReport::print(std::ostream &os) const
+{
+    os << "=== " << network << " ("
+       << (config.phase == Phase::Training ? "training" : "testing")
+       << ", " << (config.pipelined ? "pipelined" : "non-pipelined")
+       << ", B=" << config.batch_size << ", N=" << config.num_images
+       << ") ===\n";
+    os << "  logical cycles    : " << logical_cycles << "\n";
+    os << "  cycle time        : " << formatTime(cycle_time) << "\n";
+    os << "  total time        : " << formatTime(total_time) << "\n";
+    os << "  time / image      : " << formatTime(time_per_image) << "\n";
+    os << "  throughput        : " << formatCount(throughput)
+       << " img/s\n";
+    const double n = static_cast<double>(config.num_images);
+    os << "  energy / image    : " << formatEnergy(energy_per_image)
+       << "\n";
+    os << "    forward compute : "
+       << formatEnergy(energy.forward_compute / n) << " /img\n";
+    os << "    backward compute: "
+       << formatEnergy(energy.backward_compute / n) << " /img\n";
+    os << "    derivatives     : "
+       << formatEnergy(energy.derivative_compute / n) << " /img\n";
+    os << "    weight update   : "
+       << formatEnergy(energy.weight_update / n) << " /img\n";
+    os << "    buffer traffic  : "
+       << formatEnergy(energy.buffer_traffic / n) << " /img\n";
+    os << "    controller      : "
+       << formatEnergy(energy.controller / n) << " /img\n";
+    os << "  area              : " << area_mm2 << " mm^2\n";
+    os << "  morphable arrays  : " << morphable_arrays << "\n";
+    os << "  GOPS/s            : " << gops_per_s << "\n";
+    os << "  GOPS/s/mm^2       : " << gops_per_s_per_mm2 << "\n";
+    os << "  GOPS/s/W          : " << gops_per_w << "\n";
+}
+
+void
+SimReport::dumpStats(std::ostream &os) const
+{
+    stats::StatGroup group("sim." + network);
+    auto value = [](double v) {
+        return [v]() { return v; };
+    };
+    group.addFormula("training",
+                     value(config.phase == Phase::Training ? 1.0 : 0.0),
+                     "1 if training phase");
+    group.addFormula("pipelined", value(config.pipelined ? 1.0 : 0.0),
+                     "1 if the inter-layer pipeline is enabled");
+    group.addFormula("images",
+                     value(static_cast<double>(config.num_images)),
+                     "images processed");
+    group.addFormula("logical_cycles",
+                     value(static_cast<double>(logical_cycles)),
+                     "total logical cycles");
+    group.addFormula("cycle_time_s", value(cycle_time),
+                     "seconds per logical cycle");
+    group.addFormula("total_time_s", value(total_time),
+                     "seconds for the whole run");
+    group.addFormula("throughput_img_s", value(throughput),
+                     "images per second");
+    group.addFormula("energy_per_image_j", value(energy_per_image),
+                     "joules per image");
+    group.addFormula("energy_forward_j", value(energy.forward_compute),
+                     "forward-compute energy, total");
+    group.addFormula("energy_backward_j",
+                     value(energy.backward_compute),
+                     "error-backward energy, total");
+    group.addFormula("energy_derivative_j",
+                     value(energy.derivative_compute),
+                     "derivative-computation energy, total");
+    group.addFormula("energy_update_j", value(energy.weight_update),
+                     "weight-update energy, total");
+    group.addFormula("energy_buffer_j", value(energy.buffer_traffic),
+                     "buffer-traffic energy, total");
+    group.addFormula("energy_controller_j", value(energy.controller),
+                     "controller/interface energy, total");
+    group.addFormula("area_mm2", value(area_mm2),
+                     "accelerator area");
+    group.addFormula("morphable_arrays",
+                     value(static_cast<double>(morphable_arrays)),
+                     "morphable subarrays provisioned");
+    group.addFormula("gops_per_s", value(gops_per_s),
+                     "sustained giga-operations per second");
+    group.addFormula("gops_per_s_per_mm2", value(gops_per_s_per_mm2),
+                     "computational efficiency");
+    group.addFormula("gops_per_w", value(gops_per_w),
+                     "power efficiency");
+    group.dump(os);
+}
+
+Simulator::Simulator(const workloads::NetworkSpec &spec,
+                     const reram::DeviceParams &params)
+    : Simulator(spec, params, arch::GranularityConfig::balanced(spec))
+{
+}
+
+Simulator::Simulator(const workloads::NetworkSpec &spec,
+                     const reram::DeviceParams &params,
+                     const arch::GranularityConfig &granularity)
+    : spec_(spec), params_(params), granularity_(granularity)
+{
+    spec_.validate();
+}
+
+arch::NetworkMapping
+Simulator::mapping(const SimConfig &config) const
+{
+    return arch::NetworkMapping(spec_, granularity_, params_,
+                                config.phase == Phase::Training,
+                                config.batch_size);
+}
+
+double
+Simulator::forwardLayerEnergy(const arch::LayerMapping &m) const
+{
+    // One window streams data_bits spike slots into weightRows() word
+    // lines; every tile column and both sign arrays of every slice
+    // group see the spikes.  Peripheral digitisation/activation
+    // energy scales with the same activity (periph_energy_factor).
+    const double spikes = static_cast<double>(m.spec.numWindows()) *
+        static_cast<double>(params_.data_bits) *
+        static_cast<double>(m.spec.weightRows()) *
+        static_cast<double>(m.tiles_c) * 2.0 *
+        static_cast<double>(params_.sliceGroups());
+    return spikes * params_.read_energy_per_spike *
+           (1.0 + params_.periph_energy_factor);
+}
+
+double
+Simulator::backwardLayerEnergy(const arch::LayerMapping &m) const
+{
+    // The error backward is the transposed computation: every forward
+    // multiply-accumulate has exactly one backward counterpart
+    // (δ_{l-1} = conv2(δ_l, rot180(K), 'full') touches each weight
+    // once per output-error element), so the spike activity — and
+    // hence the energy — matches the forward pass.
+    return forwardLayerEnergy(m);
+}
+
+double
+Simulator::derivativeLayerEnergy(const arch::LayerMapping &m) const
+{
+    // ∂W: forward data d_{l-1} is written into morphable arrays once
+    // per image (paper §4.4.1), then the error is streamed through.
+    const double d_write_pulses =
+        static_cast<double>(m.spec.inputSize()) *
+        static_cast<double>(params_.sliceGroups());
+    const double d_write = d_write_pulses * params_.write_energy_per_spike;
+
+    // Streaming δ: one window per kernel tap position.
+    const double windows = static_cast<double>(
+        m.spec.kind == workloads::SpecKind::Conv
+            ? m.spec.kernel * m.spec.kernel
+            : 1);
+    const double rows = static_cast<double>(
+        m.spec.kind == workloads::SpecKind::Conv
+            ? m.spec.out_h * m.spec.out_w
+            : m.spec.weightCols());
+    const double stream = windows *
+        static_cast<double>(params_.data_bits) * rows *
+        params_.read_energy_per_spike *
+        (1.0 + params_.periph_energy_factor);
+    return d_write + stream;
+}
+
+double
+Simulator::weightUpdateEnergy(const arch::NetworkMapping &mapping) const
+{
+    // Read old weights, subtract averaged derivatives, reprogram: one
+    // tuning pulse per bit-slice cell of every weight (§4.4.2).
+    const double pulses =
+        static_cast<double>(mapping.totalWeightParams()) *
+        static_cast<double>(params_.sliceGroups());
+    return pulses * params_.write_energy_per_spike;
+}
+
+double
+Simulator::bufferEnergy(const workloads::NetworkSpec &spec,
+                        bool training) const
+{
+    double bits = 0.0;
+    for (const auto &layer : spec.layers) {
+        // Every produced activation is written once and read once.
+        bits += static_cast<double>(layer.outputSize()) *
+                static_cast<double>(params_.data_bits);
+    }
+    // Training also buffers the error cubes (δ per stage).
+    const double factor = training ? 2.0 : 1.0;
+    return factor * bits *
+           (params_.mem_write_energy_per_bit +
+            params_.mem_read_energy_per_bit);
+}
+
+double
+Simulator::cycleTime(const arch::NetworkMapping &mapping,
+                     bool training) const
+{
+    double worst = 0.0;
+    for (const auto &m : mapping.layers()) {
+        worst = std::max(worst, m.cycleLatency(params_));
+        if (training) {
+            // Error-backward MVM steps through the reordered arrays.
+            const int64_t steps = ceilDiv(errorWindows(m.spec), m.g);
+            worst = std::max(worst, static_cast<double>(steps) *
+                                        params_.mvmLatency());
+            // Writing the forward data d_{l-1} into the derivative
+            // arrays (paper §4.4.1): one row-parallel write per
+            // array_cols values, cell_bits programming pulses each.
+            // The stage's write drivers are shared between adjacent
+            // subarrays (paper §4.2.1), so row-writes serialise —
+            // this dominates training cycle time on wide layers and
+            // is why training throughput trails testing throughput.
+            const int64_t row_writes =
+                ceilDiv(m.spec.inputSize(), params_.array_cols);
+            worst = std::max(worst, static_cast<double>(row_writes) *
+                                        params_.cellWriteLatency());
+        }
+    }
+    return worst;
+}
+
+SimReport
+Simulator::run(const SimConfig &config) const
+{
+    const bool training = config.phase == Phase::Training;
+    const arch::NetworkMapping map = mapping(config);
+
+    arch::ScheduleConfig sched_config;
+    sched_config.pipelined = config.pipelined;
+    sched_config.training = training;
+    sched_config.batch_size = config.batch_size;
+    sched_config.num_images = config.num_images;
+    arch::PipelineScheduler scheduler(map, sched_config);
+    const arch::ScheduleStats sched = scheduler.run();
+
+    SimReport report;
+    report.network = spec_.name;
+    report.config = config;
+    report.logical_cycles = sched.total_cycles;
+    report.cycle_time = cycleTime(map, training);
+    report.total_time =
+        static_cast<double>(sched.total_cycles) * report.cycle_time;
+    report.time_per_image =
+        report.total_time / static_cast<double>(config.num_images);
+    report.throughput = 1.0 / report.time_per_image;
+    report.buffer_violations = sched.buffer_violations;
+    report.structural_hazards = sched.structural_hazards;
+
+    // ---- Energy + per-layer breakdown --------------------------------
+    const auto n = static_cast<double>(config.num_images);
+    EnergyBreakdown &e = report.energy;
+    for (const auto &m : map.layers()) {
+        LayerCost cost;
+        cost.label = m.spec.describe();
+        cost.g = m.g;
+        cost.steps_per_cycle = m.steps_per_cycle;
+        cost.arrays = m.forward_arrays + m.backward_arrays;
+        cost.forward_latency = m.cycleLatency(params_);
+        cost.forward_energy = forwardLayerEnergy(m);
+        if (training) {
+            const int64_t err_steps = ceilDiv(errorWindows(m.spec), m.g);
+            const int64_t row_writes =
+                ceilDiv(m.spec.inputSize(), params_.array_cols);
+            cost.training_latency = std::max(
+                {cost.forward_latency,
+                 static_cast<double>(err_steps) * params_.mvmLatency(),
+                 static_cast<double>(row_writes) *
+                     params_.cellWriteLatency()});
+            cost.backward_energy = backwardLayerEnergy(m);
+            cost.derivative_energy = derivativeLayerEnergy(m);
+        } else {
+            cost.training_latency = cost.forward_latency;
+        }
+        e.forward_compute += n * cost.forward_energy;
+        if (training) {
+            e.backward_compute += n * cost.backward_energy;
+            e.derivative_compute += n * cost.derivative_energy;
+        }
+        report.per_layer.push_back(std::move(cost));
+    }
+    if (training) {
+        const double batches = static_cast<double>(
+            ceilDiv(config.num_images, config.batch_size));
+        e.weight_update = batches * weightUpdateEnergy(map);
+    }
+    e.buffer_traffic = n * bufferEnergy(spec_, training);
+    e.controller = n * params_.controller_energy_per_image;
+    report.energy_per_image = e.total() / n;
+
+    // ---- Area / efficiency ------------------------------------------
+    report.area_mm2 = map.areaMm2();
+    report.morphable_arrays = map.morphableArrays();
+    report.memory_buffer_entries =
+        map.memoryBufferEntries(config.pipelined);
+
+    report.ops_per_image = static_cast<double>(
+        training ? spec_.trainOps() : spec_.forwardOps());
+    report.gops_per_s =
+        report.ops_per_image * report.throughput / kGiga;
+    report.gops_per_s_per_mm2 = report.gops_per_s / report.area_mm2;
+    const double watts = report.energy_per_image * report.throughput;
+    report.gops_per_w = report.gops_per_s / watts;
+
+    return report;
+}
+
+} // namespace sim
+} // namespace pipelayer

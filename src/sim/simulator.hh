@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The PipeLayer cycle-level timing/energy/area simulator.
+ *
+ * Plays the role of the paper's NVSim-based simulator (§6.2): it maps
+ * a network (arch::NetworkMapping), schedules it
+ * (arch::PipelineScheduler) and converts logical cycles and array
+ * activity into seconds, joules and mm^2 using the per-spike
+ * constants of reram::DeviceParams.
+ */
+
+#ifndef PIPELAYER_SIM_SIMULATOR_HH_
+#define PIPELAYER_SIM_SIMULATOR_HH_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "arch/granularity.hh"
+#include "arch/mapping.hh"
+#include "arch/pipeline.hh"
+#include "reram/params.hh"
+#include "workloads/layer_spec.hh"
+
+namespace pipelayer {
+namespace sim {
+
+/** Execution phase being simulated. */
+enum class Phase { Testing, Training };
+
+/** What to simulate. */
+struct SimConfig
+{
+    Phase phase = Phase::Testing;
+    bool pipelined = true;
+    int64_t batch_size = 64;
+    int64_t num_images = 256;
+};
+
+/** Energy breakdown in joules. */
+struct EnergyBreakdown
+{
+    double forward_compute = 0.0;   //!< forward MVM spikes
+    double backward_compute = 0.0;  //!< error-backward MVM spikes
+    double derivative_compute = 0.0; //!< d writes + δ streaming
+    double weight_update = 0.0;     //!< batch weight reprogramming
+    double buffer_traffic = 0.0;    //!< memory-subarray reads/writes
+    double controller = 0.0;        //!< per-image control/interface
+
+    double total() const
+    {
+        return forward_compute + backward_compute + derivative_compute +
+               weight_update + buffer_traffic + controller;
+    }
+};
+
+/** Per-stage cost breakdown (one entry per array layer). */
+struct LayerCost
+{
+    std::string label;          //!< layer description
+    int64_t g = 1;              //!< replication factor
+    int64_t steps_per_cycle = 0;
+    int64_t arrays = 0;         //!< forward + backward arrays
+    double forward_latency = 0.0;  //!< s per logical cycle, forward
+    double training_latency = 0.0; //!< s incl. backward + d writes
+    double forward_energy = 0.0;   //!< J per image
+    double backward_energy = 0.0;  //!< J per image (training)
+    double derivative_energy = 0.0; //!< J per image (training)
+};
+
+/** Simulation outcome. */
+struct SimReport
+{
+    std::string network;
+    SimConfig config;
+
+    int64_t logical_cycles = 0;
+    double cycle_time = 0.0;       //!< seconds per logical cycle
+    double total_time = 0.0;       //!< seconds for all images
+    double time_per_image = 0.0;
+    double throughput = 0.0;       //!< images per second
+
+    EnergyBreakdown energy;
+    double energy_per_image = 0.0; //!< joules
+
+    double area_mm2 = 0.0;
+    int64_t morphable_arrays = 0;
+    int64_t memory_buffer_entries = 0;
+
+    double ops_per_image = 0.0;    //!< operations (paper §2.1 counts)
+    double gops_per_s = 0.0;
+    double gops_per_s_per_mm2 = 0.0; //!< computational efficiency §6.6
+    double gops_per_w = 0.0;         //!< power efficiency §6.6
+
+    int64_t buffer_violations = 0;
+    int64_t structural_hazards = 0;
+
+    /** Per-array-layer costs, in pipeline order. */
+    std::vector<LayerCost> per_layer;
+
+    /** Human-readable multi-line summary. */
+    void print(std::ostream &os) const;
+
+    /**
+     * Dump every metric in the gem5-style stats format
+     * ("sim.<network>.<name>  value  # description"), for
+     * machine-readable post-processing.
+     */
+    void dumpStats(std::ostream &os) const;
+};
+
+/**
+ * The simulator facade: runs one (network, configuration) pair.
+ */
+class Simulator
+{
+  public:
+    /** Use the balanced default granularity. */
+    Simulator(const workloads::NetworkSpec &spec,
+              const reram::DeviceParams &params);
+
+    /** Use an explicit granularity configuration. */
+    Simulator(const workloads::NetworkSpec &spec,
+              const reram::DeviceParams &params,
+              const arch::GranularityConfig &granularity);
+
+    /** Run one simulation. */
+    SimReport run(const SimConfig &config) const;
+
+    /** The mapping the simulator would use for @p config. */
+    arch::NetworkMapping mapping(const SimConfig &config) const;
+
+  private:
+    /** Per-image energy of the forward compute at one layer. */
+    double forwardLayerEnergy(const arch::LayerMapping &m) const;
+
+    /** Per-image energy of the error backward at one layer. */
+    double backwardLayerEnergy(const arch::LayerMapping &m) const;
+
+    /** Per-image energy of the derivative computation at one layer. */
+    double derivativeLayerEnergy(const arch::LayerMapping &m) const;
+
+    /** Per-batch energy of the weight update. */
+    double weightUpdateEnergy(const arch::NetworkMapping &mapping) const;
+
+    /** Per-image buffer read/write energy. */
+    double bufferEnergy(const workloads::NetworkSpec &spec,
+                        bool training) const;
+
+    /** Worst per-stage latency including backward work if training. */
+    double cycleTime(const arch::NetworkMapping &mapping,
+                     bool training) const;
+
+    workloads::NetworkSpec spec_;
+    reram::DeviceParams params_;
+    arch::GranularityConfig granularity_;
+};
+
+} // namespace sim
+} // namespace pipelayer
+
+#endif // PIPELAYER_SIM_SIMULATOR_HH_

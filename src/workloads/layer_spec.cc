@@ -1,0 +1,276 @@
+#include "workloads/layer_spec.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pipelayer {
+namespace workloads {
+
+LayerSpec
+LayerSpec::conv(int64_t in_c, int64_t in_h, int64_t in_w, int64_t out_c,
+                int64_t kernel, int64_t stride, int64_t pad,
+                int64_t groups)
+{
+    PL_ASSERT(in_c > 0 && in_h > 0 && in_w > 0 && out_c > 0 && kernel > 0,
+              "bad conv spec");
+    PL_ASSERT(groups >= 1 && in_c % groups == 0 && out_c % groups == 0,
+              "groups must divide both channel counts");
+    LayerSpec s;
+    s.kind = SpecKind::Conv;
+    s.in_c = in_c;
+    s.in_h = in_h;
+    s.in_w = in_w;
+    s.out_c = out_c;
+    s.kernel = kernel;
+    s.stride = stride;
+    s.pad = pad;
+    s.groups = groups;
+    s.out_h = (in_h + 2 * pad - kernel) / stride + 1;
+    s.out_w = (in_w + 2 * pad - kernel) / stride + 1;
+    PL_ASSERT(s.out_h > 0 && s.out_w > 0, "conv output collapsed");
+    return s;
+}
+
+LayerSpec
+LayerSpec::maxPool(int64_t in_c, int64_t in_h, int64_t in_w, int64_t k,
+                   int64_t stride)
+{
+    if (stride == 0)
+        stride = k;
+    PL_ASSERT(in_h >= k && in_w >= k, "pool window larger than input");
+    LayerSpec s;
+    s.kind = SpecKind::MaxPool;
+    s.in_c = in_c;
+    s.in_h = in_h;
+    s.in_w = in_w;
+    s.out_c = in_c;
+    s.out_h = (in_h - k) / stride + 1;
+    s.out_w = (in_w - k) / stride + 1;
+    s.kernel = k;
+    s.stride = stride;
+    return s;
+}
+
+LayerSpec
+LayerSpec::avgPool(int64_t in_c, int64_t in_h, int64_t in_w, int64_t k)
+{
+    PL_ASSERT(in_h % k == 0 && in_w % k == 0,
+              "average-pool window must tile the input");
+    LayerSpec s;
+    s.kind = SpecKind::AvgPool;
+    s.in_c = in_c;
+    s.in_h = in_h;
+    s.in_w = in_w;
+    s.out_c = in_c;
+    s.out_h = in_h / k;
+    s.out_w = in_w / k;
+    s.kernel = k;
+    s.stride = k;
+    return s;
+}
+
+LayerSpec
+LayerSpec::innerProduct(int64_t m, int64_t n)
+{
+    PL_ASSERT(m > 0 && n > 0, "bad inner-product spec");
+    LayerSpec s;
+    s.kind = SpecKind::InnerProduct;
+    s.in_c = m;
+    s.out_c = n;
+    return s;
+}
+
+int64_t
+LayerSpec::weightRows() const
+{
+    switch (kind) {
+      case SpecKind::Conv:
+        // Per-group unrolled kernel plus the bias row: grouped
+        // convolutions are block-diagonal, each group's bit lines see
+        // only its own in_c/groups channels.
+        return (in_c / groups) * kernel * kernel + 1;
+      case SpecKind::InnerProduct:
+        return in_c + 1;
+      case SpecKind::MaxPool:
+      case SpecKind::AvgPool:
+        return 0;
+    }
+    panic("bad kind");
+}
+
+int64_t
+LayerSpec::weightCols() const
+{
+    return usesArrays() ? out_c : 0;
+}
+
+int64_t
+LayerSpec::numWindows() const
+{
+    switch (kind) {
+      case SpecKind::Conv:
+        return out_h * out_w;
+      case SpecKind::InnerProduct:
+        return 1;
+      case SpecKind::MaxPool:
+      case SpecKind::AvgPool:
+        return 0;
+    }
+    panic("bad kind");
+}
+
+int64_t
+LayerSpec::paramCount() const
+{
+    switch (kind) {
+      case SpecKind::Conv:
+        return out_c * ((in_c / groups) * kernel * kernel + 1);
+      case SpecKind::InnerProduct:
+        return out_c * (in_c + 1);
+      case SpecKind::MaxPool:
+      case SpecKind::AvgPool:
+        return 0;
+    }
+    panic("bad kind");
+}
+
+int64_t
+LayerSpec::forwardOps() const
+{
+    switch (kind) {
+      case SpecKind::Conv:
+        // X*Y*C multiplications and the same order of additions
+        // per output element (paper §2.1); groups shrink the
+        // per-output fan-in.
+        return 2 * out_h * out_w * out_c * (in_c / groups) * kernel *
+               kernel;
+      case SpecKind::InnerProduct:
+        return 2 * out_c * in_c;
+      case SpecKind::MaxPool:
+        // One comparison per window element.
+        return out_h * out_w * out_c * kernel * kernel;
+      case SpecKind::AvgPool:
+        // K*K additions plus one scaling (a shift when K*K is a
+        // power of two, paper Eq. 2) per output element.
+        return out_h * out_w * out_c * (kernel * kernel + 1);
+    }
+    panic("bad kind");
+}
+
+int64_t
+LayerSpec::backwardOps() const
+{
+    switch (kind) {
+      case SpecKind::Conv:
+      case SpecKind::InnerProduct:
+        // Error backward (≈ forward cost) + weight gradient (≈ forward
+        // cost again): the standard 2x-forward estimate for training.
+        return 2 * forwardOps();
+      case SpecKind::MaxPool:
+        return out_h * out_w * out_c; // error routing only
+      case SpecKind::AvgPool:
+        // Spread each output error uniformly over its window.
+        return out_h * out_w * out_c * kernel * kernel;
+    }
+    panic("bad kind");
+}
+
+std::string
+LayerSpec::describe() const
+{
+    std::ostringstream os;
+    switch (kind) {
+      case SpecKind::Conv:
+        os << "conv" << kernel << "x" << out_c << "@" << in_h;
+        if (stride != 1)
+            os << "/s" << stride;
+        if (groups != 1)
+            os << "/g" << groups;
+        break;
+      case SpecKind::MaxPool:
+        os << "pool" << kernel;
+        break;
+      case SpecKind::AvgPool:
+        os << "avgpool" << kernel;
+        break;
+      case SpecKind::InnerProduct:
+        os << in_c << "-" << out_c;
+        break;
+    }
+    return os.str();
+}
+
+int64_t
+NetworkSpec::pipelineDepth() const
+{
+    int64_t depth = 0;
+    for (const auto &layer : layers)
+        depth += layer.usesArrays() ? 1 : 0;
+    return depth;
+}
+
+int64_t
+NetworkSpec::forwardOps() const
+{
+    int64_t ops = 0;
+    for (const auto &layer : layers)
+        ops += layer.forwardOps();
+    return ops;
+}
+
+int64_t
+NetworkSpec::trainOps() const
+{
+    int64_t ops = 0;
+    for (const auto &layer : layers)
+        ops += layer.forwardOps() + layer.backwardOps();
+    return ops;
+}
+
+int64_t
+NetworkSpec::paramCount() const
+{
+    int64_t n = 0;
+    for (const auto &layer : layers)
+        n += layer.paramCount();
+    return n;
+}
+
+std::vector<size_t>
+NetworkSpec::arrayLayerIndices() const
+{
+    std::vector<size_t> out;
+    for (size_t i = 0; i < layers.size(); ++i) {
+        if (layers[i].usesArrays())
+            out.push_back(i);
+    }
+    return out;
+}
+
+void
+NetworkSpec::validate() const
+{
+    PL_ASSERT(!layers.empty(), "network %s has no layers", name.c_str());
+    for (size_t i = 1; i < layers.size(); ++i) {
+        const LayerSpec &prev = layers[i - 1];
+        const LayerSpec &cur = layers[i];
+        const int64_t produced = prev.outputSize();
+        const int64_t consumed = cur.inputSize();
+        PL_ASSERT(produced == consumed,
+                  "%s: layer %zu (%s) produces %lld values but layer %zu "
+                  "(%s) consumes %lld",
+                  name.c_str(), i - 1, prev.describe().c_str(),
+                  (long long)produced, i, cur.describe().c_str(),
+                  (long long)consumed);
+        if (cur.kind != SpecKind::InnerProduct) {
+            PL_ASSERT(prev.out_c == cur.in_c && prev.out_h == cur.in_h &&
+                      prev.out_w == cur.in_w,
+                      "%s: cube mismatch between layers %lld and %lld",
+                      name.c_str(), (long long)(i - 1), (long long)i);
+        }
+    }
+}
+
+} // namespace workloads
+} // namespace pipelayer

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Shape-level descriptions of network layers and whole networks.
+ *
+ * The timing/energy simulator (src/sim) does not need weight values,
+ * only geometry: how large each weight matrix is, how many input
+ * windows stream through it per image, and how many operations it
+ * performs.  These descriptors cover the ten evaluation networks
+ * (AlexNet, VGG-A..E, Mnist-A/B/C/Mnist-0) without allocating
+ * gigabytes of parameters.
+ */
+
+#ifndef PIPELAYER_WORKLOADS_LAYER_SPEC_HH_
+#define PIPELAYER_WORKLOADS_LAYER_SPEC_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pipelayer {
+namespace workloads {
+
+/** Layer categories relevant to the architectural mapping. */
+enum class SpecKind { Conv, MaxPool, AvgPool, InnerProduct };
+
+/** Geometry of one layer. */
+struct LayerSpec
+{
+    SpecKind kind;
+    // Input cube (C, H, W); for inner product, in_c holds the vector
+    // size and in_h == in_w == 1.
+    int64_t in_c = 0, in_h = 1, in_w = 1;
+    // Output cube; for inner product, out_c is the output size.
+    int64_t out_c = 0, out_h = 1, out_w = 1;
+    // Kernel geometry (conv/pool only).
+    int64_t kernel = 0, stride = 1, pad = 0;
+    /**
+     * Convolution groups (AlexNet's dual-GPU split): each group
+     * convolves in_c/groups input channels into out_c/groups output
+     * channels, dividing parameters and operations by @c groups.
+     */
+    int64_t groups = 1;
+
+    /** Make a convolution spec; output extent is derived. */
+    static LayerSpec conv(int64_t in_c, int64_t in_h, int64_t in_w,
+                          int64_t out_c, int64_t kernel, int64_t stride = 1,
+                          int64_t pad = 0, int64_t groups = 1);
+
+    /**
+     * Make a max-pool spec.  @p stride defaults to the window size
+     * (non-overlapping); AlexNet-style overlapping pooling passes an
+     * explicit smaller stride.
+     */
+    static LayerSpec maxPool(int64_t in_c, int64_t in_h, int64_t in_w,
+                             int64_t k, int64_t stride = 0);
+
+    /**
+     * Make an average-pool spec (paper Eq. 2).  The 1/(KxKy) scaling
+     * is a shift when the window size is a power of two, which the
+     * op count reflects.
+     */
+    static LayerSpec avgPool(int64_t in_c, int64_t in_h, int64_t in_w,
+                             int64_t k);
+
+    /** Make an inner-product spec (m inputs -> n outputs). */
+    static LayerSpec innerProduct(int64_t m, int64_t n);
+
+    /** True for layers mapped onto morphable subarrays. */
+    bool usesArrays() const
+    {
+        return kind == SpecKind::Conv || kind == SpecKind::InnerProduct;
+    }
+
+    /**
+     * Rows of the mapped weight matrix: the unrolled kernel size
+     * C_l*K_x*K_y + 1 (bias) for conv, m + 1 for inner product
+     * (paper Fig. 4: one kernel per bit line).
+     */
+    int64_t weightRows() const;
+
+    /** Columns of the mapped weight matrix (output channels / size). */
+    int64_t weightCols() const;
+
+    /**
+     * Input vectors streamed per image: the number of convolution
+     * windows X_{l+1}*Y_{l+1} (paper Fig. 4's 2544), or 1 for inner
+     * product.
+     */
+    int64_t numWindows() const;
+
+    /** Trainable parameters (weights + biases). */
+    int64_t paramCount() const;
+
+    /** Multiply + add operations of one forward pass (paper §2.1). */
+    int64_t forwardOps() const;
+
+    /**
+     * Operations of one backward pass: error backward (a full
+     * convolution of the same cost as forward) plus weight-gradient
+     * computation (same MAC count again) for parameterised layers.
+     */
+    int64_t backwardOps() const;
+
+    /** Output activation element count. */
+    int64_t outputSize() const { return out_c * out_h * out_w; }
+
+    /** Input activation element count. */
+    int64_t inputSize() const { return in_c * in_h * in_w; }
+
+    /** Short description ("conv3x64@224", "4096-1000", "pool2"). */
+    std::string describe() const;
+};
+
+/** A whole network: an ordered list of layer specs. */
+struct NetworkSpec
+{
+    std::string name;
+    std::vector<LayerSpec> layers;
+
+    /**
+     * Pipeline depth L: the number of morphable-subarray stages
+     * (conv + inner-product layers).  Pooling and activation ride in
+     * the activation components of the preceding stage (paper §4.3).
+     */
+    int64_t pipelineDepth() const;
+
+    /** Total forward operations for one image. */
+    int64_t forwardOps() const;
+
+    /** Total forward+backward operations for one image. */
+    int64_t trainOps() const;
+
+    /** Total trainable parameters. */
+    int64_t paramCount() const;
+
+    /** Indices of layers that use morphable arrays, in order. */
+    std::vector<size_t> arrayLayerIndices() const;
+
+    /** Validate inter-layer shape consistency; panics on mismatch. */
+    void validate() const;
+};
+
+} // namespace workloads
+} // namespace pipelayer
+
+#endif // PIPELAYER_WORKLOADS_LAYER_SPEC_HH_

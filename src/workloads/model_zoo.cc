@@ -1,0 +1,373 @@
+#include "workloads/model_zoo.hh"
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "nn/layers.hh"
+
+namespace pipelayer {
+namespace workloads {
+
+namespace {
+
+/**
+ * Helper that threads the running (C, H, W) cube through successive
+ * layer-spec constructors.
+ */
+class SpecBuilder
+{
+  public:
+    SpecBuilder(std::string name, int64_t c, int64_t h, int64_t w)
+        : c_(c), h_(h), w_(w)
+    {
+        spec_.name = std::move(name);
+    }
+
+    SpecBuilder &conv(int64_t out_c, int64_t k, int64_t stride = 1,
+                      int64_t pad = 0, int64_t groups = 1)
+    {
+        LayerSpec s = LayerSpec::conv(c_, h_, w_, out_c, k, stride, pad,
+                                      groups);
+        c_ = s.out_c;
+        h_ = s.out_h;
+        w_ = s.out_w;
+        spec_.layers.push_back(s);
+        return *this;
+    }
+
+    SpecBuilder &pool(int64_t k, int64_t stride = 0)
+    {
+        LayerSpec s = LayerSpec::maxPool(c_, h_, w_, k, stride);
+        c_ = s.out_c;
+        h_ = s.out_h;
+        w_ = s.out_w;
+        spec_.layers.push_back(s);
+        return *this;
+    }
+
+    SpecBuilder &ip(int64_t n)
+    {
+        LayerSpec s = LayerSpec::innerProduct(c_ * h_ * w_, n);
+        c_ = n;
+        h_ = 1;
+        w_ = 1;
+        spec_.layers.push_back(s);
+        return *this;
+    }
+
+    NetworkSpec build()
+    {
+        spec_.validate();
+        return std::move(spec_);
+    }
+
+  private:
+    NetworkSpec spec_;
+    int64_t c_, h_, w_;
+};
+
+/**
+ * A VGG variant: @p blocks lists, per pooling block, the conv output
+ * channels; a channel value of -1 marks a 1x1 convolution (VGG-C).
+ */
+NetworkSpec
+makeVgg(const std::string &name,
+        const std::vector<std::vector<int64_t>> &blocks)
+{
+    SpecBuilder b(name, 3, 224, 224);
+    for (const auto &block : blocks) {
+        for (int64_t ch : block) {
+            if (ch < 0)
+                b.conv(-ch, 1, 1, 0); // 1x1 conv, VGG-C style
+            else
+                b.conv(ch, 3, 1, 1);
+        }
+        b.pool(2);
+    }
+    return b.ip(4096).ip(4096).ip(1000).build();
+}
+
+} // namespace
+
+NetworkSpec
+alexNet()
+{
+    // Conv 2, 4 and 5 use the original dual-GPU grouping (groups=2).
+    return SpecBuilder("AlexNet", 3, 227, 227)
+        .conv(96, 11, 4, 0)
+        .pool(3, 2)
+        .conv(256, 5, 1, 2, 2)
+        .pool(3, 2)
+        .conv(384, 3, 1, 1)
+        .conv(384, 3, 1, 1, 2)
+        .conv(256, 3, 1, 1, 2)
+        .pool(3, 2)
+        .ip(4096)
+        .ip(4096)
+        .ip(1000)
+        .build();
+}
+
+NetworkSpec
+vggA()
+{
+    return makeVgg("VGG-A",
+                   {{64}, {128}, {256, 256}, {512, 512}, {512, 512}});
+}
+
+NetworkSpec
+vggB()
+{
+    return makeVgg("VGG-B", {{64, 64}, {128, 128}, {256, 256},
+                             {512, 512}, {512, 512}});
+}
+
+NetworkSpec
+vggC()
+{
+    // VGG-C: the third conv in blocks 3-5 is a 1x1 convolution.
+    return makeVgg("VGG-C", {{64, 64}, {128, 128}, {256, 256, -256},
+                             {512, 512, -512}, {512, 512, -512}});
+}
+
+NetworkSpec
+vggD()
+{
+    return makeVgg("VGG-D", {{64, 64}, {128, 128}, {256, 256, 256},
+                             {512, 512, 512}, {512, 512, 512}});
+}
+
+NetworkSpec
+vggE()
+{
+    return makeVgg("VGG-E", {{64, 64}, {128, 128}, {256, 256, 256, 256},
+                             {512, 512, 512, 512}, {512, 512, 512, 512}});
+}
+
+NetworkSpec
+mnistA()
+{
+    return SpecBuilder("Mnist-A", 1, 28, 28).ip(100).ip(10).build();
+}
+
+NetworkSpec
+mnistB()
+{
+    return SpecBuilder("Mnist-B", 1, 28, 28).ip(300).ip(100).ip(10).build();
+}
+
+NetworkSpec
+mnistC()
+{
+    return SpecBuilder("Mnist-C", 1, 28, 28)
+        .ip(500)
+        .ip(300)
+        .ip(100)
+        .ip(10)
+        .build();
+}
+
+NetworkSpec
+mnistO()
+{
+    return SpecBuilder("Mnist-0", 1, 28, 28)
+        .conv(20, 5)
+        .pool(2)
+        .conv(50, 5)
+        .pool(2)
+        .ip(500)
+        .ip(10)
+        .build();
+}
+
+std::vector<NetworkSpec>
+evaluationNetworks()
+{
+    return {mnistA(), mnistB(), mnistC(), mnistO(), alexNet(),
+            vggA(),  vggB(),   vggC(),   vggD(),   vggE()};
+}
+
+std::vector<NetworkSpec>
+vggNetworks()
+{
+    return {vggA(), vggB(), vggC(), vggD(), vggE()};
+}
+
+NetworkSpec
+networkByName(const std::string &name)
+{
+    for (auto &spec : evaluationNetworks()) {
+        if (spec.name == name)
+            return spec;
+    }
+    fatal("unknown evaluation network '%s'", name.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Functional networks for Fig. 13
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr int64_t kStudyPixels = kStudyImage * kStudyImage;
+
+nn::Network
+makeMlp(const std::string &name, const std::vector<int64_t> &widths,
+        Rng &rng)
+{
+    nn::Network net(name, {1, kStudyImage, kStudyImage});
+    net.add(std::make_unique<nn::FlattenLayer>());
+    int64_t in = kStudyPixels;
+    for (size_t i = 0; i < widths.size(); ++i) {
+        net.add(std::make_unique<nn::InnerProductLayer>(in, widths[i], rng));
+        if (i + 1 < widths.size())
+            net.add(std::make_unique<nn::ReluLayer>());
+        in = widths[i];
+    }
+    return net;
+}
+
+} // namespace
+
+nn::Network
+buildM1(Rng &rng)
+{
+    return makeMlp("M-1", {64, kStudyClasses}, rng);
+}
+
+nn::Network
+buildM2(Rng &rng)
+{
+    return makeMlp("M-2", {128, 64, kStudyClasses}, rng);
+}
+
+nn::Network
+buildM3(Rng &rng)
+{
+    return makeMlp("M-3", {128, 96, 64, kStudyClasses}, rng);
+}
+
+nn::Network
+buildMC(Rng &rng)
+{
+    nn::Network net("M-C", {1, kStudyImage, kStudyImage});
+    net.add(std::make_unique<nn::ConvLayer>(1, 8, 3, 1, 1, rng));
+    net.add(std::make_unique<nn::ReluLayer>());
+    net.add(std::make_unique<nn::MaxPoolLayer>(2));
+    net.add(std::make_unique<nn::FlattenLayer>());
+    net.add(std::make_unique<nn::InnerProductLayer>(8 * 8 * 8,
+                                                    kStudyClasses, rng));
+    return net;
+}
+
+nn::Network
+buildC4(Rng &rng)
+{
+    nn::Network net("C-4", {1, kStudyImage, kStudyImage});
+    net.add(std::make_unique<nn::ConvLayer>(1, 8, 3, 1, 1, rng));
+    net.add(std::make_unique<nn::ReluLayer>());
+    net.add(std::make_unique<nn::ConvLayer>(8, 8, 3, 1, 1, rng));
+    net.add(std::make_unique<nn::ReluLayer>());
+    net.add(std::make_unique<nn::MaxPoolLayer>(2));
+    net.add(std::make_unique<nn::ConvLayer>(8, 16, 3, 1, 1, rng));
+    net.add(std::make_unique<nn::ReluLayer>());
+    net.add(std::make_unique<nn::ConvLayer>(16, 16, 3, 1, 1, rng));
+    net.add(std::make_unique<nn::ReluLayer>());
+    net.add(std::make_unique<nn::MaxPoolLayer>(2));
+    net.add(std::make_unique<nn::FlattenLayer>());
+    net.add(std::make_unique<nn::InnerProductLayer>(16 * 4 * 4,
+                                                    kStudyClasses, rng));
+    return net;
+}
+
+std::vector<std::pair<std::string, nn::Network>>
+studyNetworks(Rng &rng)
+{
+    std::vector<std::pair<std::string, nn::Network>> nets;
+    nets.emplace_back("M-1", buildM1(rng));
+    nets.emplace_back("M-2", buildM2(rng));
+    nets.emplace_back("M-3", buildM3(rng));
+    nets.emplace_back("M-C", buildMC(rng));
+    nets.emplace_back("C-4", buildC4(rng));
+    return nets;
+}
+
+nn::Network
+buildMnist0Functional(Rng &rng)
+{
+    nn::Network net("Mnist-0", {1, 28, 28});
+    net.add(std::make_unique<nn::ConvLayer>(1, 20, 5, 1, 0, rng));
+    net.add(std::make_unique<nn::ReluLayer>());
+    net.add(std::make_unique<nn::MaxPoolLayer>(2));
+    net.add(std::make_unique<nn::ConvLayer>(20, 50, 5, 1, 0, rng));
+    net.add(std::make_unique<nn::ReluLayer>());
+    net.add(std::make_unique<nn::MaxPoolLayer>(2));
+    net.add(std::make_unique<nn::FlattenLayer>());
+    net.add(std::make_unique<nn::InnerProductLayer>(50 * 4 * 4, 500, rng));
+    net.add(std::make_unique<nn::ReluLayer>());
+    net.add(std::make_unique<nn::InnerProductLayer>(500, 10, rng));
+    return net;
+}
+
+nn::Network
+buildMnistAFunctional(Rng &rng)
+{
+    nn::Network net("Mnist-A", {1, 28, 28});
+    net.add(std::make_unique<nn::FlattenLayer>());
+    net.add(std::make_unique<nn::InnerProductLayer>(784, 100, rng));
+    net.add(std::make_unique<nn::ReluLayer>());
+    net.add(std::make_unique<nn::InnerProductLayer>(100, 10, rng));
+    return net;
+}
+
+NetworkSpec
+specFromNetwork(const nn::Network &net)
+{
+    NetworkSpec spec;
+    spec.name = net.name();
+    for (size_t i = 0; i < net.numLayers(); ++i) {
+        const nn::Layer &layer = net.layer(i);
+        const Shape &in = net.layerInputShape(i);
+        switch (layer.kind()) {
+          case nn::LayerKind::Conv: {
+            const auto &conv = static_cast<const nn::ConvLayer &>(layer);
+            spec.layers.push_back(LayerSpec::conv(
+                in[0], in[1], in[2], conv.outChannels(), conv.kernel(),
+                conv.stride(), conv.pad()));
+            break;
+          }
+          case nn::LayerKind::MaxPool: {
+            const auto &pool = static_cast<const nn::MaxPoolLayer &>(layer);
+            spec.layers.push_back(
+                LayerSpec::maxPool(in[0], in[1], in[2], pool.window()));
+            break;
+          }
+          case nn::LayerKind::AvgPool: {
+            const auto &pool = static_cast<const nn::AvgPoolLayer &>(layer);
+            spec.layers.push_back(
+                LayerSpec::avgPool(in[0], in[1], in[2], pool.window()));
+            break;
+          }
+          case nn::LayerKind::InnerProduct: {
+            const auto &ip =
+                static_cast<const nn::InnerProductLayer &>(layer);
+            spec.layers.push_back(
+                LayerSpec::innerProduct(ip.inSize(), ip.outSize()));
+            break;
+          }
+          case nn::LayerKind::ReLU:
+          case nn::LayerKind::Sigmoid:
+          case nn::LayerKind::Flatten:
+            // Activation and reshaping ride inside the activation
+            // component of the preceding stage (paper §4.2.3).
+            break;
+        }
+    }
+    spec.validate();
+    return spec;
+}
+
+} // namespace workloads
+} // namespace pipelayer

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The evaluation networks of the paper.
+ *
+ * Shape-level specs (for the timing/energy simulator):
+ *  - AlexNet and VGG-A/B/C/D/E on 224x224 (227 for AlexNet) ImageNet
+ *    inputs, from their original papers;
+ *  - Mnist-A/B/C/Mnist-0 per paper Table 3.  The printed table in the
+ *    available text is partially garbled, so the four nets are
+ *    reconstructed as the standard MLP sizes of the era plus a
+ *    LeNet-style conv net for Mnist-0 (the one network the table
+ *    shows starting with "conv5x"); EXPERIMENTS.md notes this.
+ *
+ * Functional builders (trainable nn::Network instances):
+ *  - M-1/M-2/M-3 (MLPs) and M-C/C-4 (CNNs) for the Fig. 13
+ *    resolution/accuracy study, on 1x16x16 synthetic images;
+ *  - Mnist-0 on 1x28x28 for the examples and integration tests.
+ */
+
+#ifndef PIPELAYER_WORKLOADS_MODEL_ZOO_HH_
+#define PIPELAYER_WORKLOADS_MODEL_ZOO_HH_
+
+#include <string>
+#include <vector>
+
+#include "nn/network.hh"
+#include "workloads/layer_spec.hh"
+
+namespace pipelayer {
+
+class Rng;
+
+namespace workloads {
+
+/** @name Shape-level evaluation networks (paper §6.1). */
+///@{
+NetworkSpec alexNet();
+NetworkSpec vggA();
+NetworkSpec vggB();
+NetworkSpec vggC();
+NetworkSpec vggD();
+NetworkSpec vggE();
+NetworkSpec mnistA();
+NetworkSpec mnistB();
+NetworkSpec mnistC();
+NetworkSpec mnistO();
+
+/** The ten networks of Fig. 15/16, in the paper's order. */
+std::vector<NetworkSpec> evaluationNetworks();
+
+/** The five VGG networks of Fig. 17/18. */
+std::vector<NetworkSpec> vggNetworks();
+
+/** Look up an evaluation network by name ("VGG-A"); fatal if unknown. */
+NetworkSpec networkByName(const std::string &name);
+///@}
+
+/** @name Functional networks for the Fig. 13 study. */
+///@{
+
+/** Input geometry of the Fig. 13 study networks. */
+constexpr int64_t kStudyImage = 16;  //!< 16x16 synthetic images
+constexpr int64_t kStudyClasses = 10;
+
+nn::Network buildM1(Rng &rng);
+nn::Network buildM2(Rng &rng);
+nn::Network buildM3(Rng &rng);
+nn::Network buildMC(Rng &rng);
+nn::Network buildC4(Rng &rng);
+
+/** All five Fig. 13 networks with their paper labels. */
+std::vector<std::pair<std::string, nn::Network>> studyNetworks(Rng &rng);
+///@}
+
+/** Functional LeNet-style Mnist-0 on 1x28x28 inputs. */
+nn::Network buildMnist0Functional(Rng &rng);
+
+/** Functional Mnist-A MLP (784-100-10) on 1x28x28 inputs. */
+nn::Network buildMnistAFunctional(Rng &rng);
+
+/**
+ * Shape spec matching a functional network, so the same model can be
+ * timed by the simulator and executed by the functional substrate.
+ */
+NetworkSpec specFromNetwork(const nn::Network &net);
+
+} // namespace workloads
+} // namespace pipelayer
+
+#endif // PIPELAYER_WORKLOADS_MODEL_ZOO_HH_

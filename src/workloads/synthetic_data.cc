@@ -1,0 +1,126 @@
+#include "workloads/synthetic_data.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "tensor/tensor.hh"
+
+namespace pipelayer {
+namespace workloads {
+
+namespace {
+
+/** One 3x3 box-blur pass, reflecting at the borders. */
+Tensor
+blur(const Tensor &img)
+{
+    const int64_t h = img.dim(1), w = img.dim(2);
+    Tensor out({1, h, w});
+    for (int64_t y = 0; y < h; ++y) {
+        for (int64_t x = 0; x < w; ++x) {
+            double acc = 0.0;
+            for (int64_t dy = -1; dy <= 1; ++dy) {
+                for (int64_t dx = -1; dx <= 1; ++dx) {
+                    const int64_t yy = std::clamp<int64_t>(y + dy, 0, h - 1);
+                    const int64_t xx = std::clamp<int64_t>(x + dx, 0, w - 1);
+                    acc += img(0, yy, xx);
+                }
+            }
+            out(0, y, x) = static_cast<float>(acc / 9.0);
+        }
+    }
+    return out;
+}
+
+/** Smooth random prototype in [0, 1] for one class. */
+Tensor
+makePrototype(int64_t size, Rng &rng, int blur_passes)
+{
+    Tensor proto({1, size, size});
+    for (int64_t i = 0; i < proto.numel(); ++i)
+        proto.at(i) = static_cast<float>(rng.uniform());
+    for (int p = 0; p < blur_passes; ++p)
+        proto = blur(proto);
+    // Stretch contrast back to [0, 1] after blurring.
+    float lo = 1.0f, hi = 0.0f;
+    for (int64_t i = 0; i < proto.numel(); ++i) {
+        lo = std::min(lo, proto.at(i));
+        hi = std::max(hi, proto.at(i));
+    }
+    const float range = std::max(1e-6f, hi - lo);
+    for (int64_t i = 0; i < proto.numel(); ++i)
+        proto.at(i) = (proto.at(i) - lo) / range;
+    return proto;
+}
+
+/** Noisy sample of a prototype, clamped to [0, 1]. */
+Tensor
+sampleFrom(const Tensor &proto, float noise, Rng &rng)
+{
+    Tensor img = proto;
+    for (int64_t i = 0; i < img.numel(); ++i) {
+        const float v =
+            img.at(i) + static_cast<float>(rng.gaussian(0.0, noise));
+        img.at(i) = std::clamp(v, 0.0f, 1.0f);
+    }
+    return img;
+}
+
+} // namespace
+
+SyntheticTask
+makeSyntheticTask(const SyntheticConfig &config)
+{
+    PL_ASSERT(config.classes > 1 && config.image_size > 3,
+              "bad synthetic config");
+    Rng rng(config.seed);
+    Rng proto_rng = rng.split(1);
+    Rng train_rng = rng.split(2);
+    Rng test_rng = rng.split(3);
+
+    std::vector<Tensor> protos;
+    protos.reserve(static_cast<size_t>(config.classes));
+    for (int64_t c = 0; c < config.classes; ++c)
+        protos.push_back(makePrototype(config.image_size, proto_rng,
+                                       static_cast<int>(config.blur_passes)));
+
+    SyntheticTask task;
+    task.config = config;
+    for (int64_t c = 0; c < config.classes; ++c) {
+        for (int64_t i = 0; i < config.train_per_class; ++i) {
+            task.train.inputs.push_back(
+                sampleFrom(protos[static_cast<size_t>(c)], config.noise,
+                           train_rng));
+            task.train.labels.push_back(c);
+        }
+        for (int64_t i = 0; i < config.test_per_class; ++i) {
+            task.test.inputs.push_back(
+                sampleFrom(protos[static_cast<size_t>(c)], config.noise,
+                           test_rng));
+            task.test.labels.push_back(c);
+        }
+    }
+    return task;
+}
+
+SyntheticTask
+makeStudyTask()
+{
+    return makeSyntheticTask(SyntheticConfig{});
+}
+
+SyntheticTask
+makeMnistLikeTask(int64_t train_per_class, int64_t test_per_class)
+{
+    SyntheticConfig config;
+    config.image_size = 28;
+    config.train_per_class = train_per_class;
+    config.test_per_class = test_per_class;
+    config.seed = 1234;
+    return makeSyntheticTask(config);
+}
+
+} // namespace workloads
+} // namespace pipelayer

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic synthetic image datasets.
+ *
+ * The paper trains on MNIST; the datasets are not shipped with this
+ * reproduction, so we generate a class-conditional task with the same
+ * flavour: each class has a smooth random prototype image and samples
+ * are noisy copies.  The task is learnable by small MLPs/CNNs and
+ * exhibits the quantisation sensitivity needed for the Fig. 13 study
+ * (see DESIGN.md §2 for the substitution rationale).
+ */
+
+#ifndef PIPELAYER_WORKLOADS_SYNTHETIC_DATA_HH_
+#define PIPELAYER_WORKLOADS_SYNTHETIC_DATA_HH_
+
+#include <cstdint>
+
+#include "nn/trainer.hh"
+
+namespace pipelayer {
+
+class Rng;
+
+namespace workloads {
+
+/** Configuration of a synthetic classification task. */
+struct SyntheticConfig
+{
+    int64_t classes = 10;
+    int64_t image_size = 16;   //!< square images, one channel
+    int64_t train_per_class = 60;
+    int64_t test_per_class = 20;
+    float noise = 0.35f;       //!< per-pixel Gaussian noise stddev
+    float blur_passes = 2;     //!< smoothing passes over prototypes
+    uint64_t seed = 42;
+};
+
+/** A train/test split of a synthetic task. */
+struct SyntheticTask
+{
+    nn::Dataset train;
+    nn::Dataset test;
+    SyntheticConfig config;
+};
+
+/**
+ * Generate a synthetic task.  Deterministic in @p config.seed.
+ * Pixels are clamped to [0, 1] (matching post-normalisation MNIST and
+ * the non-negative forward dataflow the spike drivers assume).
+ */
+SyntheticTask makeSyntheticTask(const SyntheticConfig &config);
+
+/** Convenience: the default 16x16 task used by the Fig. 13 study. */
+SyntheticTask makeStudyTask();
+
+/** A 28x28 task shaped like MNIST for the Mnist-0 examples. */
+SyntheticTask makeMnistLikeTask(int64_t train_per_class = 30,
+                                int64_t test_per_class = 10);
+
+} // namespace workloads
+} // namespace pipelayer
+
+#endif // PIPELAYER_WORKLOADS_SYNTHETIC_DATA_HH_

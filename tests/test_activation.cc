@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests of the LUT-based activation unit (paper Fig. 9c).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reram/activation.hh"
+
+namespace pipelayer {
+namespace reram {
+namespace {
+
+TEST(ActivationUnit, ReluIsExact)
+{
+    const ActivationUnit relu = ActivationUnit::relu();
+    EXPECT_FLOAT_EQ(relu.apply(-3.5f), 0.0f);
+    EXPECT_FLOAT_EQ(relu.apply(0.0f), 0.0f);
+    EXPECT_FLOAT_EQ(relu.apply(2.25f), 2.25f);
+    EXPECT_EQ(relu.lutEntries(), 0);
+}
+
+TEST(ActivationUnit, BypassIsIdentity)
+{
+    const ActivationUnit unit = ActivationUnit::bypass();
+    for (float v : {-10.0f, -0.5f, 0.0f, 123.0f})
+        EXPECT_FLOAT_EQ(unit.apply(v), v);
+}
+
+TEST(ActivationUnit, SigmoidLutTracksExactSigmoid)
+{
+    const ActivationUnit unit = ActivationUnit::sigmoidLut(10);
+    for (float x = -7.5f; x <= 7.5f; x += 0.37f) {
+        const float exact = 1.0f / (1.0f + std::exp(-x));
+        EXPECT_NEAR(unit.apply(x), exact, 0.01f) << "x = " << x;
+    }
+}
+
+TEST(ActivationUnit, LutResolutionImprovesAccuracy)
+{
+    const ActivationUnit coarse = ActivationUnit::sigmoidLut(4);
+    const ActivationUnit fine = ActivationUnit::sigmoidLut(12);
+    double coarse_err = 0.0, fine_err = 0.0;
+    for (float x = -6.0f; x <= 6.0f; x += 0.11f) {
+        const float exact = 1.0f / (1.0f + std::exp(-x));
+        coarse_err += std::fabs(coarse.apply(x) - exact);
+        fine_err += std::fabs(fine.apply(x) - exact);
+    }
+    EXPECT_LT(fine_err, coarse_err * 0.1);
+}
+
+TEST(ActivationUnit, LutClampsOutOfRangeInputs)
+{
+    const ActivationUnit unit = ActivationUnit::sigmoidLut(8, -8.0f,
+                                                           8.0f);
+    EXPECT_NEAR(unit.apply(-100.0f), 0.0f, 0.01f);
+    EXPECT_NEAR(unit.apply(100.0f), 1.0f, 0.01f);
+}
+
+TEST(ActivationUnit, FromFunctionCoversCustomLuts)
+{
+    // A squared-value LUT, as a stand-in for an exotic activation.
+    const ActivationUnit unit = ActivationUnit::fromFunction(
+        [](float x) { return x * x; }, 12, 0.0f, 4.0f);
+    EXPECT_NEAR(unit.apply(2.0f), 4.0f, 0.02f);
+    EXPECT_NEAR(unit.apply(3.0f), 9.0f, 0.02f);
+    EXPECT_EQ(unit.lutEntries(), 4096);
+}
+
+TEST(ActivationUnit, ApplyInPlace)
+{
+    const ActivationUnit relu = ActivationUnit::relu();
+    float values[4] = {-1.0f, 2.0f, -3.0f, 4.0f};
+    relu.applyInPlace(values, 4);
+    EXPECT_FLOAT_EQ(values[0], 0.0f);
+    EXPECT_FLOAT_EQ(values[1], 2.0f);
+    EXPECT_FLOAT_EQ(values[2], 0.0f);
+    EXPECT_FLOAT_EQ(values[3], 4.0f);
+}
+
+TEST(ActivationUnit, MaxRegisterRealisesMaxPooling)
+{
+    ActivationUnit unit = ActivationUnit::relu();
+    unit.resetMax();
+    for (float v : {0.5f, 3.0f, -1.0f, 2.0f})
+        unit.streamForMax(v);
+    EXPECT_FLOAT_EQ(unit.maxValue(), 3.0f);
+    unit.resetMax();
+    unit.streamForMax(-5.0f);
+    EXPECT_FLOAT_EQ(unit.maxValue(), -5.0f);
+}
+
+TEST(ActivationUnitDeath, BadLutConfigPanics)
+{
+    EXPECT_DEATH(ActivationUnit::sigmoidLut(0), "LUT width");
+    EXPECT_DEATH(ActivationUnit::fromFunction(
+                     [](float x) { return x; }, 8, 1.0f, 1.0f),
+                 "range");
+}
+
+} // namespace
+} // namespace reram
+} // namespace pipelayer

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests of the GPU roofline baseline and the ISAAC-style pipeline
+ * comparison model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/gpu_model.hh"
+#include "baseline/isaac_model.hh"
+#include "workloads/model_zoo.hh"
+
+namespace pipelayer {
+namespace baseline {
+namespace {
+
+TEST(GpuModel, TrainingCostsMoreThanTesting)
+{
+    GpuModel gpu;
+    for (const auto &spec : workloads::evaluationNetworks()) {
+        const GpuCost test = gpu.testing(spec);
+        const GpuCost train = gpu.training(spec);
+        EXPECT_GT(train.time_per_image, test.time_per_image)
+            << spec.name;
+        EXPECT_GT(train.energy_per_image, test.energy_per_image)
+            << spec.name;
+    }
+}
+
+TEST(GpuModel, MnistIsOverheadBound)
+{
+    // Small networks are dominated by the per-kernel overhead term:
+    // the effect behind the paper's large MNIST speedups.
+    GpuModel gpu;
+    const GpuCost mnist = gpu.testing(workloads::mnistA());
+    EXPECT_LT(mnist.compute_fraction, 0.2);
+}
+
+TEST(GpuModel, VggIsComputeBound)
+{
+    GpuModel gpu;
+    const GpuCost vgg = gpu.testing(workloads::vggE());
+    EXPECT_GT(vgg.compute_fraction, 0.8);
+}
+
+TEST(GpuModel, VggTestingLatencyIsMilliseconds)
+{
+    // Caffe on a GTX 1080 runs VGG-16 inference in roughly 3-7 ms per
+    // image at batch 64; the model should land in that decade.
+    GpuModel gpu;
+    const GpuCost vgg = gpu.testing(workloads::vggD());
+    EXPECT_GT(vgg.time_per_image, 1e-3);
+    EXPECT_LT(vgg.time_per_image, 2e-2);
+}
+
+TEST(GpuModel, TimePerImageIsBatchAmortised)
+{
+    GpuModel gpu;
+    const GpuCost cost = gpu.testing(workloads::mnistB());
+    EXPECT_NEAR(cost.time_per_image * gpu.params().batch_size,
+                cost.time_per_batch, 1e-12);
+}
+
+TEST(GpuModel, EnergyUsesUtilisationWeightedPower)
+{
+    GpuModel gpu;
+    const GpuCost mnist = gpu.testing(workloads::mnistA());
+    const double implied_power =
+        mnist.energy_per_image / mnist.time_per_image;
+    EXPECT_GE(implied_power, gpu.params().board_power_idle);
+    EXPECT_LE(implied_power, gpu.params().board_power_active);
+}
+
+TEST(GpuModel, BiggerNetworksTakeLonger)
+{
+    GpuModel gpu;
+    const double a = gpu.testing(workloads::vggA()).time_per_image;
+    const double e = gpu.testing(workloads::vggE()).time_per_image;
+    EXPECT_GT(e, a);
+}
+
+TEST(IsaacModel, DeepPipelineHurtsSmallBatches)
+{
+    const auto spec = workloads::vggE();
+    IsaacParams params;
+    const PipelineThroughput small = isaacThroughput(spec, params, 16);
+    const PipelineThroughput large = isaacThroughput(spec, params, 1024);
+    EXPECT_LT(small.utilization, large.utilization);
+    EXPECT_LT(small.utilization, 0.1); // 16 images vs ~420 fill cycles
+}
+
+TEST(IsaacModel, PipeLayerUtilisationIsHigherAtTrainingBatches)
+{
+    // The paper's §5 argument: at batch-sized runs (B = 64), the
+    // layer-grained PipeLayer pipeline sustains far higher utilisation
+    // than the tile-grained deep pipeline.
+    const auto spec = workloads::vggE();
+    IsaacParams params;
+    const auto isaac = isaacThroughput(spec, params, 64);
+    const auto pipelayer = pipeLayerThroughput(spec, 64);
+    EXPECT_GT(pipelayer.utilization, 2.0 * isaac.utilization);
+    EXPECT_GT(pipelayer.utilization, 0.5);
+}
+
+TEST(IsaacModel, BubblesReduceUtilisation)
+{
+    const auto spec = workloads::vggA();
+    IsaacParams clean;
+    IsaacParams bubbly;
+    bubbly.bubble_cycles_per_image = 2.0;
+    EXPECT_LT(isaacThroughput(spec, bubbly, 64).utilization,
+              isaacThroughput(spec, clean, 64).utilization);
+}
+
+TEST(IsaacModel, DependenceFanInMatchesPaperExample)
+{
+    // Paper §3.2.2: with 2x2 kernels, a point five layers downstream
+    // depends on 4 + 16 + 64 + 256 = 340 upstream points.
+    workloads::NetworkSpec spec;
+    spec.name = "fanin";
+    int64_t h = 64;
+    for (int i = 0; i < 5; ++i) {
+        spec.layers.push_back(
+            workloads::LayerSpec::conv(1, h, h, 1, 2));
+        h -= 1;
+    }
+    EXPECT_EQ(dependenceFanIn(spec, 4), 340);
+    EXPECT_EQ(dependenceFanIn(spec, 1), 4);
+    EXPECT_EQ(dependenceFanIn(spec, 2), 20);
+}
+
+TEST(IsaacModel, BubbleExpectationGrowsWithDelayProbability)
+{
+    const auto spec = workloads::vggA();
+    EXPECT_DOUBLE_EQ(expectedBubbleCycles(spec, 0.0), 0.0);
+    const double low = expectedBubbleCycles(spec, 1e-6);
+    const double high = expectedBubbleCycles(spec, 1e-3);
+    EXPECT_GT(low, 0.0);
+    EXPECT_GT(high, low);
+    // Bounded by one stall per stage.
+    EXPECT_LE(high,
+              static_cast<double>(spec.pipelineDepth()) + 1e-9);
+}
+
+TEST(IsaacModel, PipelineDepthScalesWithLayers)
+{
+    IsaacParams params;
+    const auto shallow = isaacThroughput(workloads::vggA(), params, 64);
+    const auto deep = isaacThroughput(workloads::vggE(), params, 64);
+    EXPECT_GT(deep.pipeline_depth, shallow.pipeline_depth);
+}
+
+} // namespace
+} // namespace baseline
+} // namespace pipelayer

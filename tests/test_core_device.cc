@@ -1,0 +1,532 @@
+/**
+ * @file
+ * Tests of the PipeLayer device API (§5.2) and the mapped layers:
+ * functional equivalence with the host network within quantisation
+ * error, in-ReRAM training, and the host/device data-transfer calls.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.hh"
+#include "core/device.hh"
+#include "core/mapped_layer.hh"
+#include "nn/layers.hh"
+#include "tensor/ops.hh"
+#include "workloads/model_zoo.hh"
+#include "workloads/synthetic_data.hh"
+
+namespace pipelayer {
+namespace core {
+namespace {
+
+/** A tiny CNN+MLP network over 1x8x8 inputs with 4 classes. */
+nn::Network
+tinyNet(uint64_t seed)
+{
+    Rng rng(seed);
+    nn::Network net("tiny", {1, 8, 8});
+    net.add(std::make_unique<nn::ConvLayer>(1, 4, 3, 1, 1, rng));
+    net.add(std::make_unique<nn::ReluLayer>());
+    net.add(std::make_unique<nn::MaxPoolLayer>(2));
+    net.add(std::make_unique<nn::FlattenLayer>());
+    net.add(std::make_unique<nn::InnerProductLayer>(64, 4, rng));
+    return net;
+}
+
+workloads::SyntheticTask
+tinyTask()
+{
+    workloads::SyntheticConfig config;
+    config.classes = 4;
+    config.image_size = 8;
+    config.train_per_class = 12;
+    config.test_per_class = 6;
+    config.noise = 0.2f;
+    config.seed = 99;
+    return workloads::makeSyntheticTask(config);
+}
+
+TEST(MappedConv, ForwardMatchesHostWithinQuantisation)
+{
+    Rng rng(1);
+    const Tensor w = Tensor::randn({4, 2, 3, 3}, rng, 0.0f, 0.3f);
+    const Tensor b = Tensor::randn({4}, rng, 0.0f, 0.1f);
+    MappedConvLayer mapped(reram::DeviceParams(), w, b, /*pad=*/1,
+                           /*training=*/false);
+    Tensor input({2, 6, 6});
+    for (int64_t i = 0; i < input.numel(); ++i)
+        input.at(i) = static_cast<float>(rng.uniform());
+
+    const Tensor expect = ops::conv2d(input, w, b, 1, 1);
+    const Tensor got = mapped.forward(input);
+    ASSERT_EQ(got.shape(), expect.shape());
+    for (int64_t i = 0; i < got.numel(); ++i)
+        EXPECT_NEAR(got.at(i), expect.at(i),
+                    0.01 * (1.0 + std::fabs(expect.at(i))));
+}
+
+TEST(MappedConv, BackwardErrorMatchesHost)
+{
+    Rng rng(2);
+    const Tensor w = Tensor::randn({3, 2, 3, 3}, rng, 0.0f, 0.3f);
+    const Tensor b = Tensor::randn({3}, rng, 0.0f, 0.1f);
+    MappedConvLayer mapped(reram::DeviceParams(), w, b, /*pad=*/1,
+                           /*training=*/true);
+    const Tensor delta = Tensor::randn({3, 5, 5}, rng, 0.0f, 0.5f);
+    const Tensor expect = ops::conv2dBackwardInput(delta, w, 1);
+    const Tensor got = mapped.backwardError(delta);
+    ASSERT_EQ(got.shape(), expect.shape());
+    for (int64_t i = 0; i < got.numel(); ++i)
+        EXPECT_NEAR(got.at(i), expect.at(i),
+                    0.02 * (1.0 + std::fabs(expect.at(i))));
+}
+
+TEST(MappedConv, StoredWeightsRoundTrip)
+{
+    Rng rng(3);
+    const Tensor w = Tensor::randn({2, 2, 3, 3}, rng);
+    const Tensor b = Tensor::randn({2}, rng);
+    MappedConvLayer mapped(reram::DeviceParams(), w, b, 0, false);
+    const Tensor stored_w = mapped.storedWeight();
+    const Tensor stored_b = mapped.storedBias();
+    for (int64_t i = 0; i < w.numel(); ++i)
+        EXPECT_NEAR(stored_w.at(i), w.at(i), 1e-3);
+    for (int64_t i = 0; i < b.numel(); ++i)
+        EXPECT_NEAR(stored_b.at(i), b.at(i), 1e-3);
+}
+
+TEST(MappedIp, ForwardMatchesHost)
+{
+    Rng rng(4);
+    const Tensor w = Tensor::randn({5, 9}, rng);
+    const Tensor b = Tensor::randn({5}, rng, 0.0f, 0.2f);
+    MappedIpLayer mapped(reram::DeviceParams(), w, b, false);
+    Tensor x({9});
+    for (int64_t i = 0; i < 9; ++i)
+        x(i) = static_cast<float>(rng.uniform());
+    Tensor expect = ops::matVec(w, x);
+    expect += b;
+    const Tensor got = mapped.forward(x);
+    for (int64_t i = 0; i < got.numel(); ++i)
+        EXPECT_NEAR(got.at(i), expect.at(i),
+                    0.01 * (1.0 + std::fabs(expect.at(i))));
+}
+
+TEST(MappedIp, BackwardErrorIsTransposedProduct)
+{
+    Rng rng(5);
+    const Tensor w = Tensor::randn({6, 4}, rng);
+    const Tensor b = Tensor::randn({6}, rng);
+    MappedIpLayer mapped(reram::DeviceParams(), w, b, true);
+    const Tensor delta = Tensor::randn({6}, rng);
+    const Tensor expect = ops::matVecT(w, delta);
+    const Tensor got = mapped.backwardError(delta);
+    for (int64_t i = 0; i < got.numel(); ++i)
+        EXPECT_NEAR(got.at(i), expect.at(i),
+                    0.02 * (1.0 + std::fabs(expect.at(i))));
+}
+
+TEST(MappedIp, UpdateShiftsStoredWeights)
+{
+    Rng rng(6);
+    // Keep weights inside the quantisation range (anchor sets the
+    // scale) so the update never clamps at the code limits.
+    Tensor w = Tensor::randn({3, 3}, rng, 0.0f, 0.3f);
+    w(0, 0) = 2.0f;
+    const Tensor b = Tensor::randn({3}, rng);
+    MappedIpLayer mapped(reram::DeviceParams(), w, b, true);
+    Tensor wg({3, 3}, 1.0f);
+    Tensor bg({3}, 1.0f);
+    const Tensor before = mapped.storedWeight();
+    mapped.applyUpdate(wg, bg, /*lr=*/0.4f, /*batch_size=*/4);
+    const Tensor after = mapped.storedWeight();
+    for (int64_t i = 0; i < after.numel(); ++i)
+        EXPECT_LT(after.at(i), before.at(i));
+}
+
+/** Geometry sweep: mapped conv forward across kernel/pad variants. */
+class MappedConvSweep
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>>
+{
+};
+
+TEST_P(MappedConvSweep, ForwardMatchesHost)
+{
+    const auto [kernel, pad] = GetParam();
+    Rng rng(static_cast<uint64_t>(kernel * 10 + pad));
+    const Tensor w =
+        Tensor::randn({3, 2, kernel, kernel}, rng, 0.0f, 0.3f);
+    const Tensor b = Tensor::randn({3}, rng, 0.0f, 0.1f);
+    MappedConvLayer mapped(reram::DeviceParams(), w, b, pad, false);
+    Tensor input({2, 7, 7});
+    for (int64_t i = 0; i < input.numel(); ++i)
+        input.at(i) = static_cast<float>(rng.uniform());
+    const Tensor expect = ops::conv2d(input, w, b, 1, pad);
+    const Tensor got = mapped.forward(input);
+    ASSERT_EQ(got.shape(), expect.shape());
+    for (int64_t i = 0; i < got.numel(); ++i)
+        EXPECT_NEAR(got.at(i), expect.at(i),
+                    0.02 * (1.0 + std::fabs(expect.at(i))));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, MappedConvSweep,
+    ::testing::Values(std::make_pair<int64_t, int64_t>(1, 0),
+                      std::make_pair<int64_t, int64_t>(3, 0),
+                      std::make_pair<int64_t, int64_t>(3, 1),
+                      std::make_pair<int64_t, int64_t>(5, 2)));
+
+TEST(Device, CopyRoundTrip)
+{
+    PipeLayerDevice dev{PipeLayerConfig{}};
+    Rng rng(7);
+    const Tensor t = Tensor::randn({3, 3}, rng);
+    dev.Copy_to_PL("input", t);
+    const Tensor back = dev.Copy_to_CPU("input");
+    for (int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_FLOAT_EQ(back.at(i), t.at(i));
+}
+
+TEST(DeviceDeath, CopyUnknownNameIsFatal)
+{
+    PipeLayerDevice dev{PipeLayerConfig{}};
+    EXPECT_EXIT(dev.Copy_to_CPU("nope"), ::testing::ExitedWithCode(1),
+                "no tensor");
+}
+
+TEST(Device, ForwardMatchesHostNetwork)
+{
+    nn::Network net = tinyNet(8);
+    PipeLayerConfig config;
+    config.training = false;
+    PipeLayerDevice dev(config);
+    dev.Topology_set(net);
+    dev.Weight_load();
+
+    Rng rng(9);
+    Tensor x({1, 8, 8});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x.at(i) = static_cast<float>(rng.uniform());
+
+    const Tensor host = net.infer(x);
+    const Tensor device = dev.forward(x);
+    ASSERT_EQ(host.shape(), device.shape());
+    for (int64_t i = 0; i < host.numel(); ++i)
+        EXPECT_NEAR(device.at(i), host.at(i),
+                    0.05 * (1.0 + std::fabs(host.at(i))));
+}
+
+TEST(Device, PredictionsMostlyAgreeWithHost)
+{
+    nn::Network net = tinyNet(10);
+    PipeLayerConfig config;
+    config.training = false;
+    PipeLayerDevice dev(config);
+    dev.Topology_set(net);
+    dev.Weight_load();
+
+    auto task = tinyTask();
+    int agree = 0;
+    const int n = static_cast<int>(task.test.size());
+    for (int i = 0; i < n; ++i) {
+        if (dev.predict(task.test.inputs[static_cast<size_t>(i)]) ==
+            net.predict(task.test.inputs[static_cast<size_t>(i)]))
+            ++agree;
+    }
+    EXPECT_GE(agree, n * 9 / 10);
+}
+
+TEST(Device, TrainImprovesAccuracy)
+{
+    nn::Network net = tinyNet(11);
+    PipeLayerConfig config;
+    config.batch_size = 8;
+    config.learning_rate = 0.1f;
+    PipeLayerDevice dev(config);
+    dev.Topology_set(net);
+    dev.Weight_load();
+
+    auto task = tinyTask();
+    const DeviceTestStats before = dev.Test(task.test);
+    const DeviceTrainStats stats = dev.Train(task.train, /*epochs=*/6);
+    const DeviceTestStats after = dev.Test(task.test);
+
+    EXPECT_GT(stats.batches_run, 0);
+    ASSERT_GE(stats.epoch_loss.size(), 2u);
+    EXPECT_LT(stats.epoch_loss.back(), stats.epoch_loss.front());
+    EXPECT_GT(after.accuracy, before.accuracy);
+    EXPECT_GT(after.accuracy, 0.6);
+}
+
+TEST(Device, TrainingTracksHostTraining)
+{
+    // Training *through the crossbars* (16-bit weights, quantised
+    // activations) should track float host training on the same data:
+    // the resolution study says 16-bit is indistinguishable.
+    nn::Network host_net = tinyNet(40);
+    nn::Network device_net = tinyNet(40);
+    auto task = tinyTask();
+
+    PipeLayerConfig config;
+    config.batch_size = 8;
+    config.learning_rate = 0.1f;
+    PipeLayerDevice dev(config);
+    dev.Topology_set(device_net);
+    dev.Weight_load();
+    dev.Train(task.train, /*epochs=*/4);
+
+    nn::TrainConfig host_config;
+    host_config.epochs = 4;
+    host_config.batch_size = 8;
+    host_config.learning_rate = 0.1f;
+    host_config.shuffle = false; // same sample order as the device
+    Rng train_rng(41);
+    const auto host =
+        nn::train(host_net, task.train, task.test, host_config,
+                  train_rng);
+
+    const double device_acc = dev.Test(task.test).accuracy;
+    EXPECT_NEAR(device_acc, host.final_test_accuracy, 0.25);
+}
+
+TEST(Device, PipelineSetControlsTimingOnly)
+{
+    nn::Network net = tinyNet(12);
+    PipeLayerConfig config;
+    config.training = false;
+    PipeLayerDevice dev(config);
+    dev.Topology_set(net);
+    dev.Weight_load();
+    EXPECT_TRUE(dev.pipelineEnabled());
+
+    const auto piped = dev.timingReport(sim::Phase::Testing, 64);
+    dev.Pipeline_Set(false);
+    EXPECT_FALSE(dev.pipelineEnabled());
+    const auto serial = dev.timingReport(sim::Phase::Testing, 64);
+    EXPECT_LT(piped.total_time, serial.total_time);
+
+    // Functional results are unaffected by the pipeline switch.
+    Rng rng(13);
+    Tensor x({1, 8, 8});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x.at(i) = static_cast<float>(rng.uniform());
+    dev.Pipeline_Set(true);
+    const Tensor a = dev.forward(x);
+    dev.Pipeline_Set(false);
+    const Tensor b = dev.forward(x);
+    for (int64_t i = 0; i < a.numel(); ++i)
+        EXPECT_FLOAT_EQ(a.at(i), b.at(i));
+}
+
+TEST(Device, ArrayCountReflectsTrainingMode)
+{
+    nn::Network net_a = tinyNet(14);
+    nn::Network net_b = tinyNet(14);
+    PipeLayerConfig testing;
+    testing.training = false;
+    PipeLayerConfig training;
+    training.training = true;
+
+    PipeLayerDevice dev_test(testing);
+    dev_test.Topology_set(net_a);
+    dev_test.Weight_load();
+    PipeLayerDevice dev_train(training);
+    dev_train.Topology_set(net_b);
+    dev_train.Weight_load();
+
+    EXPECT_GT(dev_test.arrayCount(), 0);
+    EXPECT_GT(dev_train.arrayCount(), dev_test.arrayCount());
+}
+
+TEST(DeviceDeath, TrainWithoutWeightLoadPanics)
+{
+    PipeLayerDevice dev{PipeLayerConfig{}};
+    auto task = tinyTask();
+    EXPECT_DEATH(dev.Train(task.train, 1), "Weight_load");
+}
+
+TEST(Device, TrainWithL2Loss)
+{
+    nn::Network net = tinyNet(16);
+    PipeLayerConfig config;
+    config.batch_size = 8;
+    config.learning_rate = 0.1f;
+    config.loss = nn::LossKind::L2;
+    PipeLayerDevice dev(config);
+    dev.Topology_set(net);
+    dev.Weight_load();
+
+    auto task = tinyTask();
+    const auto stats = dev.Train(task.train, /*epochs=*/6);
+    ASSERT_GE(stats.epoch_loss.size(), 2u);
+    EXPECT_LT(stats.epoch_loss.back(), stats.epoch_loss.front());
+    // L2 training converges more slowly than softmax; well above the
+    // 4-class chance level (0.25) is enough here.
+    EXPECT_GT(dev.Test(task.test).accuracy, 0.4);
+}
+
+TEST(Device, MildVariationPreservesAccuracy)
+{
+    nn::Network net = tinyNet(17);
+    PipeLayerConfig clean_config;
+    clean_config.training = false;
+    PipeLayerConfig noisy_config;
+    noisy_config.training = false;
+    noisy_config.device.write_noise_sigma = 0.01;
+
+    PipeLayerDevice clean(clean_config);
+    clean.Topology_set(net);
+    clean.Weight_load();
+    PipeLayerDevice noisy(noisy_config);
+    noisy.Topology_set(net);
+    noisy.Weight_load();
+
+    auto task = tinyTask();
+    const double clean_acc = clean.Test(task.test).accuracy;
+    const double noisy_acc = noisy.Test(task.test).accuracy;
+    EXPECT_GT(noisy_acc, clean_acc - 0.25);
+}
+
+TEST(Device, ActivityAndMeasuredEnergyAccumulate)
+{
+    nn::Network net = tinyNet(20);
+    PipeLayerConfig config;
+    config.training = false;
+    PipeLayerDevice dev(config);
+    dev.Topology_set(net);
+    dev.Weight_load();
+
+    const auto after_load = dev.totalActivity();
+    EXPECT_GT(after_load.write_pulses, 0); // programming cost
+    EXPECT_EQ(after_load.mvm_ops, 0);
+
+    Rng rng(21);
+    Tensor x({1, 8, 8});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x.at(i) = static_cast<float>(rng.uniform());
+    const double e0 = dev.measuredComputeEnergy();
+    (void)dev.forward(x);
+    const auto after_fwd = dev.totalActivity();
+    EXPECT_GT(after_fwd.mvm_ops, 0);
+    EXPECT_GT(after_fwd.input_spikes, 0);
+    EXPECT_GT(dev.measuredComputeEnergy(), e0);
+}
+
+TEST(Device, MeasuredEnergyTracksAnalyticOrderOfMagnitude)
+{
+    // One functional inference's measured array energy should land
+    // within an order of magnitude of the analytic per-image forward
+    // energy (the models share the per-spike constants but count
+    // activity differently: measured skips all-zero row chunks).
+    nn::Network net = tinyNet(22);
+    PipeLayerConfig config;
+    config.training = false;
+    PipeLayerDevice dev(config);
+    dev.Topology_set(net);
+    dev.Weight_load();
+
+    const double before = dev.measuredComputeEnergy();
+    Rng rng(23);
+    Tensor x({1, 8, 8});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x.at(i) = static_cast<float>(rng.uniform());
+    (void)dev.forward(x);
+    const double measured = dev.measuredComputeEnergy() - before;
+
+    const auto report = dev.timingReport(sim::Phase::Testing, 1);
+    const double analytic = report.energy.forward_compute;
+    EXPECT_GT(measured, analytic / 10.0);
+    EXPECT_LT(measured, analytic * 10.0);
+}
+
+/** A sigmoid MLP over 1x8x8 inputs. */
+nn::Network
+sigmoidNet(uint64_t seed)
+{
+    Rng rng(seed);
+    nn::Network net("sigmoid-mlp", {1, 8, 8});
+    net.add(std::make_unique<nn::FlattenLayer>());
+    net.add(std::make_unique<nn::InnerProductLayer>(64, 16, rng));
+    net.add(std::make_unique<nn::SigmoidLayer>());
+    net.add(std::make_unique<nn::InnerProductLayer>(16, 4, rng));
+    return net;
+}
+
+TEST(Device, LutSigmoidTracksExactSigmoid)
+{
+    nn::Network net = sigmoidNet(30);
+    PipeLayerConfig lut_config;
+    lut_config.training = false;
+    lut_config.lut_sigmoid = true;
+    lut_config.sigmoid_lut_bits = 10;
+    PipeLayerConfig exact_config;
+    exact_config.training = false;
+    exact_config.lut_sigmoid = false;
+
+    PipeLayerDevice lut_dev(lut_config);
+    lut_dev.Topology_set(net);
+    lut_dev.Weight_load();
+    PipeLayerDevice exact_dev(exact_config);
+    exact_dev.Topology_set(net);
+    exact_dev.Weight_load();
+
+    Rng rng(31);
+    Tensor x({1, 8, 8});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x.at(i) = static_cast<float>(rng.uniform());
+    const Tensor a = lut_dev.forward(x);
+    const Tensor b = exact_dev.forward(x);
+    for (int64_t i = 0; i < a.numel(); ++i)
+        EXPECT_NEAR(a.at(i), b.at(i), 0.05 * (1.0 + std::fabs(b.at(i))));
+}
+
+TEST(Device, TrainsThroughLutSigmoid)
+{
+    nn::Network net = sigmoidNet(32);
+    PipeLayerConfig config;
+    config.batch_size = 8;
+    config.learning_rate = 0.3f; // sigmoids saturate; push harder
+    config.lut_sigmoid = true;
+    PipeLayerDevice dev(config);
+    dev.Topology_set(net);
+    dev.Weight_load();
+
+    auto task = tinyTask();
+    const auto stats = dev.Train(task.train, /*epochs=*/8);
+    EXPECT_LT(stats.epoch_loss.back(), stats.epoch_loss.front());
+    EXPECT_GT(dev.Test(task.test).accuracy, 0.4);
+}
+
+TEST(Device, TopologySetResetsStages)
+{
+    nn::Network net_a = tinyNet(18);
+    nn::Network net_b = tinyNet(19);
+    PipeLayerConfig config;
+    config.training = false;
+    PipeLayerDevice dev(config);
+    dev.Topology_set(net_a);
+    dev.Weight_load();
+    EXPECT_GT(dev.arrayCount(), 0);
+    dev.Topology_set(net_b); // invalidates the programmed arrays
+    EXPECT_EQ(dev.arrayCount(), 0);
+    dev.Weight_load();
+    EXPECT_GT(dev.arrayCount(), 0);
+}
+
+TEST(DeviceDeath, StridedConvIsRejected)
+{
+    Rng rng(15);
+    nn::Network net("strided", {3, 9, 9});
+    net.add(std::make_unique<nn::ConvLayer>(3, 4, 3, /*stride=*/2, 0,
+                                            rng));
+    PipeLayerDevice dev{PipeLayerConfig{}};
+    dev.Topology_set(net);
+    EXPECT_DEATH(dev.Weight_load(), "stride");
+}
+
+} // namespace
+} // namespace core
+} // namespace pipelayer

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests of the memory-subarray storage region (paper §3/§4.1) and the
+ * Copy_to_PL / Copy_to_CPU accounting it backs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/device.hh"
+#include "reram/memory_region.hh"
+
+namespace pipelayer {
+namespace reram {
+namespace {
+
+TEST(MemoryRegion, CapacityFollowsGeometry)
+{
+    DeviceParams p; // 128x128 cells, 4-bit cells, 16-bit values
+    MemoryRegion region(p, 4);
+    // 4 arrays * 16384 cells * 4 bits / 16 bits = 16384 values.
+    EXPECT_EQ(region.capacityValues(), 16384);
+    EXPECT_EQ(region.usedValues(), 0);
+    EXPECT_EQ(region.arrayCount(), 4);
+    EXPECT_GT(region.areaMm2(), 0.0);
+}
+
+TEST(MemoryRegion, WriteReadRoundTrip)
+{
+    MemoryRegion region(DeviceParams(), 4);
+    Rng rng(1);
+    const Tensor t = Tensor::randn({3, 5}, rng);
+    region.write("acts", t);
+    EXPECT_TRUE(region.contains("acts"));
+    EXPECT_EQ(region.usedValues(), 15);
+
+    const Tensor back = region.read("acts");
+    ASSERT_EQ(back.shape(), t.shape());
+    for (int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_FLOAT_EQ(back.at(i), t.at(i));
+}
+
+TEST(MemoryRegion, OverwriteReplacesWithoutLeaking)
+{
+    MemoryRegion region(DeviceParams(), 4);
+    Rng rng(2);
+    region.write("x", Tensor::randn({100}, rng));
+    region.write("x", Tensor::randn({60}, rng));
+    EXPECT_EQ(region.usedValues(), 60);
+}
+
+TEST(MemoryRegion, EraseFreesCapacity)
+{
+    MemoryRegion region(DeviceParams(), 4);
+    Rng rng(3);
+    region.write("x", Tensor::randn({100}, rng));
+    region.erase("x");
+    EXPECT_FALSE(region.contains("x"));
+    EXPECT_EQ(region.usedValues(), 0);
+    region.erase("never-there"); // no-op, no crash
+}
+
+TEST(MemoryRegion, StatsAccountTransfers)
+{
+    MemoryRegion region(DeviceParams(), 4);
+    Rng rng(4);
+    const Tensor t = Tensor::randn({256}, rng);
+    region.write("x", t);
+    (void)region.read("x");
+    (void)region.read("x");
+
+    const MemoryStats &stats = region.stats();
+    EXPECT_EQ(stats.writes, 1);
+    EXPECT_EQ(stats.reads, 2);
+    EXPECT_EQ(stats.bits_written, 256 * 16);
+    EXPECT_EQ(stats.bits_read, 2 * 256 * 16);
+    EXPECT_GT(stats.write_time, 0.0);
+    EXPECT_GT(stats.read_time, 0.0);
+    EXPECT_GT(stats.energy, 0.0);
+    // Writes are slower than reads per bit (50.88 vs 29.31 ns/pulse).
+    EXPECT_GT(stats.write_time, stats.read_time / 2.0);
+}
+
+TEST(MemoryRegion, NamesAreSorted)
+{
+    MemoryRegion region(DeviceParams(), 4);
+    Rng rng(5);
+    region.write("zeta", Tensor::randn({4}, rng));
+    region.write("alpha", Tensor::randn({4}, rng));
+    const auto names = region.names();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(MemoryRegionDeath, OverflowIsFatal)
+{
+    MemoryRegion region(DeviceParams(), 1); // 4096 values
+    Rng rng(6);
+    EXPECT_EXIT(region.write("big", Tensor::randn({5000}, rng)),
+                ::testing::ExitedWithCode(1), "overflow");
+}
+
+TEST(MemoryRegionDeath, ReadingMissingTensorIsFatal)
+{
+    MemoryRegion region(DeviceParams(), 1);
+    EXPECT_EXIT(region.read("ghost"), ::testing::ExitedWithCode(1),
+                "no tensor");
+}
+
+TEST(DeviceStaging, CopyAccountsTraffic)
+{
+    core::PipeLayerConfig config;
+    core::PipeLayerDevice dev(config);
+    Rng rng(7);
+    const Tensor t = Tensor::randn({64}, rng);
+    dev.Copy_to_PL("input", t);
+    (void)dev.Copy_to_CPU("input");
+    EXPECT_EQ(dev.stagingStats().writes, 1);
+    EXPECT_EQ(dev.stagingStats().reads, 1);
+    EXPECT_GT(dev.stagingStats().energy, 0.0);
+}
+
+} // namespace
+} // namespace reram
+} // namespace pipelayer

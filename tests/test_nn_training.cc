@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Integration tests of the functional training substrate: networks,
+ * batched SGD, convergence on synthetic tasks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "nn/layers.hh"
+#include "nn/network.hh"
+#include "nn/trainer.hh"
+#include "workloads/synthetic_data.hh"
+
+namespace pipelayer {
+namespace nn {
+namespace {
+
+/** A small MLP over 1x8x8 inputs. */
+Network
+smallMlp(Rng &rng)
+{
+    Network net("mlp", {1, 8, 8});
+    net.add(std::make_unique<FlattenLayer>());
+    net.add(std::make_unique<InnerProductLayer>(64, 32, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<InnerProductLayer>(32, 4, rng));
+    return net;
+}
+
+/** A small CNN over 1x8x8 inputs. */
+Network
+smallCnn(Rng &rng)
+{
+    Network net("cnn", {1, 8, 8});
+    net.add(std::make_unique<ConvLayer>(1, 4, 3, 1, 1, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<MaxPoolLayer>(2));
+    net.add(std::make_unique<FlattenLayer>());
+    net.add(std::make_unique<InnerProductLayer>(4 * 4 * 4, 4, rng));
+    return net;
+}
+
+workloads::SyntheticTask
+smallTask()
+{
+    workloads::SyntheticConfig config;
+    config.classes = 4;
+    config.image_size = 8;
+    config.train_per_class = 30;
+    config.test_per_class = 10;
+    config.noise = 0.25f;
+    config.seed = 77;
+    return workloads::makeSyntheticTask(config);
+}
+
+TEST(Network, ShapePropagationAndDescribe)
+{
+    Rng rng(1);
+    Network net = smallCnn(rng);
+    EXPECT_EQ(net.outputShape(), (Shape{4}));
+    EXPECT_EQ(net.numLayers(), 5u);
+    EXPECT_NE(net.describe().find("conv3x4"), std::string::npos);
+    EXPECT_EQ(net.layerInputShape(0), (Shape{1, 8, 8}));
+    EXPECT_EQ(net.layerInputShape(3), (Shape{4, 4, 4}));
+}
+
+TEST(Network, ParameterCount)
+{
+    Rng rng(2);
+    Network net = smallMlp(rng);
+    EXPECT_EQ(net.parameterCount(), 64 * 32 + 32 + 32 * 4 + 4);
+}
+
+TEST(Network, ForwardInferAgree)
+{
+    Rng rng(3);
+    Network net = smallCnn(rng);
+    const Tensor x = Tensor::randn({1, 8, 8}, rng);
+    const Tensor a = net.forward(x);
+    const Tensor b = net.infer(x);
+    for (int64_t i = 0; i < a.numel(); ++i)
+        EXPECT_FLOAT_EQ(a.at(i), b.at(i));
+}
+
+TEST(Training, MlpLossDecreases)
+{
+    Rng rng(4);
+    Network net = smallMlp(rng);
+    auto task = smallTask();
+    TrainConfig config;
+    config.epochs = 8;
+    config.batch_size = 8;
+    config.learning_rate = 0.1f;
+    Rng train_rng(5);
+    const TrainResult result =
+        train(net, task.train, task.test, config, train_rng);
+    ASSERT_EQ(result.epoch_loss.size(), 8u);
+    EXPECT_LT(result.epoch_loss.back(), result.epoch_loss.front() * 0.7);
+}
+
+TEST(Training, MlpLearnsTask)
+{
+    Rng rng(6);
+    Network net = smallMlp(rng);
+    auto task = smallTask();
+    TrainConfig config;
+    config.epochs = 12;
+    config.batch_size = 8;
+    config.learning_rate = 0.1f;
+    Rng train_rng(7);
+    const TrainResult result =
+        train(net, task.train, task.test, config, train_rng);
+    EXPECT_GT(result.final_test_accuracy, 0.8);
+}
+
+TEST(Training, CnnLearnsTask)
+{
+    Rng rng(8);
+    Network net = smallCnn(rng);
+    auto task = smallTask();
+    TrainConfig config;
+    config.epochs = 12;
+    config.batch_size = 8;
+    config.learning_rate = 0.1f;
+    Rng train_rng(9);
+    const TrainResult result =
+        train(net, task.train, task.test, config, train_rng);
+    EXPECT_GT(result.final_test_accuracy, 0.8);
+}
+
+TEST(Training, BatchAveragingMatchesManualUpdate)
+{
+    // trainBatch must apply W -= lr * (1/B) Σ grads: two identical
+    // samples in a batch behave like one sample with batch 1.
+    Rng rng_a(10), rng_b(10);
+    Network net_a("a", {1, 8, 8});
+    net_a.add(std::make_unique<FlattenLayer>());
+    net_a.add(std::make_unique<InnerProductLayer>(64, 4, rng_a));
+    Network net_b("b", {1, 8, 8});
+    net_b.add(std::make_unique<FlattenLayer>());
+    net_b.add(std::make_unique<InnerProductLayer>(64, 4, rng_b));
+
+    Rng data_rng(11);
+    const Tensor x = Tensor::randn({1, 8, 8}, data_rng);
+
+    net_a.trainBatch({x, x}, {1, 1}, 0.1f);
+    net_b.trainBatch({x}, {1}, 0.1f);
+
+    auto params_a = net_a.layer(1).parameters();
+    auto params_b = net_b.layer(1).parameters();
+    for (int64_t i = 0; i < params_a[0]->numel(); ++i)
+        EXPECT_NEAR(params_a[0]->at(i), params_b[0]->at(i), 1e-6);
+}
+
+TEST(Training, DeterministicGivenSeeds)
+{
+    auto run = [] {
+        Rng rng(12);
+        Network net = smallMlp(rng);
+        auto task = smallTask();
+        TrainConfig config;
+        config.epochs = 3;
+        config.batch_size = 8;
+        Rng train_rng(13);
+        return train(net, task.train, task.test, config, train_rng)
+            .epoch_loss;
+    };
+    const auto a = run();
+    const auto b = run();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Dataset, ShuffleKeepsPairsAligned)
+{
+    auto task = smallTask();
+    // Tag each input with its label in pixel 0 to detect misalignment.
+    for (size_t i = 0; i < task.train.size(); ++i)
+        task.train.inputs[i].at(0) =
+            static_cast<float>(task.train.labels[i]);
+    Rng rng(14);
+    task.train.shuffle(rng);
+    for (size_t i = 0; i < task.train.size(); ++i)
+        EXPECT_EQ(static_cast<int64_t>(task.train.inputs[i].at(0)),
+                  task.train.labels[i]);
+}
+
+TEST(Dataset, HeadTakesPrefix)
+{
+    auto task = smallTask();
+    const Dataset head = task.train.head(5);
+    EXPECT_EQ(head.size(), 5u);
+    EXPECT_EQ(head.labels[0], task.train.labels[0]);
+}
+
+TEST(SyntheticData, DeterministicAndBounded)
+{
+    const auto a = workloads::makeStudyTask();
+    const auto b = workloads::makeStudyTask();
+    ASSERT_EQ(a.train.size(), b.train.size());
+    for (int64_t i = 0; i < a.train.inputs[0].numel(); ++i) {
+        EXPECT_FLOAT_EQ(a.train.inputs[0].at(i), b.train.inputs[0].at(i));
+        EXPECT_GE(a.train.inputs[0].at(i), 0.0f);
+        EXPECT_LE(a.train.inputs[0].at(i), 1.0f);
+    }
+}
+
+TEST(SyntheticData, ClassesAreSeparable)
+{
+    // Nearest-prototype classification on the noiseless means should
+    // be far above chance, otherwise the Fig. 13 study is meaningless.
+    const auto task = workloads::makeStudyTask();
+    // Compute class means from train, classify test by nearest mean.
+    const int64_t classes = task.config.classes;
+    const int64_t numel = task.train.inputs[0].numel();
+    std::vector<std::vector<double>> means(
+        static_cast<size_t>(classes),
+        std::vector<double>(static_cast<size_t>(numel), 0.0));
+    std::vector<int64_t> counts(static_cast<size_t>(classes), 0);
+    for (size_t i = 0; i < task.train.size(); ++i) {
+        const auto c = static_cast<size_t>(task.train.labels[i]);
+        ++counts[c];
+        for (int64_t j = 0; j < numel; ++j)
+            means[c][static_cast<size_t>(j)] += task.train.inputs[i].at(j);
+    }
+    for (size_t c = 0; c < means.size(); ++c)
+        for (auto &v : means[c])
+            v /= static_cast<double>(counts[c]);
+
+    int64_t correct = 0;
+    for (size_t i = 0; i < task.test.size(); ++i) {
+        double best = 1e30;
+        int64_t best_c = -1;
+        for (int64_t c = 0; c < classes; ++c) {
+            double dist = 0.0;
+            for (int64_t j = 0; j < numel; ++j) {
+                const double d = task.test.inputs[i].at(j) -
+                                 means[static_cast<size_t>(c)]
+                                      [static_cast<size_t>(j)];
+                dist += d * d;
+            }
+            if (dist < best) {
+                best = dist;
+                best_c = c;
+            }
+        }
+        correct += best_c == task.test.labels[i] ? 1 : 0;
+    }
+    const double accuracy = static_cast<double>(correct) /
+                            static_cast<double>(task.test.size());
+    EXPECT_GT(accuracy, 0.9);
+}
+
+} // namespace
+} // namespace nn
+} // namespace pipelayer

@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Unit tests for the tensor primitives: convolution (forward and the
+ * paper's rotated-kernel backward forms), pooling, matrix products
+ * and im2col.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "tensor/ops.hh"
+#include "tensor/tensor.hh"
+
+namespace pipelayer {
+namespace {
+
+/** 1x3x3 input with values 1..9. */
+Tensor
+sequentialInput()
+{
+    Tensor in({1, 3, 3});
+    for (int64_t i = 0; i < 9; ++i)
+        in.at(i) = static_cast<float>(i + 1);
+    return in;
+}
+
+TEST(Conv2d, IdentityKernel)
+{
+    const Tensor in = sequentialInput();
+    Tensor k({1, 1, 1, 1});
+    k(0, 0, 0, 0) = 1.0f;
+    const Tensor out = ops::conv2d(in, k, Tensor());
+    for (int64_t i = 0; i < 9; ++i)
+        EXPECT_FLOAT_EQ(out.at(i), in.at(i));
+}
+
+TEST(Conv2d, SumKernelComputesWindowSums)
+{
+    const Tensor in = sequentialInput();
+    Tensor k({1, 1, 2, 2}, 1.0f);
+    const Tensor out = ops::conv2d(in, k, Tensor());
+    EXPECT_EQ(out.shape(), (Shape{1, 2, 2}));
+    EXPECT_FLOAT_EQ(out(0, 0, 0), 1 + 2 + 4 + 5);
+    EXPECT_FLOAT_EQ(out(0, 1, 1), 5 + 6 + 8 + 9);
+}
+
+TEST(Conv2d, BiasIsAdded)
+{
+    const Tensor in = sequentialInput();
+    Tensor k({1, 1, 1, 1});
+    k(0, 0, 0, 0) = 0.0f;
+    Tensor b({1});
+    b(0) = 3.5f;
+    const Tensor out = ops::conv2d(in, k, b);
+    EXPECT_FLOAT_EQ(out(0, 1, 1), 3.5f);
+}
+
+TEST(Conv2d, StrideSkipsPositions)
+{
+    const Tensor in = sequentialInput();
+    Tensor k({1, 1, 1, 1});
+    k(0, 0, 0, 0) = 1.0f;
+    const Tensor out = ops::conv2d(in, k, Tensor(), /*stride=*/2);
+    EXPECT_EQ(out.shape(), (Shape{1, 2, 2}));
+    EXPECT_FLOAT_EQ(out(0, 0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(out(0, 0, 1), 3.0f);
+    EXPECT_FLOAT_EQ(out(0, 1, 0), 7.0f);
+}
+
+TEST(Conv2d, PaddingPreservesExtent)
+{
+    const Tensor in = sequentialInput();
+    Tensor k({1, 1, 3, 3}, 1.0f);
+    const Tensor out = ops::conv2d(in, k, Tensor(), 1, /*pad=*/1);
+    EXPECT_EQ(out.shape(), (Shape{1, 3, 3}));
+    // Centre output = sum of all nine inputs.
+    EXPECT_FLOAT_EQ(out(0, 1, 1), 45.0f);
+    // Corner output only sees a 2x2 patch.
+    EXPECT_FLOAT_EQ(out(0, 0, 0), 1 + 2 + 4 + 5);
+}
+
+TEST(Conv2d, MultiChannelAccumulates)
+{
+    Tensor in({2, 2, 2}, 1.0f);
+    Tensor k({1, 2, 2, 2}, 1.0f);
+    const Tensor out = ops::conv2d(in, k, Tensor());
+    EXPECT_EQ(out.shape(), (Shape{1, 1, 1}));
+    EXPECT_FLOAT_EQ(out(0, 0, 0), 8.0f);
+}
+
+TEST(Rot180, SwapsChannelsAndReversesTaps)
+{
+    Tensor k({1, 2, 2, 2});
+    for (int64_t i = 0; i < k.numel(); ++i)
+        k.at(i) = static_cast<float>(i);
+    const Tensor r = ops::rot180(k);
+    EXPECT_EQ(r.shape(), (Shape{2, 1, 2, 2}));
+    // k(0, 1, 0, 1) maps to r(1, 0, 1, 0).
+    EXPECT_FLOAT_EQ(r(1, 0, 1, 0), k(0, 1, 0, 1));
+    EXPECT_FLOAT_EQ(r(0, 0, 1, 1), k(0, 0, 0, 0));
+}
+
+TEST(ZeroPad, AddsBorder)
+{
+    const Tensor in = sequentialInput();
+    const Tensor out = ops::zeroPad(in, 2);
+    EXPECT_EQ(out.shape(), (Shape{1, 7, 7}));
+    EXPECT_FLOAT_EQ(out(0, 0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(out(0, 2, 2), 1.0f);
+    EXPECT_FLOAT_EQ(out(0, 4, 4), 9.0f);
+}
+
+/**
+ * Numerical check of conv2dBackwardInput: perturb an input element,
+ * watch the loss Σ(out·delta) change by delta_in at that element.
+ */
+TEST(ConvBackward, InputGradientMatchesNumerical)
+{
+    Rng rng(3);
+    const Tensor in = Tensor::randn({2, 5, 5}, rng);
+    const Tensor k = Tensor::randn({3, 2, 3, 3}, rng);
+    const Tensor delta = Tensor::randn({3, 3, 3}, rng);
+
+    const Tensor grad = ops::conv2dBackwardInput(delta, k);
+    ASSERT_EQ(grad.shape(), in.shape());
+
+    const float eps = 1e-3f;
+    for (int64_t idx : {0L, 7L, 24L, 49L}) {
+        Tensor plus = in, minus = in;
+        plus.at(idx) += eps;
+        minus.at(idx) -= eps;
+        const Tensor out_p = ops::conv2d(plus, k, Tensor());
+        const Tensor out_m = ops::conv2d(minus, k, Tensor());
+        double numeric = 0.0;
+        for (int64_t i = 0; i < out_p.numel(); ++i)
+            numeric += (out_p.at(i) - out_m.at(i)) * delta.at(i);
+        numeric /= 2.0 * eps;
+        EXPECT_NEAR(grad.at(idx), numeric, 5e-2);
+    }
+}
+
+TEST(ConvBackward, InputGradientWithPadding)
+{
+    Rng rng(4);
+    const Tensor in = Tensor::randn({1, 4, 4}, rng);
+    const Tensor k = Tensor::randn({2, 1, 3, 3}, rng);
+    const Tensor fwd = ops::conv2d(in, k, Tensor(), 1, 1);
+    const Tensor delta = Tensor::randn(fwd.shape(), rng);
+
+    const Tensor grad = ops::conv2dBackwardInput(delta, k, 1);
+    ASSERT_EQ(grad.shape(), in.shape());
+
+    const float eps = 1e-3f;
+    for (int64_t idx : {0L, 5L, 15L}) {
+        Tensor plus = in, minus = in;
+        plus.at(idx) += eps;
+        minus.at(idx) -= eps;
+        const Tensor out_p = ops::conv2d(plus, k, Tensor(), 1, 1);
+        const Tensor out_m = ops::conv2d(minus, k, Tensor(), 1, 1);
+        double numeric = 0.0;
+        for (int64_t i = 0; i < out_p.numel(); ++i)
+            numeric += (out_p.at(i) - out_m.at(i)) * delta.at(i);
+        numeric /= 2.0 * eps;
+        EXPECT_NEAR(grad.at(idx), numeric, 5e-2);
+    }
+}
+
+TEST(ConvBackward, KernelGradientMatchesNumerical)
+{
+    Rng rng(5);
+    const Tensor in = Tensor::randn({2, 4, 4}, rng);
+    const Tensor k = Tensor::randn({2, 2, 2, 2}, rng);
+    const Tensor fwd = ops::conv2d(in, k, Tensor());
+    const Tensor delta = Tensor::randn(fwd.shape(), rng);
+
+    const Tensor grad = ops::conv2dBackwardKernel(in, delta, 2, 2);
+    ASSERT_EQ(grad.shape(), k.shape());
+
+    const float eps = 1e-3f;
+    for (int64_t idx : {0L, 3L, 9L, 15L}) {
+        Tensor plus = k, minus = k;
+        plus.at(idx) += eps;
+        minus.at(idx) -= eps;
+        const Tensor out_p = ops::conv2d(in, plus, Tensor());
+        const Tensor out_m = ops::conv2d(in, minus, Tensor());
+        double numeric = 0.0;
+        for (int64_t i = 0; i < out_p.numel(); ++i)
+            numeric += (out_p.at(i) - out_m.at(i)) * delta.at(i);
+        numeric /= 2.0 * eps;
+        EXPECT_NEAR(grad.at(idx), numeric, 5e-2);
+    }
+}
+
+TEST(MaxPool, SelectsWindowMaxAndIndices)
+{
+    Tensor in({1, 4, 4});
+    for (int64_t i = 0; i < 16; ++i)
+        in.at(i) = static_cast<float>(i);
+    Tensor indices;
+    const Tensor out = ops::maxPool(in, 2, &indices);
+    EXPECT_EQ(out.shape(), (Shape{1, 2, 2}));
+    EXPECT_FLOAT_EQ(out(0, 0, 0), 5.0f);
+    EXPECT_FLOAT_EQ(out(0, 1, 1), 15.0f);
+    EXPECT_EQ(static_cast<int64_t>(indices(0, 0, 0)), 5);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmax)
+{
+    Tensor in({1, 2, 2});
+    in(0, 0, 0) = 1.0f;
+    in(0, 0, 1) = 4.0f;
+    in(0, 1, 0) = 2.0f;
+    in(0, 1, 1) = 3.0f;
+    Tensor indices;
+    const Tensor out = ops::maxPool(in, 2, &indices);
+    Tensor delta(out.shape());
+    delta(0, 0, 0) = 10.0f;
+    const Tensor grad = ops::maxPoolBackward(delta, indices, in.shape());
+    EXPECT_FLOAT_EQ(grad(0, 0, 1), 10.0f);
+    EXPECT_FLOAT_EQ(grad(0, 0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(grad(0, 1, 1), 0.0f);
+}
+
+TEST(AvgPool, ComputesWindowMeans)
+{
+    Tensor in({1, 2, 2});
+    in(0, 0, 0) = 1.0f;
+    in(0, 0, 1) = 2.0f;
+    in(0, 1, 0) = 3.0f;
+    in(0, 1, 1) = 6.0f;
+    const Tensor out = ops::avgPool(in, 2);
+    EXPECT_FLOAT_EQ(out(0, 0, 0), 3.0f);
+}
+
+TEST(AvgPool, BackwardSpreadsUniformly)
+{
+    Tensor delta({1, 1, 1});
+    delta(0, 0, 0) = 8.0f;
+    const Tensor grad = ops::avgPoolBackward(delta, 2, {1, 2, 2});
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(grad.at(i), 2.0f);
+}
+
+TEST(MatVec, ComputesProduct)
+{
+    Tensor w({2, 3});
+    // [[1 2 3], [4 5 6]]
+    for (int64_t i = 0; i < 6; ++i)
+        w.at(i) = static_cast<float>(i + 1);
+    Tensor x({3});
+    x(0) = 1.0f;
+    x(1) = 0.0f;
+    x(2) = -1.0f;
+    const Tensor y = ops::matVec(w, x);
+    EXPECT_FLOAT_EQ(y(0), -2.0f);
+    EXPECT_FLOAT_EQ(y(1), -2.0f);
+}
+
+TEST(MatVecT, IsTransposedProduct)
+{
+    Rng rng(8);
+    const Tensor w = Tensor::randn({4, 3}, rng);
+    const Tensor y = Tensor::randn({4}, rng);
+    const Tensor x = ops::matVecT(w, y);
+    for (int64_t j = 0; j < 3; ++j) {
+        double expect = 0.0;
+        for (int64_t i = 0; i < 4; ++i)
+            expect += w(i, j) * y(i);
+        EXPECT_NEAR(x(j), expect, 1e-5);
+    }
+}
+
+TEST(Outer, ShapeAndValues)
+{
+    Tensor d({2});
+    d(0) = 2.0f;
+    d(1) = 3.0f;
+    Tensor delta({3});
+    delta(0) = 1.0f;
+    delta(1) = -1.0f;
+    delta(2) = 0.5f;
+    const Tensor g = ops::outer(d, delta);
+    EXPECT_EQ(g.shape(), (Shape{3, 2}));
+    EXPECT_FLOAT_EQ(g(0, 0), 2.0f);
+    EXPECT_FLOAT_EQ(g(1, 1), -3.0f);
+    EXPECT_FLOAT_EQ(g(2, 0), 1.0f);
+}
+
+TEST(Im2col, MatchesFig4Ordering)
+{
+    // The paper's Fig. 4 streams one unrolled window per cycle; each
+    // im2col row must reproduce conv2d when dotted with an unrolled
+    // kernel.
+    Rng rng(6);
+    const Tensor in = Tensor::randn({2, 4, 4}, rng);
+    const Tensor k = Tensor::randn({1, 2, 3, 3}, rng);
+    const Tensor out = ops::conv2d(in, k, Tensor());
+    const Tensor cols = ops::im2col(in, 3, 3);
+    ASSERT_EQ(cols.shape(), (Shape{4, 18}));
+    for (int64_t w = 0; w < 4; ++w) {
+        double dot = 0.0;
+        int64_t col = 0;
+        for (int64_t c = 0; c < 2; ++c)
+            for (int64_t ky = 0; ky < 3; ++ky)
+                for (int64_t kx = 0; kx < 3; ++kx)
+                    dot += cols(w, col++) * k(0, c, ky, kx);
+        EXPECT_NEAR(out.at(w), dot, 1e-4);
+    }
+}
+
+TEST(Im2col, WindowCountMatchesPaperExample)
+{
+    // Paper Fig. 4: a 66x66x128 input with 3x3 kernels yields
+    // 64*64 = 4096 windows of length 3*3*128 = 1152.  We shrink the
+    // spatial extent but keep the structure.
+    Tensor in({128, 8, 8});
+    const Tensor cols = ops::im2col(in, 3, 3);
+    EXPECT_EQ(cols.dim(0), 36);
+    EXPECT_EQ(cols.dim(1), 1152);
+}
+
+/**
+ * Property sweep: for a grid of (channels, kernel, stride, pad),
+ * conv2d must equal the im2col unrolling dotted with the unrolled
+ * kernels — the identity that makes the paper's Fig. 4 mapping
+ * compute the right thing.
+ */
+struct ConvGeom
+{
+    int64_t channels, kernel, stride, pad;
+};
+
+class ConvSweep : public ::testing::TestWithParam<ConvGeom>
+{
+};
+
+TEST_P(ConvSweep, Conv2dMatchesIm2colProduct)
+{
+    const ConvGeom geom = GetParam();
+    Rng rng(static_cast<uint64_t>(geom.channels * 1000 +
+                                  geom.kernel * 100 +
+                                  geom.stride * 10 + geom.pad));
+    const int64_t size = 9;
+    const Tensor in = Tensor::randn({geom.channels, size, size}, rng);
+    const Tensor k = Tensor::randn(
+        {3, geom.channels, geom.kernel, geom.kernel}, rng);
+    const Tensor out =
+        ops::conv2d(in, k, Tensor(), geom.stride, geom.pad);
+    const Tensor cols =
+        ops::im2col(in, geom.kernel, geom.kernel, geom.stride, geom.pad);
+
+    ASSERT_EQ(cols.dim(0), out.dim(1) * out.dim(2));
+    const int64_t len = geom.channels * geom.kernel * geom.kernel;
+    ASSERT_EQ(cols.dim(1), len);
+
+    for (int64_t oc = 0; oc < 3; ++oc) {
+        for (int64_t w = 0; w < cols.dim(0); ++w) {
+            double dot = 0.0;
+            for (int64_t j = 0; j < len; ++j)
+                dot += cols(w, j) * k.at(oc * len + j);
+            EXPECT_NEAR(out.at(oc * cols.dim(0) + w), dot, 1e-3)
+                << "oc=" << oc << " w=" << w;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvSweep,
+    ::testing::Values(ConvGeom{1, 1, 1, 0}, ConvGeom{1, 3, 1, 0},
+                      ConvGeom{2, 3, 1, 1}, ConvGeom{3, 3, 2, 0},
+                      ConvGeom{2, 5, 1, 2}, ConvGeom{4, 2, 2, 1},
+                      ConvGeom{1, 9, 1, 0}, ConvGeom{2, 3, 3, 1}));
+
+/** Backward/forward consistency sweep for stride-1 convolutions. */
+class ConvBackwardSweep
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>>
+{
+};
+
+TEST_P(ConvBackwardSweep, EnergyConservationOfLinearMap)
+{
+    // <conv(x), δ> == <x, conv_backward_input(δ)>: the adjoint
+    // identity that the rot180 construction (paper Fig. 11) must
+    // satisfy exactly.
+    const auto [kernel, pad] = GetParam();
+    Rng rng(static_cast<uint64_t>(kernel * 10 + pad));
+    const Tensor x = Tensor::randn({2, 7, 7}, rng);
+    const Tensor k = Tensor::randn({3, 2, kernel, kernel}, rng);
+    const Tensor y = ops::conv2d(x, k, Tensor(), 1, pad);
+    const Tensor delta = Tensor::randn(y.shape(), rng);
+    const Tensor grad = ops::conv2dBackwardInput(delta, k, pad);
+
+    double lhs = 0.0, rhs = 0.0;
+    for (int64_t i = 0; i < y.numel(); ++i)
+        lhs += y.at(i) * delta.at(i);
+    for (int64_t i = 0; i < x.numel(); ++i)
+        rhs += x.at(i) * grad.at(i);
+    EXPECT_NEAR(lhs, rhs, 1e-2 * (1.0 + std::fabs(lhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, ConvBackwardSweep,
+    ::testing::Values(std::make_pair<int64_t, int64_t>(1, 0),
+                      std::make_pair<int64_t, int64_t>(3, 0),
+                      std::make_pair<int64_t, int64_t>(3, 1),
+                      std::make_pair<int64_t, int64_t>(5, 2),
+                      std::make_pair<int64_t, int64_t>(7, 3)));
+
+TEST(OpsDeath, ShapeMismatchesPanic)
+{
+    Tensor in({1, 3, 3});
+    Tensor k({1, 2, 2, 2}); // channel mismatch
+    EXPECT_DEATH(ops::conv2d(in, k, Tensor()), "channel mismatch");
+    Tensor w({2, 3});
+    Tensor x({2});
+    EXPECT_DEATH(ops::matVec(w, x), "inner-dim mismatch");
+}
+
+} // namespace
+} // namespace pipelayer

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests of the device-parameter file format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "reram/params_io.hh"
+
+namespace pipelayer {
+namespace reram {
+namespace {
+
+TEST(ParamsIo, EmptyTextGivesPaperDefaults)
+{
+    const DeviceParams p = parseDeviceParams("");
+    const DeviceParams d = DeviceParams::paperDefault();
+    EXPECT_EQ(p.array_rows, d.array_rows);
+    EXPECT_EQ(p.cell_bits, d.cell_bits);
+    EXPECT_DOUBLE_EQ(p.read_latency_per_spike, d.read_latency_per_spike);
+}
+
+TEST(ParamsIo, OverridesApply)
+{
+    const DeviceParams p = parseDeviceParams(
+        "cell_bits = 2\n"
+        "data_bits = 8\n"
+        "write_noise_sigma = 0.05\n");
+    EXPECT_EQ(p.cell_bits, 2);
+    EXPECT_EQ(p.data_bits, 8);
+    EXPECT_EQ(p.sliceGroups(), 4);
+    EXPECT_DOUBLE_EQ(p.write_noise_sigma, 0.05);
+}
+
+TEST(ParamsIo, CommentsAndBlanksIgnored)
+{
+    const DeviceParams p = parseDeviceParams(
+        "# a calibration experiment\n"
+        "\n"
+        "array_rows = 256   # bigger subarrays\n");
+    EXPECT_EQ(p.array_rows, 256);
+}
+
+TEST(ParamsIo, RoundTripThroughText)
+{
+    DeviceParams original;
+    original.periph_energy_factor = 3.5;
+    original.array_area_mm2 = 0.001;
+    original.stuck_at_fault_rate = 0.01;
+    std::ostringstream os;
+    writeDeviceParams(original, os);
+    const DeviceParams back = parseDeviceParams(os.str());
+    EXPECT_DOUBLE_EQ(back.periph_energy_factor, 3.5);
+    EXPECT_DOUBLE_EQ(back.array_area_mm2, 0.001);
+    EXPECT_DOUBLE_EQ(back.stuck_at_fault_rate, 0.01);
+    EXPECT_EQ(back.array_rows, original.array_rows);
+}
+
+TEST(ParamsIo, FileRoundTrip)
+{
+    const std::string path = testing::TempDir() + "pl_params.cfg";
+    DeviceParams original;
+    original.controller_energy_per_image = 1e-6;
+    saveDeviceParams(original, path);
+    const DeviceParams back = loadDeviceParams(path);
+    EXPECT_DOUBLE_EQ(back.controller_energy_per_image, 1e-6);
+    std::remove(path.c_str());
+}
+
+TEST(ParamsIoDeath, UnknownKeyIsFatal)
+{
+    EXPECT_EXIT(parseDeviceParams("spike_color = blue\n"),
+                ::testing::ExitedWithCode(1), "unknown key");
+}
+
+TEST(ParamsIoDeath, MalformedValueIsFatal)
+{
+    EXPECT_EXIT(parseDeviceParams("cell_bits = four\n"),
+                ::testing::ExitedWithCode(1), "not a number");
+}
+
+TEST(ParamsIoDeath, MissingEqualsIsFatal)
+{
+    EXPECT_EXIT(parseDeviceParams("cell_bits 4\n"),
+                ::testing::ExitedWithCode(1), "expected");
+}
+
+TEST(ParamsIoDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadDeviceParams("/no/such/params.cfg"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(ParamsIoDeath, IncompatibleBitsAreFatal)
+{
+    // 16 data bits over 3-bit cells: the slice grouping breaks.
+    EXPECT_DEATH(parseDeviceParams("cell_bits = 3\n"), "multiple");
+}
+
+} // namespace
+} // namespace reram
+} // namespace pipelayer

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Property tests of the pipeline scheduler against the paper's
+ * closed-form latency and buffer-sizing results (Fig. 7, Table 2,
+ * §3.3).  The scheduler *executes* the schedule against circular
+ * buffers, so these tests prove (not assume) the formulas.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arch/granularity.hh"
+#include "arch/mapping.hh"
+#include "arch/pipeline.hh"
+#include "common/rng.hh"
+#include "nn/layers.hh"
+#include "workloads/layer_spec.hh"
+#include "workloads/model_zoo.hh"
+
+namespace pipelayer {
+namespace arch {
+namespace {
+
+using workloads::LayerSpec;
+using workloads::NetworkSpec;
+
+/** A synthetic all-IP network of a given pipeline depth. */
+NetworkSpec
+chainOfDepth(int64_t depth)
+{
+    NetworkSpec spec;
+    spec.name = "chain" + std::to_string(depth);
+    int64_t width = 32;
+    for (int64_t i = 0; i < depth; ++i)
+        spec.layers.push_back(LayerSpec::innerProduct(width, width));
+    spec.validate();
+    return spec;
+}
+
+NetworkMapping
+mappingFor(const NetworkSpec &spec, bool training, int64_t batch)
+{
+    static reram::DeviceParams params;
+    return NetworkMapping(spec, GranularityConfig::naive(spec), params,
+                          training, batch);
+}
+
+struct SweepPoint
+{
+    int64_t depth;
+    int64_t images;
+    int64_t batch;
+};
+
+class ScheduleSweep : public ::testing::TestWithParam<SweepPoint>
+{
+};
+
+TEST_P(ScheduleSweep, PipelinedTrainingMatchesClosedForm)
+{
+    const auto [depth, images, batch] = GetParam();
+    const NetworkSpec spec = chainOfDepth(depth);
+    const NetworkMapping map = mappingFor(spec, true, batch);
+
+    ScheduleConfig config;
+    config.pipelined = true;
+    config.training = true;
+    config.batch_size = batch;
+    config.num_images = images;
+    PipelineScheduler scheduler(map, config);
+    const ScheduleStats stats = scheduler.run();
+
+    EXPECT_EQ(stats.total_cycles,
+              PipelineScheduler::analyticTrainingCycles(depth, images,
+                                                        batch, true));
+    // When B divides N this is the paper's (N/B)(2L + B + 1).
+    if (images % batch == 0) {
+        EXPECT_EQ(stats.total_cycles,
+                  (images / batch) * (2 * depth + batch + 1));
+    }
+    EXPECT_EQ(stats.structural_hazards, 0);
+    EXPECT_EQ(stats.buffer_violations, 0);
+    EXPECT_EQ(stats.forward_ops, images * depth);
+    EXPECT_EQ(stats.error_ops, images * depth); // seed + (L-1) backs
+    EXPECT_EQ(stats.derivative_ops, images * depth);
+    EXPECT_EQ(stats.update_cycles, (images + batch - 1) / batch);
+}
+
+TEST_P(ScheduleSweep, NonPipelinedTrainingMatchesClosedForm)
+{
+    const auto [depth, images, batch] = GetParam();
+    const NetworkSpec spec = chainOfDepth(depth);
+    const NetworkMapping map = mappingFor(spec, true, batch);
+
+    ScheduleConfig config;
+    config.pipelined = false;
+    config.training = true;
+    config.batch_size = batch;
+    config.num_images = images;
+    PipelineScheduler scheduler(map, config);
+    const ScheduleStats stats = scheduler.run();
+
+    EXPECT_EQ(stats.total_cycles,
+              PipelineScheduler::analyticTrainingCycles(depth, images,
+                                                        batch, false));
+    if (images % batch == 0) {
+        // Paper Fig. 7(a): (2L+1)N + N/B.
+        EXPECT_EQ(stats.total_cycles,
+                  (2 * depth + 1) * images + images / batch);
+    }
+    EXPECT_EQ(stats.structural_hazards, 0);
+    EXPECT_EQ(stats.buffer_violations, 0);
+}
+
+TEST_P(ScheduleSweep, PipelinedTestingMatchesClosedForm)
+{
+    const auto [depth, images, batch] = GetParam();
+    (void)batch;
+    const NetworkSpec spec = chainOfDepth(depth);
+    const NetworkMapping map = mappingFor(spec, false, 1);
+
+    ScheduleConfig config;
+    config.pipelined = true;
+    config.training = false;
+    config.num_images = images;
+    PipelineScheduler scheduler(map, config);
+    const ScheduleStats stats = scheduler.run();
+
+    EXPECT_EQ(stats.total_cycles, images + depth - 1);
+    EXPECT_EQ(stats.structural_hazards, 0);
+    EXPECT_EQ(stats.buffer_violations, 0);
+    EXPECT_EQ(stats.forward_ops, images * depth);
+    EXPECT_EQ(stats.error_ops, 0);
+}
+
+TEST_P(ScheduleSweep, NonPipelinedTestingMatchesClosedForm)
+{
+    const auto [depth, images, batch] = GetParam();
+    (void)batch;
+    const NetworkSpec spec = chainOfDepth(depth);
+    const NetworkMapping map = mappingFor(spec, false, 1);
+
+    ScheduleConfig config;
+    config.pipelined = false;
+    config.training = false;
+    config.num_images = images;
+    PipelineScheduler scheduler(map, config);
+    const ScheduleStats stats = scheduler.run();
+    EXPECT_EQ(stats.total_cycles, images * depth);
+    EXPECT_EQ(stats.buffer_violations, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DepthImagesBatch, ScheduleSweep,
+    ::testing::Values(SweepPoint{1, 8, 4}, SweepPoint{2, 16, 4},
+                      SweepPoint{3, 24, 8}, SweepPoint{3, 30, 8},
+                      SweepPoint{4, 64, 16}, SweepPoint{5, 65, 16},
+                      SweepPoint{7, 128, 64}, SweepPoint{11, 128, 64},
+                      SweepPoint{19, 256, 64}));
+
+TEST(Schedule, PaperFig3Example)
+{
+    // The 3-layer example of Fig. 3: one input takes 2L + 1 = 7
+    // logical cycles (T1..T7), plus one update cycle for a batch of 1.
+    const NetworkSpec spec = chainOfDepth(3);
+    const NetworkMapping map = mappingFor(spec, true, 1);
+    ScheduleConfig config;
+    config.pipelined = true;
+    config.training = true;
+    config.batch_size = 1;
+    config.num_images = 1;
+    PipelineScheduler scheduler(map, config);
+    EXPECT_EQ(scheduler.run().total_cycles, 8);
+}
+
+TEST(Schedule, BufferSizingIsTight)
+{
+    // With one entry fewer than the paper's 2(L-l)+1, the pipelined
+    // schedule must overwrite live data: the sizing is exact, not
+    // conservative.
+    const NetworkSpec spec = chainOfDepth(4);
+    const NetworkMapping map = mappingFor(spec, true, 16);
+    ScheduleConfig config;
+    config.pipelined = true;
+    config.training = true;
+    config.batch_size = 16;
+    config.num_images = 32;
+
+    PipelineScheduler exact(map, config, /*buffer_slack=*/0);
+    EXPECT_EQ(exact.run().buffer_violations, 0);
+
+    PipelineScheduler tight(map, config, /*buffer_slack=*/-1);
+    EXPECT_GT(tight.run().buffer_violations, 0);
+}
+
+TEST(Schedule, ExtraSlackNeverHurts)
+{
+    const NetworkSpec spec = chainOfDepth(5);
+    const NetworkMapping map = mappingFor(spec, true, 8);
+    ScheduleConfig config;
+    config.pipelined = true;
+    config.training = true;
+    config.batch_size = 8;
+    config.num_images = 24;
+    PipelineScheduler slack(map, config, /*buffer_slack=*/3);
+    EXPECT_EQ(slack.run().buffer_violations, 0);
+}
+
+TEST(Schedule, PipelinedBeatsNonPipelined)
+{
+    const NetworkSpec spec = chainOfDepth(6);
+    const NetworkMapping map = mappingFor(spec, true, 32);
+    ScheduleConfig config;
+    config.training = true;
+    config.batch_size = 32;
+    config.num_images = 128;
+
+    config.pipelined = true;
+    const int64_t piped = PipelineScheduler(map, config).run().total_cycles;
+    config.pipelined = false;
+    const int64_t serial =
+        PipelineScheduler(map, config).run().total_cycles;
+    EXPECT_LT(piped, serial);
+    // Speedup approaches (2L+1) for large batches.
+    EXPECT_GT(static_cast<double>(serial) / static_cast<double>(piped),
+              3.0);
+}
+
+TEST(Schedule, UtilizationImprovesWithBatchSize)
+{
+    // Larger batches amortise the fill/drain overhead (paper §3.3:
+    // "the performance gain is due to the fact that B is normally
+    // much larger than 1").
+    const NetworkSpec spec = chainOfDepth(5);
+    const NetworkMapping map_small = mappingFor(spec, true, 4);
+    const NetworkMapping map_large = mappingFor(spec, true, 64);
+
+    ScheduleConfig config;
+    config.pipelined = true;
+    config.training = true;
+    config.num_images = 128;
+
+    config.batch_size = 4;
+    const auto small = PipelineScheduler(map_small, config).run();
+    config.batch_size = 64;
+    const auto large = PipelineScheduler(map_large, config).run();
+    EXPECT_LT(large.total_cycles, small.total_cycles);
+    EXPECT_GT(large.stage_utilization, small.stage_utilization);
+}
+
+TEST(Schedule, PeakBufferUsageMatchesFormula)
+{
+    // In steady state, the d_l buffer really holds 2(L-l)+1 live
+    // entries — the paper's sizing is achieved, not just respected.
+    const int64_t depth = 4;
+    const NetworkSpec spec = chainOfDepth(depth);
+    const NetworkMapping map = mappingFor(spec, true, 32);
+    ScheduleConfig config;
+    config.pipelined = true;
+    config.training = true;
+    config.batch_size = 32;
+    config.num_images = 64;
+    const auto stats = PipelineScheduler(map, config).run();
+    ASSERT_EQ(stats.peak_buffer_entries.size(),
+              static_cast<size_t>(depth + 1));
+    for (int64_t j = 0; j <= depth; ++j) {
+        EXPECT_EQ(stats.peak_buffer_entries[static_cast<size_t>(j)],
+                  2 * (depth - j) + 1)
+            << "buffer d" << j;
+    }
+}
+
+TEST(Schedule, RealNetworksScheduleCleanly)
+{
+    for (const auto &spec : workloads::evaluationNetworks()) {
+        const NetworkMapping map = mappingFor(spec, true, 16);
+        ScheduleConfig config;
+        config.pipelined = true;
+        config.training = true;
+        config.batch_size = 16;
+        config.num_images = 32;
+        const auto stats = PipelineScheduler(map, config).run();
+        EXPECT_EQ(stats.buffer_violations, 0) << spec.name;
+        EXPECT_EQ(stats.structural_hazards, 0) << spec.name;
+    }
+}
+
+} // namespace
+} // namespace arch
+} // namespace pipelayer

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Semantic tests of the pipelined training executor: the Fig. 6
+ * schedule, executed with real tensors through capacity-constrained
+ * buffers, must compute exactly what sequential batch training
+ * computes.  This is the functional proof of the paper's central
+ * claim that the inter-layer pipeline with 2(L-l)+1 buffers preserves
+ * the training semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.hh"
+#include "core/pipelined_trainer.hh"
+#include "nn/layers.hh"
+#include "nn/trainer.hh"
+#include "workloads/model_zoo.hh"
+#include "workloads/synthetic_data.hh"
+
+namespace pipelayer {
+namespace core {
+namespace {
+
+nn::Network
+cnn(uint64_t seed)
+{
+    Rng rng(seed);
+    nn::Network net("pipe-cnn", {1, 8, 8});
+    net.add(std::make_unique<nn::ConvLayer>(1, 4, 3, 1, 1, rng));
+    net.add(std::make_unique<nn::ReluLayer>());
+    net.add(std::make_unique<nn::MaxPoolLayer>(2));
+    net.add(std::make_unique<nn::ConvLayer>(4, 6, 3, 1, 1, rng));
+    net.add(std::make_unique<nn::ReluLayer>());
+    net.add(std::make_unique<nn::MaxPoolLayer>(2));
+    net.add(std::make_unique<nn::FlattenLayer>());
+    net.add(std::make_unique<nn::InnerProductLayer>(24, 4, rng));
+    return net;
+}
+
+nn::Network
+mlp(uint64_t seed)
+{
+    Rng rng(seed);
+    nn::Network net("pipe-mlp", {1, 8, 8});
+    net.add(std::make_unique<nn::FlattenLayer>());
+    net.add(std::make_unique<nn::InnerProductLayer>(64, 24, rng));
+    net.add(std::make_unique<nn::SigmoidLayer>());
+    net.add(std::make_unique<nn::InnerProductLayer>(24, 4, rng));
+    return net;
+}
+
+std::pair<std::vector<Tensor>, std::vector<int64_t>>
+makeBatch(int64_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Tensor> inputs;
+    std::vector<int64_t> labels;
+    for (int64_t i = 0; i < n; ++i) {
+        Tensor x({1, 8, 8});
+        for (int64_t j = 0; j < x.numel(); ++j)
+            x.at(j) = static_cast<float>(rng.uniform());
+        inputs.push_back(std::move(x));
+        labels.push_back(static_cast<int64_t>(rng.uniformInt(4)));
+    }
+    return {std::move(inputs), std::move(labels)};
+}
+
+/** Max |a - b| over all parameters of two identically-shaped nets. */
+double
+maxParamDiff(nn::Network &a, nn::Network &b)
+{
+    double worst = 0.0;
+    for (size_t l = 0; l < a.numLayers(); ++l) {
+        const auto pa = a.layer(l).parameters();
+        const auto pb = b.layer(l).parameters();
+        for (size_t k = 0; k < pa.size(); ++k)
+            for (int64_t i = 0; i < pa[k]->numel(); ++i)
+                worst = std::max(
+                    worst, (double)std::fabs(pa[k]->at(i) -
+                                             pb[k]->at(i)));
+    }
+    return worst;
+}
+
+TEST(PipelinedTrainer, DepthCountsArrayStages)
+{
+    nn::Network c = cnn(1);
+    nn::Network m = mlp(2);
+    EXPECT_EQ(PipelinedTrainer(c).depth(), 3);
+    EXPECT_EQ(PipelinedTrainer(m).depth(), 2);
+}
+
+TEST(PipelinedTrainer, CycleCountMatchesFig7b)
+{
+    nn::Network net = cnn(3);
+    PipelinedTrainer trainer(net);
+    auto [inputs, labels] = makeBatch(10, 4);
+    const auto result = trainer.trainBatch(inputs, labels, 0.1f);
+    // 2L + B + 1 = 6 + 10 + 1.
+    EXPECT_EQ(result.logical_cycles, 17);
+}
+
+TEST(PipelinedTrainer, CnnMatchesSequentialTraining)
+{
+    // Same initial weights, same batch: pipelined and sequential
+    // training must agree to float-accumulation noise.
+    nn::Network piped = cnn(5);
+    nn::Network serial = cnn(5);
+    auto [inputs, labels] = makeBatch(12, 6);
+
+    PipelinedTrainer trainer(piped);
+    const auto result = trainer.trainBatch(inputs, labels, 0.2f);
+    serial.trainBatch(inputs, labels, 0.2f);
+
+    EXPECT_LT(maxParamDiff(piped, serial), 1e-4);
+    EXPECT_GT(result.mean_loss, 0.0);
+}
+
+TEST(PipelinedTrainer, MlpMatchesSequentialTraining)
+{
+    nn::Network piped = mlp(7);
+    nn::Network serial = mlp(7);
+    auto [inputs, labels] = makeBatch(16, 8);
+
+    PipelinedTrainer trainer(piped);
+    trainer.trainBatch(inputs, labels, 0.3f);
+    serial.trainBatch(inputs, labels, 0.3f);
+    EXPECT_LT(maxParamDiff(piped, serial), 1e-4);
+}
+
+TEST(PipelinedTrainer, LossMatchesSequential)
+{
+    nn::Network piped = cnn(9);
+    nn::Network serial = cnn(9);
+    auto [inputs, labels] = makeBatch(8, 10);
+
+    PipelinedTrainer trainer(piped);
+    const auto result = trainer.trainBatch(inputs, labels, 0.1f);
+    const double serial_loss =
+        serial.trainBatch(inputs, labels, 0.1f);
+    EXPECT_NEAR(result.mean_loss, serial_loss, 1e-5);
+}
+
+TEST(PipelinedTrainer, L2LossVariantAgrees)
+{
+    nn::Network piped = mlp(11);
+    nn::Network serial = mlp(11);
+    auto [inputs, labels] = makeBatch(6, 12);
+
+    PipelinedTrainer trainer(piped);
+    trainer.trainBatch(inputs, labels, 0.2f, nn::LossKind::L2);
+
+    // Sequential L2 training via the network protocol.
+    serial.zeroGrads();
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const Tensor out = serial.forward(inputs[i]);
+        Tensor target(out.shape());
+        target.at(labels[i]) = 1.0f;
+        serial.backward(nn::l2Loss(out, target).delta);
+    }
+    serial.applyUpdate(0.2f, static_cast<int64_t>(inputs.size()));
+    EXPECT_LT(maxParamDiff(piped, serial), 1e-4);
+}
+
+TEST(PipelinedTrainer, BuffersStayWithinPaperSizing)
+{
+    // The executor asserts 2(L-l)+1 capacity internally; with a long
+    // batch the peak must actually reach the input buffer's 2L+1.
+    nn::Network net = cnn(13);
+    PipelinedTrainer trainer(net);
+    auto [inputs, labels] = makeBatch(20, 14);
+    const auto result = trainer.trainBatch(inputs, labels, 0.1f);
+    EXPECT_EQ(result.peak_buffer_entries,
+              2 * trainer.depth() + 1);
+}
+
+TEST(PipelinedTrainer, MultipleBatchesKeepLearning)
+{
+    workloads::SyntheticConfig data;
+    data.classes = 4;
+    data.image_size = 8;
+    data.train_per_class = 24;
+    data.test_per_class = 10;
+    data.noise = 0.25f;
+    auto task = workloads::makeSyntheticTask(data);
+
+    nn::Network net = cnn(15);
+    PipelinedTrainer trainer(net);
+    double first_loss = 0.0, last_loss = 0.0;
+    for (int epoch = 0; epoch < 6; ++epoch) {
+        Rng rng(static_cast<uint64_t>(epoch));
+        task.train.shuffle(rng);
+        for (size_t s = 0; s + 8 <= task.train.size(); s += 8) {
+            std::vector<Tensor> in(task.train.inputs.begin() + s,
+                                   task.train.inputs.begin() + s + 8);
+            std::vector<int64_t> lb(task.train.labels.begin() + s,
+                                    task.train.labels.begin() + s + 8);
+            last_loss = trainer.trainBatch(in, lb, 0.15f).mean_loss;
+            if (epoch == 0 && s == 0)
+                first_loss = last_loss;
+        }
+    }
+    EXPECT_LT(last_loss, first_loss * 0.7);
+    EXPECT_GT(net.accuracy(task.test.inputs, task.test.labels), 0.7);
+}
+
+TEST(PipelinedTrainerDeath, StridedConvRejected)
+{
+    Rng rng(16);
+    nn::Network net("strided", {3, 9, 9});
+    net.add(std::make_unique<nn::ConvLayer>(3, 4, 3, 2, 0, rng));
+    EXPECT_DEATH(PipelinedTrainer trainer(net), "stride");
+}
+
+} // namespace
+} // namespace core
+} // namespace pipelayer

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit and property tests for the quantisation module (paper §5.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.hh"
+#include "nn/layers.hh"
+#include "nn/network.hh"
+#include "quant/quantize.hh"
+
+namespace pipelayer {
+namespace quant {
+namespace {
+
+TEST(Quantizer, ZeroBitsIsPassThrough)
+{
+    Tensor t({3});
+    t(0) = 0.123f;
+    t(1) = -4.56f;
+    t(2) = 7.89f;
+    const Tensor q = quantizeTensor(t, 0);
+    for (int64_t i = 0; i < 3; ++i)
+        EXPECT_FLOAT_EQ(q.at(i), t.at(i));
+}
+
+TEST(Quantizer, PositiveLevels)
+{
+    Tensor t({1}, 1.0f);
+    EXPECT_EQ(Quantizer::forTensor(t, 4).positiveLevels(), 7);
+    EXPECT_EQ(Quantizer::forTensor(t, 8).positiveLevels(), 127);
+    EXPECT_EQ(Quantizer::forTensor(t, 16).positiveLevels(), 32767);
+}
+
+TEST(Quantizer, ExtremesAreExact)
+{
+    Tensor t({2});
+    t(0) = -2.0f;
+    t(1) = 2.0f;
+    const Tensor q = quantizeTensor(t, 4);
+    EXPECT_FLOAT_EQ(q(0), -2.0f);
+    EXPECT_FLOAT_EQ(q(1), 2.0f);
+}
+
+TEST(Quantizer, CodesStayInRange)
+{
+    Rng rng(1);
+    const Tensor t = Tensor::randn({1000}, rng);
+    for (int bits : {2, 4, 8, 16}) {
+        const Quantizer q = Quantizer::forTensor(t, bits);
+        for (int64_t i = 0; i < t.numel(); ++i) {
+            const int64_t code = q.code(t.at(i));
+            EXPECT_LE(std::llabs(code), q.positiveLevels());
+        }
+    }
+}
+
+TEST(Quantizer, Idempotent)
+{
+    Rng rng(2);
+    const Tensor t = Tensor::randn({100}, rng);
+    const Tensor once = quantizeTensor(t, 6);
+    const Tensor twice = quantizeTensor(once, 6);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_FLOAT_EQ(once.at(i), twice.at(i));
+}
+
+TEST(Quantizer, ErrorBoundedByHalfStep)
+{
+    Rng rng(3);
+    const Tensor t = Tensor::randn({500}, rng);
+    const Quantizer q = Quantizer::forTensor(t, 8);
+    const Tensor quantised = quantizeTensor(t, 8);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_LE(std::fabs(quantised.at(i) - t.at(i)),
+                  q.scale * 0.5f + 1e-6f);
+}
+
+/** MSE must fall monotonically as resolution rises — the property
+ *  behind the Fig. 13 accuracy curve. */
+class QuantMseSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(QuantMseSweep, MseShrinksWithMoreBits)
+{
+    const int bits = GetParam();
+    Rng rng(4);
+    const Tensor t = Tensor::randn({2000}, rng);
+    const double coarse = quantizationMse(t, bits);
+    const double fine = quantizationMse(t, bits + 1);
+    EXPECT_LT(fine, coarse);
+}
+
+INSTANTIATE_TEST_SUITE_P(BitWidths, QuantMseSweep,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8));
+
+TEST(QuantizeNetwork, ChangesWeightsAtLowBitsOnly)
+{
+    Rng rng(5);
+    nn::Network net("q", {4});
+    net.add(std::make_unique<nn::InnerProductLayer>(4, 3, rng));
+    const Tensor before = *net.layer(0).parameters()[0];
+
+    nn::Network net16("q16", {4});
+    Rng rng2(5);
+    net16.add(std::make_unique<nn::InnerProductLayer>(4, 3, rng2));
+
+    quantizeNetworkWeights(net, 2);
+    quantizeNetworkWeights(net16, 16);
+
+    double coarse_err = 0.0, fine_err = 0.0;
+    const Tensor &w2 = *net.layer(0).parameters()[0];
+    const Tensor &w16 = *net16.layer(0).parameters()[0];
+    for (int64_t i = 0; i < before.numel(); ++i) {
+        coarse_err += std::fabs(w2.at(i) - before.at(i));
+        fine_err += std::fabs(w16.at(i) - before.at(i));
+    }
+    EXPECT_GT(coarse_err, fine_err);
+    EXPECT_LT(fine_err, 1e-2);
+}
+
+TEST(QuantizeNetwork, ZeroBitsLeavesNetworkIntact)
+{
+    Rng rng(6);
+    nn::Network net("q", {4});
+    net.add(std::make_unique<nn::InnerProductLayer>(4, 3, rng));
+    const Tensor before = *net.layer(0).parameters()[0];
+    quantizeNetworkWeights(net, 0);
+    const Tensor &after = *net.layer(0).parameters()[0];
+    for (int64_t i = 0; i < before.numel(); ++i)
+        EXPECT_FLOAT_EQ(after.at(i), before.at(i));
+}
+
+TEST(PerChannel, NeverWorseThanPerTensor)
+{
+    Rng rng(7);
+    // A matrix with wildly different row magnitudes: per-tensor
+    // scaling wastes range on the small rows.
+    Tensor t({4, 50});
+    for (int64_t r = 0; r < 4; ++r) {
+        const float scale = std::pow(10.0f, static_cast<float>(r));
+        for (int64_t c = 0; c < 50; ++c)
+            t(r, c) = static_cast<float>(rng.gaussian()) * scale;
+    }
+    for (int bits : {3, 4, 6, 8}) {
+        EXPECT_LE(quantizationMsePerChannel(t, bits),
+                  quantizationMse(t, bits) + 1e-12)
+            << bits << " bits";
+    }
+    // And with these spread-out rows it is *strictly* better (the
+    // absolute MSE is dominated by the largest row, which quantises
+    // identically under both schemes — hence the modest factor).
+    EXPECT_LT(quantizationMsePerChannel(t, 4),
+              quantizationMse(t, 4) * 0.6);
+}
+
+TEST(PerChannel, Rank1FallsBackToPerTensor)
+{
+    Rng rng(8);
+    const Tensor t = Tensor::randn({40}, rng);
+    const Tensor a = quantizeTensorPerChannel(t, 4);
+    const Tensor b = quantizeTensor(t, 4);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_FLOAT_EQ(a.at(i), b.at(i));
+}
+
+TEST(PerChannel, NetworkVariantQuantisesEveryLayer)
+{
+    Rng rng(9);
+    nn::Network net("pc", {8});
+    net.add(std::make_unique<nn::InnerProductLayer>(8, 4, rng));
+    const Tensor before = *net.layer(0).parameters()[0];
+    quantizeNetworkWeightsPerChannel(net, 3);
+    const Tensor &after = *net.layer(0).parameters()[0];
+    bool changed = false;
+    for (int64_t i = 0; i < before.numel(); ++i)
+        changed |= after.at(i) != before.at(i);
+    EXPECT_TRUE(changed);
+}
+
+TEST(Quantizer, AllZeroTensorSurvives)
+{
+    Tensor t({10});
+    const Tensor q = quantizeTensor(t, 4);
+    for (int64_t i = 0; i < q.numel(); ++i)
+        EXPECT_FLOAT_EQ(q.at(i), 0.0f);
+}
+
+} // namespace
+} // namespace quant
+} // namespace pipelayer

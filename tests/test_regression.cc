@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Regression tests pinning the reproduction's headline results to the
+ * paper's bands (see EXPERIMENTS.md).  These protect the calibration:
+ * a change to the timing/energy models that silently breaks the
+ * Fig. 15/16 shape fails here, not in a manual bench run.
+ *
+ * Bands are deliberately loose (the goal is shape, not digits); a
+ * failure means the *story* changed — e.g. training became faster
+ * than testing, or MNIST stopped dominating the energy savings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench/bench_util.hh"
+#include "workloads/model_zoo.hh"
+
+namespace pipelayer {
+namespace bench {
+namespace {
+
+const EvalConfig kConfig; // B = 64, N = 256, as in the benches
+
+const std::vector<EvalRow> &
+trainRows()
+{
+    static const std::vector<EvalRow> rows = evaluateAll(true, kConfig);
+    return rows;
+}
+
+const std::vector<EvalRow> &
+testRows()
+{
+    static const std::vector<EvalRow> rows = evaluateAll(false, kConfig);
+    return rows;
+}
+
+const EvalRow &
+row(const std::vector<EvalRow> &rows, const std::string &name)
+{
+    for (const auto &r : rows) {
+        if (r.network == name)
+            return r;
+    }
+    ADD_FAILURE() << "no row for " << name;
+    static EvalRow dummy;
+    return dummy;
+}
+
+TEST(Regression, TestingSpeedupGmeanInBand)
+{
+    // Paper: 42.45x.  Band: the same decade, clearly above 10x.
+    const double gm = geomeanOf(testRows(), &EvalRow::speedup);
+    EXPECT_GT(gm, 15.0);
+    EXPECT_LT(gm, 60.0);
+}
+
+TEST(Regression, TrainingSpeedupGmeanInBand)
+{
+    // Paper: ~5.22x.  Band: below testing, above 2x.
+    const double gm = geomeanOf(trainRows(), &EvalRow::speedup);
+    EXPECT_GT(gm, 2.0);
+    EXPECT_LT(gm, 15.0);
+}
+
+TEST(Regression, TrainingSpeedupsBelowTestingSpeedups)
+{
+    // The paper's §6.3 headline observation, network by network.
+    for (const auto &train : trainRows()) {
+        const EvalRow &test = row(testRows(), train.network);
+        EXPECT_LT(train.speedup(), test.speedup()) << train.network;
+    }
+}
+
+TEST(Regression, PipelinedAlwaysBeatsNonPipelined)
+{
+    for (const auto &rows : {trainRows(), testRows()}) {
+        for (const auto &r : rows) {
+            EXPECT_GT(r.speedup(), r.speedupNoPipe())
+                << r.network << (r.training ? " train" : " test");
+        }
+    }
+}
+
+TEST(Regression, MnistCBeatsAlexNetInTraining)
+{
+    // Paper §6.3: "the speedup of Mnist-C is larger than AlexNet in
+    // training ... because Mnist-C is a multilayer perceptron".
+    EXPECT_GT(row(trainRows(), "Mnist-C").speedup(),
+              row(trainRows(), "AlexNet").speedup());
+}
+
+TEST(Regression, BestPipelinedSpeedupNearPaper)
+{
+    // Paper: 46.58x best.  Band: 30-100x.
+    double best = 0.0;
+    for (const auto &rows : {trainRows(), testRows()})
+        for (const auto &r : rows)
+            best = std::max(best, r.speedup());
+    EXPECT_GT(best, 30.0);
+    EXPECT_LT(best, 100.0);
+}
+
+TEST(Regression, EnergySavingGmeansInBand)
+{
+    // Paper: train 6.52x, test 7.88x.  Band: same decade.
+    const double train_gm = geomeanOf(trainRows(),
+                                      &EvalRow::energySaving);
+    const double test_gm = geomeanOf(testRows(),
+                                     &EvalRow::energySaving);
+    EXPECT_GT(train_gm, 3.0);
+    EXPECT_LT(train_gm, 20.0);
+    EXPECT_GT(test_gm, 4.0);
+    EXPECT_LT(test_gm, 25.0);
+}
+
+TEST(Regression, EverySavingAboveOne)
+{
+    for (const auto &rows : {trainRows(), testRows()}) {
+        for (const auto &r : rows) {
+            EXPECT_GT(r.energySaving(), 1.0)
+                << r.network << (r.training ? " train" : " test");
+        }
+    }
+}
+
+TEST(Regression, MnistDominatesEnergySavings)
+{
+    // The MNIST nets save far more energy than the VGGs (testing).
+    const double mnist = row(testRows(), "Mnist-A").energySaving();
+    const double vgg = row(testRows(), "VGG-E").energySaving();
+    EXPECT_GT(mnist, 3.0 * vgg);
+}
+
+TEST(Regression, BestTestingSavingNearPaper)
+{
+    // Paper: ~70x best testing saving.  Band: 40-120x.
+    double best = 0.0;
+    for (const auto &r : testRows())
+        best = std::max(best, r.energySaving());
+    EXPECT_GT(best, 40.0);
+    EXPECT_LT(best, 120.0);
+}
+
+TEST(Regression, VggETrainingAreaNearPaper)
+{
+    // Paper §6.6: 82.6 mm^2.  Band: +/- 15%.
+    const double area = row(trainRows(), "VGG-E").pl_area;
+    EXPECT_GT(area, 70.0);
+    EXPECT_LT(area, 95.0);
+}
+
+TEST(Regression, VggTestSpeedupsGrowWithDepth)
+{
+    const char *const order[] = {"VGG-A", "VGG-B", "VGG-D", "VGG-E"};
+    double prev = 0.0;
+    for (const char *name : order) {
+        const double s = row(testRows(), name).speedup();
+        EXPECT_GT(s, prev) << name;
+        prev = s;
+    }
+}
+
+} // namespace
+} // namespace bench
+} // namespace pipelayer

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Unit tests for the ReRAM substrate: spike coding, integrate-and-
+ * fire, crossbar arrays and bit-sliced array groups.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "reram/array_group.hh"
+#include "reram/crossbar.hh"
+#include "reram/params.hh"
+#include "reram/spike.hh"
+#include "tensor/ops.hh"
+
+namespace pipelayer {
+namespace reram {
+namespace {
+
+TEST(DeviceParams, PaperDefaults)
+{
+    const DeviceParams p = DeviceParams::paperDefault();
+    EXPECT_EQ(p.cell_bits, 4);
+    EXPECT_EQ(p.data_bits, 16);
+    EXPECT_EQ(p.sliceGroups(), 4);
+    EXPECT_EQ(p.maxCellCode(), 15);
+    EXPECT_NEAR(p.read_latency_per_spike, 29.31e-9, 1e-12);
+    EXPECT_NEAR(p.write_latency_per_spike, 50.88e-9, 1e-12);
+    EXPECT_NEAR(p.read_energy_per_spike, 1.08e-12, 1e-15);
+    EXPECT_NEAR(p.write_energy_per_spike, 3.91e-9, 1e-12);
+    // A 16-bit input needs 16 spike slots per MVM step.
+    EXPECT_NEAR(p.mvmLatency(), 16 * 29.31e-9, 1e-12);
+}
+
+TEST(SpikeDriver, EncodeDecodeExact)
+{
+    const SpikeDriver driver(16);
+    for (int64_t code : {0L, 1L, 2L, 255L, 32767L, 65535L}) {
+        const SpikeTrain train = driver.encode(code);
+        EXPECT_EQ(train.value(), code) << "code " << code;
+        EXPECT_EQ(train.bits(), 16);
+    }
+}
+
+TEST(SpikeDriver, LsbFirstOrdering)
+{
+    const SpikeDriver driver(4);
+    const SpikeTrain train = driver.encode(0b0101);
+    EXPECT_TRUE(train.slots[0]);  // LSB first (paper §4.2.1)
+    EXPECT_FALSE(train.slots[1]);
+    EXPECT_TRUE(train.slots[2]);
+    EXPECT_FALSE(train.slots[3]);
+}
+
+TEST(SpikeDriver, SpikeCountIsPopcount)
+{
+    const SpikeDriver driver(8);
+    EXPECT_EQ(driver.encode(0).spikeCount(), 0);
+    EXPECT_EQ(driver.encode(255).spikeCount(), 8);
+    EXPECT_EQ(driver.encode(0b10110).spikeCount(), 3);
+}
+
+TEST(IntegrateFire, CountsChargeExactly)
+{
+    IntegrateFire inf(32);
+    inf.integrate(5);
+    inf.integrate(7);
+    EXPECT_EQ(inf.count(), 12);
+    EXPECT_FALSE(inf.saturated());
+    inf.reset();
+    EXPECT_EQ(inf.count(), 0);
+}
+
+TEST(IntegrateFire, SaturatesAtCounterWidth)
+{
+    IntegrateFire inf(4); // max count 15
+    inf.integrate(10);
+    inf.integrate(10);
+    EXPECT_EQ(inf.count(), 15);
+    EXPECT_TRUE(inf.saturated());
+}
+
+TEST(Crossbar, ProgramAndReadCells)
+{
+    const DeviceParams p;
+    CrossbarArray array(p);
+    array.programCell(3, 5, 9);
+    EXPECT_EQ(array.cell(3, 5), 9);
+    EXPECT_EQ(array.cell(0, 0), 0);
+}
+
+TEST(Crossbar, MatVecIsExactIntegerProduct)
+{
+    const DeviceParams p;
+    CrossbarArray array(p);
+    // g[0][0] = 3, g[1][0] = 5, g[0][1] = 7.
+    array.programCell(0, 0, 3);
+    array.programCell(1, 0, 5);
+    array.programCell(0, 1, 7);
+    const std::vector<int64_t> out = array.matVecCodes({10, 20});
+    EXPECT_EQ(out[0], 10 * 3 + 20 * 5);
+    EXPECT_EQ(out[1], 10 * 7);
+    EXPECT_EQ(out[2], 0);
+}
+
+TEST(Crossbar, MatVecFullResolutionInputs)
+{
+    const DeviceParams p;
+    CrossbarArray array(p);
+    for (int64_t r = 0; r < p.array_rows; ++r)
+        array.programCell(r, 0, 15);
+    std::vector<int64_t> codes(static_cast<size_t>(p.array_rows), 65535);
+    const std::vector<int64_t> out = array.matVecCodes(codes);
+    EXPECT_EQ(out[0], 65535LL * 15 * p.array_rows);
+}
+
+TEST(Crossbar, ActivityCountsSpikes)
+{
+    const DeviceParams p;
+    CrossbarArray array(p);
+    array.programCell(0, 0, 1);
+    (void)array.matVecCodes({0b101});      // 2 input spikes
+    (void)array.matVecCodes({0b1});        // 1 input spike
+    EXPECT_EQ(array.activity().input_spikes, 3);
+    EXPECT_EQ(array.activity().mvm_ops, 2);
+    EXPECT_EQ(array.activity().write_pulses, p.cell_bits);
+}
+
+TEST(CrossbarDeath, RejectsOverRangeCode)
+{
+    const DeviceParams p;
+    CrossbarArray array(p);
+    EXPECT_DEATH(array.programCell(0, 0, 16), "exceeds");
+}
+
+// ---------------------------------------------------------------------
+// ArrayGroup
+// ---------------------------------------------------------------------
+
+TEST(ArrayGroup, ArrayCountMatchesTiling)
+{
+    const DeviceParams p; // 128x128 arrays, 2 signs x 4 slices
+    Rng rng(1);
+    // 200 inputs x 150 outputs -> 2x2 tiles.
+    const Tensor w = Tensor::randn({150, 200}, rng);
+    ArrayGroup group(p, w);
+    EXPECT_EQ(group.arrayCount(), 2 * 4 * 2 * 2);
+}
+
+TEST(ArrayGroup, Fig5ExampleTiling)
+{
+    // Paper Fig. 5: a 512x256 matrix decomposes into 8 = 4x2 arrays
+    // of 128x128 (per sign and slice group).
+    const DeviceParams p;
+    Rng rng(2);
+    const Tensor w = Tensor::randn({256, 512}, rng); // (out, in)
+    ArrayGroup group(p, w);
+    EXPECT_EQ(group.arrayCount(), 2 * 4 * 8);
+}
+
+TEST(ArrayGroup, ReadWeightsMatchesQuantisedOriginal)
+{
+    const DeviceParams p;
+    Rng rng(3);
+    const Tensor w = Tensor::randn({10, 12}, rng);
+    ArrayGroup group(p, w);
+    const Tensor stored = group.readWeights();
+    // 16-bit quantisation: error below one LSB.
+    for (int64_t i = 0; i < w.numel(); ++i)
+        EXPECT_NEAR(stored.at(i), w.at(i), group.weightScale() * 0.51f);
+}
+
+TEST(ArrayGroup, MatVecMatchesFloatWithinQuantisation)
+{
+    const DeviceParams p;
+    Rng rng(4);
+    const Tensor w = Tensor::randn({16, 24}, rng);
+    ArrayGroup group(p, w);
+    Tensor x({24});
+    for (int64_t i = 0; i < 24; ++i)
+        x(i) = static_cast<float>(rng.uniform()); // non-negative input
+    const Tensor expect = ops::matVec(w, x);
+    const Tensor got = group.matVec(x);
+    for (int64_t i = 0; i < expect.numel(); ++i)
+        EXPECT_NEAR(got(i), expect(i), 5e-3 * (1.0 + std::fabs(expect(i))));
+}
+
+TEST(ArrayGroup, SignedInputsViaSignSplit)
+{
+    const DeviceParams p;
+    Rng rng(5);
+    const Tensor w = Tensor::randn({8, 8}, rng);
+    ArrayGroup group(p, w);
+    const Tensor x = Tensor::randn({8}, rng); // signed (backward errors)
+    const Tensor expect = ops::matVec(w, x);
+    const Tensor got = group.matVec(x);
+    for (int64_t i = 0; i < expect.numel(); ++i)
+        EXPECT_NEAR(got(i), expect(i), 5e-3 * (1.0 + std::fabs(expect(i))));
+}
+
+TEST(ArrayGroup, MatVecAcrossTileBoundaries)
+{
+    const DeviceParams p;
+    Rng rng(6);
+    const Tensor w = Tensor::randn({130, 260}, rng); // 2x3 tile grid
+    ArrayGroup group(p, w);
+    Tensor x({260});
+    for (int64_t i = 0; i < 260; ++i)
+        x(i) = static_cast<float>(rng.uniform());
+    const Tensor expect = ops::matVec(w, x);
+    const Tensor got = group.matVec(x);
+    for (int64_t i = 0; i < expect.numel(); ++i)
+        EXPECT_NEAR(got(i), expect(i),
+                    2e-2 * (1.0 + std::fabs(expect(i))));
+}
+
+TEST(ArrayGroup, UpdateWeightsMovesTowardTarget)
+{
+    const DeviceParams p;
+    Rng rng(7);
+    // Keep weights well inside the quantisation range (set by the
+    // 2.0 anchor) so no update clamps at the code limits.
+    Tensor w = Tensor::randn({6, 6}, rng, 0.0f, 0.3f);
+    w(0, 0) = 2.0f;
+    ArrayGroup group(p, w);
+    // Gradient = +1 everywhere: weights must decrease by lr/B.
+    Tensor grad({6, 6}, 1.0f);
+    const Tensor before = group.readWeights();
+    group.updateWeights(grad, /*lr=*/0.5f, /*batch_size=*/2);
+    const Tensor after = group.readWeights();
+    for (int64_t i = 0; i < before.numel(); ++i)
+        EXPECT_NEAR(after.at(i), before.at(i) - 0.25f,
+                    group.weightScale() * 1.01f);
+}
+
+TEST(ArrayGroup, UpdateCanFlipWeightSign)
+{
+    const DeviceParams p;
+    Tensor w({1, 1});
+    w(0, 0) = 0.5f;
+    ArrayGroup group(p, w);
+    Tensor grad({1, 1}, 1.0f);
+    group.updateWeights(grad, /*lr=*/1.0f, /*batch_size=*/1);
+    const Tensor after = group.readWeights();
+    EXPECT_NEAR(after(0, 0), -0.5f, group.weightScale() * 1.01f);
+}
+
+TEST(ArrayGroup, ActivityAccumulates)
+{
+    const DeviceParams p;
+    Rng rng(8);
+    const Tensor w = Tensor::randn({4, 4}, rng);
+    ArrayGroup group(p, w);
+    Tensor x({4}, 0.5f);
+    (void)group.matVec(x);
+    const ArrayActivity activity = group.totalActivity();
+    EXPECT_GT(activity.input_spikes, 0);
+    EXPECT_GT(activity.write_pulses, 0); // programming during ctor
+    EXPECT_GT(activity.mvm_ops, 0);
+}
+
+TEST(ArrayGroupDeath, RejectsNonMatrixWeight)
+{
+    const DeviceParams p;
+    Rng rng(20);
+    const Tensor cube = Tensor::randn({2, 3, 4}, rng);
+    EXPECT_DEATH(ArrayGroup(p, cube), "matrix");
+}
+
+TEST(ArrayGroupDeath, RejectsWrongInputSize)
+{
+    const DeviceParams p;
+    Rng rng(21);
+    const Tensor w = Tensor::randn({4, 6}, rng);
+    ArrayGroup group(p, w);
+    Tensor x({5});
+    EXPECT_DEATH(group.matVec(x), "matVec input");
+}
+
+TEST(ArrayGroupDeath, RejectsWrongGradientShape)
+{
+    const DeviceParams p;
+    Rng rng(22);
+    const Tensor w = Tensor::randn({4, 6}, rng);
+    ArrayGroup group(p, w);
+    Tensor grad({4, 5});
+    EXPECT_DEATH(group.updateWeights(grad, 0.1f, 1), "gradient shape");
+}
+
+TEST(ArrayGroup, ZeroWeightMatrixComputesZero)
+{
+    const DeviceParams p;
+    Tensor w({3, 3});
+    ArrayGroup group(p, w);
+    Tensor x({3}, 1.0f);
+    const Tensor out = group.matVec(x);
+    for (int64_t i = 0; i < out.numel(); ++i)
+        EXPECT_FLOAT_EQ(out(i), 0.0f);
+}
+
+/** Property sweep: random matrices at several geometries stay within
+ *  quantisation error of the float product. */
+class ArrayGroupSweep
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>>
+{
+};
+
+TEST_P(ArrayGroupSweep, MatVecAccuracy)
+{
+    const auto [n, m] = GetParam();
+    const DeviceParams p;
+    Rng rng(static_cast<uint64_t>(n * 1000 + m));
+    const Tensor w = Tensor::randn({n, m}, rng);
+    ArrayGroup group(p, w);
+    Tensor x({m});
+    for (int64_t i = 0; i < m; ++i)
+        x(i) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const Tensor expect = ops::matVec(w, x);
+    const Tensor got = group.matVec(x);
+    double max_err = 0.0, max_ref = 0.0;
+    for (int64_t i = 0; i < expect.numel(); ++i) {
+        max_err = std::max(max_err,
+                           (double)std::fabs(got(i) - expect(i)));
+        max_ref = std::max(max_ref, (double)std::fabs(expect(i)));
+    }
+    EXPECT_LT(max_err, 0.02 * (1.0 + max_ref));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ArrayGroupSweep,
+    ::testing::Values(std::make_pair<int64_t, int64_t>(1, 1),
+                      std::make_pair<int64_t, int64_t>(3, 200),
+                      std::make_pair<int64_t, int64_t>(200, 3),
+                      std::make_pair<int64_t, int64_t>(64, 64),
+                      std::make_pair<int64_t, int64_t>(129, 129)));
+
+} // namespace
+} // namespace reram
+} // namespace pipelayer

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests of binary weight serialisation (the Weight_load persistence
+ * path).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "common/rng.hh"
+#include "nn/layers.hh"
+#include "nn/network.hh"
+#include "nn/serialize.hh"
+
+namespace pipelayer {
+namespace nn {
+namespace {
+
+/** Temp file path unique to the current test. */
+std::string
+tempPath(const std::string &tag)
+{
+    return testing::TempDir() + "pl_weights_" + tag + ".bin";
+}
+
+Network
+makeNet(uint64_t seed)
+{
+    Rng rng(seed);
+    Network net("serialize-net", {1, 6, 6});
+    net.add(std::make_unique<ConvLayer>(1, 3, 3, 1, 1, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<FlattenLayer>());
+    net.add(std::make_unique<InnerProductLayer>(108, 5, rng));
+    return net;
+}
+
+TEST(Serialize, TensorRoundTrip)
+{
+    Rng rng(1);
+    const Tensor a = Tensor::randn({3, 4}, rng);
+    const Tensor b = Tensor::randn({7}, rng);
+    const std::string path = tempPath("tensors");
+    saveTensors({&a, &b}, path);
+
+    const auto loaded = loadTensors(path);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[0].shape(), a.shape());
+    EXPECT_EQ(loaded[1].shape(), b.shape());
+    for (int64_t i = 0; i < a.numel(); ++i)
+        EXPECT_FLOAT_EQ(loaded[0].at(i), a.at(i));
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, NetworkWeightsRoundTrip)
+{
+    Network source = makeNet(2);
+    Network target = makeNet(3); // different weights, same topology
+    const std::string path = tempPath("network");
+    saveWeights(source, path);
+    loadWeights(target, path);
+
+    Rng rng(4);
+    const Tensor x = Tensor::randn({1, 6, 6}, rng);
+    const Tensor a = source.infer(x);
+    const Tensor b = target.infer(x);
+    for (int64_t i = 0; i < a.numel(); ++i)
+        EXPECT_FLOAT_EQ(a.at(i), b.at(i));
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, EmptyTensorListRoundTrip)
+{
+    const std::string path = tempPath("empty");
+    saveTensors({}, path);
+    EXPECT_TRUE(loadTensors(path).empty());
+    std::remove(path.c_str());
+}
+
+TEST(SerializeDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadTensors("/nonexistent/dir/weights.bin"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(SerializeDeath, GarbageFileIsFatal)
+{
+    const std::string path = tempPath("garbage");
+    {
+        std::ofstream os(path, std::ios::binary);
+        os << "this is not a weight file at all";
+    }
+    EXPECT_EXIT(loadTensors(path), ::testing::ExitedWithCode(1),
+                "not a PipeLayer weight file");
+    std::remove(path.c_str());
+}
+
+TEST(SerializeDeath, TruncatedFileIsFatal)
+{
+    Network net = makeNet(5);
+    const std::string path = tempPath("trunc");
+    saveWeights(net, path);
+    // Chop the file in half.
+    std::ifstream is(path, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+    is.close();
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os.write(contents.data(),
+                 static_cast<std::streamsize>(contents.size() / 2));
+    }
+    EXPECT_EXIT(loadTensors(path), ::testing::ExitedWithCode(1),
+                "truncated");
+    std::remove(path.c_str());
+}
+
+TEST(SerializeDeath, TopologyMismatchIsFatal)
+{
+    Network small = makeNet(6);
+    Rng rng(7);
+    Network big("other", {1, 6, 6});
+    big.add(std::make_unique<FlattenLayer>());
+    big.add(std::make_unique<InnerProductLayer>(36, 9, rng));
+
+    const std::string path = tempPath("mismatch");
+    saveWeights(small, path);
+    EXPECT_EXIT(loadWeights(big, path), ::testing::ExitedWithCode(1),
+                "network expects|holds");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace nn
+} // namespace pipelayer

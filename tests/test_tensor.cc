@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the Tensor container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "tensor/tensor.hh"
+
+namespace pipelayer {
+namespace {
+
+TEST(Tensor, ShapeNumel)
+{
+    EXPECT_EQ(shapeNumel({2, 3, 4}), 24);
+    EXPECT_EQ(shapeNumel({}), 1);
+    EXPECT_EQ(shapeNumel({0, 5}), 0);
+}
+
+TEST(Tensor, ShapeToString)
+{
+    EXPECT_EQ(shapeToString({2, 3}), "(2, 3)");
+    EXPECT_EQ(shapeToString({}), "()");
+}
+
+TEST(Tensor, ZeroInitialised)
+{
+    Tensor t({2, 2});
+    for (int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(Tensor, FillValueConstructor)
+{
+    Tensor t({3}, 2.5f);
+    EXPECT_EQ(t(0), 2.5f);
+    EXPECT_EQ(t(2), 2.5f);
+}
+
+TEST(Tensor, RowMajorIndexing3D)
+{
+    Tensor t({2, 3, 4});
+    t(1, 2, 3) = 9.0f;
+    // flat = (1*3 + 2)*4 + 3 = 23
+    EXPECT_EQ(t.at(23), 9.0f);
+}
+
+TEST(Tensor, RowMajorIndexing4D)
+{
+    Tensor t({2, 2, 2, 2});
+    t(1, 0, 1, 0) = 5.0f;
+    // flat = ((1*2 + 0)*2 + 1)*2 + 0 = 10
+    EXPECT_EQ(t.at(10), 5.0f);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t({2, 3});
+    t(1, 2) = 7.0f;
+    const Tensor r = t.reshape({6});
+    EXPECT_EQ(r(5), 7.0f);
+    EXPECT_EQ(r.rank(), 1);
+}
+
+TEST(Tensor, ElementwiseArithmetic)
+{
+    Tensor a({2}, 1.0f), b({2}, 2.0f);
+    Tensor c = a + b;
+    EXPECT_EQ(c(0), 3.0f);
+    c -= a;
+    EXPECT_EQ(c(1), 2.0f);
+    c *= 4.0f;
+    EXPECT_EQ(c(0), 8.0f);
+}
+
+TEST(Tensor, Hadamard)
+{
+    Tensor a({3}, 2.0f), b({3});
+    b(0) = 1.0f;
+    b(1) = -2.0f;
+    b(2) = 0.0f;
+    const Tensor h = a.hadamard(b);
+    EXPECT_EQ(h(0), 2.0f);
+    EXPECT_EQ(h(1), -4.0f);
+    EXPECT_EQ(h(2), 0.0f);
+}
+
+TEST(Tensor, SumAndArgmaxAndAbsMax)
+{
+    Tensor t({4});
+    t(0) = 1.0f;
+    t(1) = -5.0f;
+    t(2) = 3.0f;
+    t(3) = 3.0f;
+    EXPECT_DOUBLE_EQ(t.sum(), 2.0);
+    EXPECT_EQ(t.argmax(), 2); // first of the ties
+    EXPECT_EQ(t.absMax(), 5.0f);
+}
+
+TEST(Tensor, RandnIsDeterministicGivenSeed)
+{
+    Rng rng1(99), rng2(99);
+    const Tensor a = Tensor::randn({10}, rng1);
+    const Tensor b = Tensor::randn({10}, rng2);
+    for (int64_t i = 0; i < a.numel(); ++i)
+        EXPECT_EQ(a.at(i), b.at(i));
+}
+
+TEST(Tensor, RandnMoments)
+{
+    Rng rng(7);
+    const Tensor t = Tensor::randn({10000}, rng, 1.0f, 2.0f);
+    EXPECT_NEAR(t.sum() / t.numel(), 1.0, 0.1);
+}
+
+TEST(Tensor, FillOverwrites)
+{
+    Tensor t({5}, 3.0f);
+    t.fill(-1.0f);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t.at(i), -1.0f);
+}
+
+TEST(TensorDeath, OutOfRangeAccessPanics)
+{
+    Tensor t({2, 2});
+    EXPECT_DEATH(t.at(4), "out of range");
+    EXPECT_DEATH(t(2, 0), "out of range");
+}
+
+TEST(TensorDeath, RankMismatchPanics)
+{
+    Tensor t({2, 2});
+    EXPECT_DEATH(t(0), "1-D access");
+}
+
+TEST(TensorDeath, BadReshapePanics)
+{
+    Tensor t({2, 2});
+    EXPECT_DEATH(t.reshape({3}), "changes element count");
+}
+
+} // namespace
+} // namespace pipelayer

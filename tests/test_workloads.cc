@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the layer/network descriptors and the model zoo: the
+ * evaluation networks must have the published geometry and parameter
+ * counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "nn/layers.hh"
+#include "workloads/layer_spec.hh"
+#include "workloads/model_zoo.hh"
+
+namespace pipelayer {
+namespace workloads {
+namespace {
+
+TEST(LayerSpec, ConvGeometry)
+{
+    const LayerSpec s = LayerSpec::conv(3, 224, 224, 64, 3, 1, 1);
+    EXPECT_EQ(s.out_h, 224);
+    EXPECT_EQ(s.out_w, 224);
+    EXPECT_EQ(s.weightRows(), 3 * 3 * 3 + 1);
+    EXPECT_EQ(s.weightCols(), 64);
+    EXPECT_EQ(s.numWindows(), 224 * 224);
+    EXPECT_EQ(s.paramCount(), 64 * (27 + 1));
+}
+
+TEST(LayerSpec, Fig4Example)
+{
+    // Paper Fig. 4: 66x66x128 input, 3x3x128x256 kernels ->
+    // 64x64x256 output; the naive array is 1153x256 (with bias) and
+    // there are 4096 windows.
+    const LayerSpec s = LayerSpec::conv(128, 66, 66, 256, 3);
+    EXPECT_EQ(s.out_h, 64);
+    EXPECT_EQ(s.out_w, 64);
+    EXPECT_EQ(s.weightRows(), 3 * 3 * 128 + 1);
+    EXPECT_EQ(s.weightCols(), 256);
+    EXPECT_EQ(s.numWindows(), 4096);
+}
+
+TEST(LayerSpec, StridedConv)
+{
+    const LayerSpec s = LayerSpec::conv(3, 227, 227, 96, 11, 4, 0);
+    EXPECT_EQ(s.out_h, 55);
+    EXPECT_EQ(s.out_w, 55);
+}
+
+TEST(LayerSpec, PoolGeometry)
+{
+    const LayerSpec s = LayerSpec::maxPool(96, 55, 55, 3, 2);
+    EXPECT_EQ(s.out_h, 27);
+    EXPECT_EQ(s.out_c, 96);
+    EXPECT_FALSE(s.usesArrays());
+    EXPECT_EQ(s.paramCount(), 0);
+}
+
+TEST(LayerSpec, InnerProduct)
+{
+    const LayerSpec s = LayerSpec::innerProduct(4096, 1000);
+    EXPECT_EQ(s.weightRows(), 4097);
+    EXPECT_EQ(s.weightCols(), 1000);
+    EXPECT_EQ(s.numWindows(), 1);
+    EXPECT_EQ(s.forwardOps(), 2 * 4096 * 1000);
+}
+
+TEST(LayerSpec, OpsCountsMatchPaperFormulas)
+{
+    // Paper §2.1: a conv layer performs X*Y*C*(C_l*Kx*Ky)
+    // multiplications and about as many additions.
+    const LayerSpec s = LayerSpec::conv(128, 66, 66, 256, 3);
+    EXPECT_EQ(s.forwardOps(),
+              2LL * 64 * 64 * 256 * 128 * 3 * 3);
+    EXPECT_EQ(s.backwardOps(), 2 * s.forwardOps());
+}
+
+TEST(ModelZoo, TenEvaluationNetworks)
+{
+    const auto nets = evaluationNetworks();
+    ASSERT_EQ(nets.size(), 10u);
+    EXPECT_EQ(nets[0].name, "Mnist-A");
+    EXPECT_EQ(nets[4].name, "AlexNet");
+    EXPECT_EQ(nets[9].name, "VGG-E");
+    for (const auto &net : nets)
+        net.validate();
+}
+
+TEST(ModelZoo, VggDParameterCount)
+{
+    // VGG-16 (configuration D) famously has ~138.3M parameters.
+    const NetworkSpec spec = vggD();
+    EXPECT_NEAR(static_cast<double>(spec.paramCount()), 138.3e6, 0.5e6);
+}
+
+TEST(ModelZoo, VggEParameterCount)
+{
+    // VGG-19 (configuration E): ~143.7M parameters.
+    EXPECT_NEAR(static_cast<double>(vggE().paramCount()), 143.7e6, 0.5e6);
+}
+
+TEST(ModelZoo, AlexNetParameterCount)
+{
+    // AlexNet with the original conv groups: ~61M parameters.
+    const double params = static_cast<double>(alexNet().paramCount());
+    EXPECT_NEAR(params, 61e6, 1e6);
+}
+
+TEST(LayerSpec, GroupedConvolution)
+{
+    const LayerSpec grouped =
+        LayerSpec::conv(96, 27, 27, 256, 5, 1, 2, /*groups=*/2);
+    const LayerSpec dense = LayerSpec::conv(96, 27, 27, 256, 5, 1, 2);
+    // Groups halve the per-output fan-in, parameters and operations.
+    EXPECT_EQ(grouped.weightRows(), 48 * 25 + 1);
+    EXPECT_EQ(dense.weightRows(), 96 * 25 + 1);
+    EXPECT_EQ(grouped.paramCount() - 256,
+              (dense.paramCount() - 256) / 2);
+    EXPECT_EQ(grouped.forwardOps(), dense.forwardOps() / 2);
+    // Same output geometry either way.
+    EXPECT_EQ(grouped.out_h, dense.out_h);
+    EXPECT_NE(grouped.describe().find("/g2"), std::string::npos);
+}
+
+TEST(LayerSpec, AvgPoolGeometryAndOps)
+{
+    const LayerSpec s = LayerSpec::avgPool(16, 8, 8, 2);
+    EXPECT_EQ(s.out_h, 4);
+    EXPECT_EQ(s.out_c, 16);
+    EXPECT_FALSE(s.usesArrays());
+    EXPECT_EQ(s.paramCount(), 0);
+    // (K*K additions + 1 shift) per output element (paper Eq. 2).
+    EXPECT_EQ(s.forwardOps(), 4 * 4 * 16 * 5);
+    EXPECT_EQ(s.describe(), "avgpool2");
+}
+
+TEST(LayerSpec, SpecFromNetworkMapsAvgPool)
+{
+    Rng rng(42);
+    nn::Network net("avg", {2, 8, 8});
+    net.add(std::make_unique<nn::ConvLayer>(2, 4, 3, 1, 1, rng));
+    net.add(std::make_unique<nn::AvgPoolLayer>(2));
+    net.add(std::make_unique<nn::FlattenLayer>());
+    net.add(std::make_unique<nn::InnerProductLayer>(64, 4, rng));
+    const NetworkSpec spec = specFromNetwork(net);
+    ASSERT_EQ(spec.layers.size(), 3u);
+    EXPECT_EQ(spec.layers[1].kind, SpecKind::AvgPool);
+    EXPECT_EQ(spec.pipelineDepth(), 2);
+}
+
+TEST(LayerSpecDeath, GroupsMustDivideChannels)
+{
+    EXPECT_DEATH(LayerSpec::conv(3, 8, 8, 4, 3, 1, 0, /*groups=*/2),
+                 "groups");
+}
+
+TEST(ModelZoo, VggDepthsAreCorrect)
+{
+    // Weight-layer counts: A=11, B=13, C=16, D=16, E=19.
+    EXPECT_EQ(vggA().pipelineDepth(), 11);
+    EXPECT_EQ(vggB().pipelineDepth(), 13);
+    EXPECT_EQ(vggC().pipelineDepth(), 16);
+    EXPECT_EQ(vggD().pipelineDepth(), 16);
+    EXPECT_EQ(vggE().pipelineDepth(), 19);
+}
+
+TEST(ModelZoo, VggForwardOpsScale)
+{
+    // VGG-16 forward ≈ 31 GFLOP (15.5 GMACs) at 224x224.
+    const double ops = static_cast<double>(vggD().forwardOps());
+    EXPECT_GT(ops, 28e9);
+    EXPECT_LT(ops, 34e9);
+}
+
+TEST(ModelZoo, MnistNetworksMatchTable3Reconstruction)
+{
+    EXPECT_EQ(mnistA().pipelineDepth(), 2);
+    EXPECT_EQ(mnistB().pipelineDepth(), 3);
+    EXPECT_EQ(mnistC().pipelineDepth(), 4);
+    EXPECT_EQ(mnistO().pipelineDepth(), 4); // conv, conv, ip, ip
+    // Mnist-0 first layer: conv5x20 on 28x28 (paper Table 3).
+    const auto &first = mnistO().layers[0];
+    EXPECT_EQ(first.kernel, 5);
+    EXPECT_EQ(first.out_c, 20);
+    EXPECT_EQ(first.out_h, 24);
+}
+
+TEST(ModelZoo, NetworkByNameRoundTrip)
+{
+    EXPECT_EQ(networkByName("VGG-C").name, "VGG-C");
+    EXPECT_EQ(networkByName("Mnist-0").pipelineDepth(), 4);
+}
+
+TEST(ModelZooDeath, UnknownNetworkIsFatal)
+{
+    EXPECT_EXIT(networkByName("LeNet-9000"),
+                ::testing::ExitedWithCode(1), "unknown");
+}
+
+TEST(ModelZoo, StudyNetworksBuildAndValidate)
+{
+    Rng rng(1);
+    auto nets = studyNetworks(rng);
+    ASSERT_EQ(nets.size(), 5u);
+    EXPECT_EQ(nets[0].first, "M-1");
+    EXPECT_EQ(nets[4].first, "C-4");
+    for (auto &[name, net] : nets) {
+        EXPECT_EQ(net.outputShape(), (Shape{10}));
+        const NetworkSpec spec = specFromNetwork(net);
+        spec.validate();
+    }
+}
+
+TEST(ModelZoo, SpecFromNetworkMatchesFunctionalShapes)
+{
+    Rng rng(2);
+    nn::Network net = buildMnist0Functional(rng);
+    const NetworkSpec spec = specFromNetwork(net);
+    EXPECT_EQ(spec.pipelineDepth(), 4);
+    // Functional and spec parameter counts must agree.
+    EXPECT_EQ(spec.paramCount(), net.parameterCount());
+}
+
+TEST(ModelZoo, ArrayLayerIndicesSkipPools)
+{
+    const NetworkSpec spec = mnistO();
+    const auto idx = spec.arrayLayerIndices();
+    ASSERT_EQ(idx.size(), 4u);
+    EXPECT_EQ(idx[0], 0u); // conv
+    EXPECT_EQ(idx[1], 2u); // conv (pool at 1)
+}
+
+TEST(NetworkSpecDeath, InconsistentShapesPanic)
+{
+    NetworkSpec spec;
+    spec.name = "broken";
+    spec.layers.push_back(LayerSpec::conv(1, 8, 8, 4, 3));
+    spec.layers.push_back(LayerSpec::innerProduct(999, 10));
+    EXPECT_DEATH(spec.validate(), "consumes");
+}
+
+} // namespace
+} // namespace workloads
+} // namespace pipelayer

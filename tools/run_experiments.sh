@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Build everything, run the test suite, and regenerate every table and
+# figure of the paper's evaluation (outputs land in the current dir).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    echo "==================================================================="
+    echo "== $b"
+    echo "==================================================================="
+    "$b"
+done 2>&1 | tee bench_output.txt
