@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_variation.dir/bench_ablation_variation.cc.o"
+  "CMakeFiles/bench_ablation_variation.dir/bench_ablation_variation.cc.o.d"
+  "bench_ablation_variation"
+  "bench_ablation_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

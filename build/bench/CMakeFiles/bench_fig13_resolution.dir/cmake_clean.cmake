@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_resolution.dir/bench_fig13_resolution.cc.o"
+  "CMakeFiles/bench_fig13_resolution.dir/bench_fig13_resolution.cc.o.d"
+  "bench_fig13_resolution"
+  "bench_fig13_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_granularity.dir/bench_fig17_granularity.cc.o"
+  "CMakeFiles/bench_fig17_granularity.dir/bench_fig17_granularity.cc.o.d"
+  "bench_fig17_granularity"
+  "bench_fig17_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_isaac_stalls.dir/bench_isaac_stalls.cc.o"
+  "CMakeFiles/bench_isaac_stalls.dir/bench_isaac_stalls.cc.o.d"
+  "bench_isaac_stalls"
+  "bench_isaac_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_isaac_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec66_efficiency.dir/bench_sec66_efficiency.cc.o"
+  "CMakeFiles/bench_sec66_efficiency.dir/bench_sec66_efficiency.cc.o.d"
+  "bench_sec66_efficiency"
+  "bench_sec66_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec66_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

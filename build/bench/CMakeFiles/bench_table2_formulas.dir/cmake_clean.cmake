@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_formulas.dir/bench_table2_formulas.cc.o"
+  "CMakeFiles/bench_table2_formulas.dir/bench_table2_formulas.cc.o.d"
+  "bench_table2_formulas"
+  "bench_table2_formulas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_formulas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

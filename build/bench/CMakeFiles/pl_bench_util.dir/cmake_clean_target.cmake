@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libpl_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossbar_demo.dir/crossbar_demo.cpp.o"
+  "CMakeFiles/crossbar_demo.dir/crossbar_demo.cpp.o.d"
+  "crossbar_demo"
+  "crossbar_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossbar_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

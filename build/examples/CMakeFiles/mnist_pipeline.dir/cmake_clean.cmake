@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnist_pipeline.dir/mnist_pipeline.cpp.o"
+  "CMakeFiles/mnist_pipeline.dir/mnist_pipeline.cpp.o.d"
+  "mnist_pipeline"
+  "mnist_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnist_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipelined_training.dir/pipelined_training.cpp.o"
+  "CMakeFiles/pipelined_training.dir/pipelined_training.cpp.o.d"
+  "pipelined_training"
+  "pipelined_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipelined_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

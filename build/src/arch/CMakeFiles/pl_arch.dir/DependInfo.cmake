@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/buffers.cc" "src/arch/CMakeFiles/pl_arch.dir/buffers.cc.o" "gcc" "src/arch/CMakeFiles/pl_arch.dir/buffers.cc.o.d"
+  "/root/repo/src/arch/granularity.cc" "src/arch/CMakeFiles/pl_arch.dir/granularity.cc.o" "gcc" "src/arch/CMakeFiles/pl_arch.dir/granularity.cc.o.d"
+  "/root/repo/src/arch/mapping.cc" "src/arch/CMakeFiles/pl_arch.dir/mapping.cc.o" "gcc" "src/arch/CMakeFiles/pl_arch.dir/mapping.cc.o.d"
+  "/root/repo/src/arch/pipeline.cc" "src/arch/CMakeFiles/pl_arch.dir/pipeline.cc.o" "gcc" "src/arch/CMakeFiles/pl_arch.dir/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/pl_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/reram/CMakeFiles/pl_reram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/pl_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pl_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_arch.dir/buffers.cc.o"
+  "CMakeFiles/pl_arch.dir/buffers.cc.o.d"
+  "CMakeFiles/pl_arch.dir/granularity.cc.o"
+  "CMakeFiles/pl_arch.dir/granularity.cc.o.d"
+  "CMakeFiles/pl_arch.dir/mapping.cc.o"
+  "CMakeFiles/pl_arch.dir/mapping.cc.o.d"
+  "CMakeFiles/pl_arch.dir/pipeline.cc.o"
+  "CMakeFiles/pl_arch.dir/pipeline.cc.o.d"
+  "libpl_arch.a"
+  "libpl_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_baseline.dir/gpu_model.cc.o"
+  "CMakeFiles/pl_baseline.dir/gpu_model.cc.o.d"
+  "CMakeFiles/pl_baseline.dir/isaac_model.cc.o"
+  "CMakeFiles/pl_baseline.dir/isaac_model.cc.o.d"
+  "libpl_baseline.a"
+  "libpl_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_common.dir/args.cc.o"
+  "CMakeFiles/pl_common.dir/args.cc.o.d"
+  "CMakeFiles/pl_common.dir/logging.cc.o"
+  "CMakeFiles/pl_common.dir/logging.cc.o.d"
+  "CMakeFiles/pl_common.dir/rng.cc.o"
+  "CMakeFiles/pl_common.dir/rng.cc.o.d"
+  "CMakeFiles/pl_common.dir/stats.cc.o"
+  "CMakeFiles/pl_common.dir/stats.cc.o.d"
+  "CMakeFiles/pl_common.dir/table.cc.o"
+  "CMakeFiles/pl_common.dir/table.cc.o.d"
+  "CMakeFiles/pl_common.dir/units.cc.o"
+  "CMakeFiles/pl_common.dir/units.cc.o.d"
+  "libpl_common.a"
+  "libpl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

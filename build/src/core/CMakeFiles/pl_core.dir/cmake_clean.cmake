@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_core.dir/device.cc.o"
+  "CMakeFiles/pl_core.dir/device.cc.o.d"
+  "CMakeFiles/pl_core.dir/mapped_layer.cc.o"
+  "CMakeFiles/pl_core.dir/mapped_layer.cc.o.d"
+  "CMakeFiles/pl_core.dir/pipelined_trainer.cc.o"
+  "CMakeFiles/pl_core.dir/pipelined_trainer.cc.o.d"
+  "libpl_core.a"
+  "libpl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

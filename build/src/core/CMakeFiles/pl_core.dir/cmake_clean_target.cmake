@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpl_core.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/layer.cc" "src/nn/CMakeFiles/pl_nn.dir/layer.cc.o" "gcc" "src/nn/CMakeFiles/pl_nn.dir/layer.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/pl_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/pl_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/pl_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/pl_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/nn/CMakeFiles/pl_nn.dir/network.cc.o" "gcc" "src/nn/CMakeFiles/pl_nn.dir/network.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/pl_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/pl_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/nn/CMakeFiles/pl_nn.dir/trainer.cc.o" "gcc" "src/nn/CMakeFiles/pl_nn.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/pl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

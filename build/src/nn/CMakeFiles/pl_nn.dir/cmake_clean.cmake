@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_nn.dir/layer.cc.o"
+  "CMakeFiles/pl_nn.dir/layer.cc.o.d"
+  "CMakeFiles/pl_nn.dir/layers.cc.o"
+  "CMakeFiles/pl_nn.dir/layers.cc.o.d"
+  "CMakeFiles/pl_nn.dir/loss.cc.o"
+  "CMakeFiles/pl_nn.dir/loss.cc.o.d"
+  "CMakeFiles/pl_nn.dir/network.cc.o"
+  "CMakeFiles/pl_nn.dir/network.cc.o.d"
+  "CMakeFiles/pl_nn.dir/serialize.cc.o"
+  "CMakeFiles/pl_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/pl_nn.dir/trainer.cc.o"
+  "CMakeFiles/pl_nn.dir/trainer.cc.o.d"
+  "libpl_nn.a"
+  "libpl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

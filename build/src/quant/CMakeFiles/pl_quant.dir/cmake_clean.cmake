@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_quant.dir/qat.cc.o"
+  "CMakeFiles/pl_quant.dir/qat.cc.o.d"
+  "CMakeFiles/pl_quant.dir/quantize.cc.o"
+  "CMakeFiles/pl_quant.dir/quantize.cc.o.d"
+  "libpl_quant.a"
+  "libpl_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reram/activation.cc" "src/reram/CMakeFiles/pl_reram.dir/activation.cc.o" "gcc" "src/reram/CMakeFiles/pl_reram.dir/activation.cc.o.d"
+  "/root/repo/src/reram/array_group.cc" "src/reram/CMakeFiles/pl_reram.dir/array_group.cc.o" "gcc" "src/reram/CMakeFiles/pl_reram.dir/array_group.cc.o.d"
+  "/root/repo/src/reram/crossbar.cc" "src/reram/CMakeFiles/pl_reram.dir/crossbar.cc.o" "gcc" "src/reram/CMakeFiles/pl_reram.dir/crossbar.cc.o.d"
+  "/root/repo/src/reram/memory_region.cc" "src/reram/CMakeFiles/pl_reram.dir/memory_region.cc.o" "gcc" "src/reram/CMakeFiles/pl_reram.dir/memory_region.cc.o.d"
+  "/root/repo/src/reram/params_io.cc" "src/reram/CMakeFiles/pl_reram.dir/params_io.cc.o" "gcc" "src/reram/CMakeFiles/pl_reram.dir/params_io.cc.o.d"
+  "/root/repo/src/reram/spike.cc" "src/reram/CMakeFiles/pl_reram.dir/spike.cc.o" "gcc" "src/reram/CMakeFiles/pl_reram.dir/spike.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quant/CMakeFiles/pl_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pl_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_reram.dir/activation.cc.o"
+  "CMakeFiles/pl_reram.dir/activation.cc.o.d"
+  "CMakeFiles/pl_reram.dir/array_group.cc.o"
+  "CMakeFiles/pl_reram.dir/array_group.cc.o.d"
+  "CMakeFiles/pl_reram.dir/crossbar.cc.o"
+  "CMakeFiles/pl_reram.dir/crossbar.cc.o.d"
+  "CMakeFiles/pl_reram.dir/memory_region.cc.o"
+  "CMakeFiles/pl_reram.dir/memory_region.cc.o.d"
+  "CMakeFiles/pl_reram.dir/params_io.cc.o"
+  "CMakeFiles/pl_reram.dir/params_io.cc.o.d"
+  "CMakeFiles/pl_reram.dir/spike.cc.o"
+  "CMakeFiles/pl_reram.dir/spike.cc.o.d"
+  "libpl_reram.a"
+  "libpl_reram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_reram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pl_reram.
+# This may be replaced when dependencies are built.

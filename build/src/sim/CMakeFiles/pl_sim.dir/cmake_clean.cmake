@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_sim.dir/simulator.cc.o"
+  "CMakeFiles/pl_sim.dir/simulator.cc.o.d"
+  "libpl_sim.a"
+  "libpl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

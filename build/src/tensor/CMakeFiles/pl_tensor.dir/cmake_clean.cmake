@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_tensor.dir/ops.cc.o"
+  "CMakeFiles/pl_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/pl_tensor.dir/tensor.cc.o"
+  "CMakeFiles/pl_tensor.dir/tensor.cc.o.d"
+  "libpl_tensor.a"
+  "libpl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

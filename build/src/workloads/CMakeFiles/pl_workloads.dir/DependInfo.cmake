@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/layer_spec.cc" "src/workloads/CMakeFiles/pl_workloads.dir/layer_spec.cc.o" "gcc" "src/workloads/CMakeFiles/pl_workloads.dir/layer_spec.cc.o.d"
+  "/root/repo/src/workloads/model_zoo.cc" "src/workloads/CMakeFiles/pl_workloads.dir/model_zoo.cc.o" "gcc" "src/workloads/CMakeFiles/pl_workloads.dir/model_zoo.cc.o.d"
+  "/root/repo/src/workloads/synthetic_data.cc" "src/workloads/CMakeFiles/pl_workloads.dir/synthetic_data.cc.o" "gcc" "src/workloads/CMakeFiles/pl_workloads.dir/synthetic_data.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/pl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

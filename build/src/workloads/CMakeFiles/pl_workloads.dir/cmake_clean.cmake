@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_workloads.dir/layer_spec.cc.o"
+  "CMakeFiles/pl_workloads.dir/layer_spec.cc.o.d"
+  "CMakeFiles/pl_workloads.dir/model_zoo.cc.o"
+  "CMakeFiles/pl_workloads.dir/model_zoo.cc.o.d"
+  "CMakeFiles/pl_workloads.dir/synthetic_data.cc.o"
+  "CMakeFiles/pl_workloads.dir/synthetic_data.cc.o.d"
+  "libpl_workloads.a"
+  "libpl_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

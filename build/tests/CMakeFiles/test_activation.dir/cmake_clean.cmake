@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_activation.dir/test_activation.cc.o"
+  "CMakeFiles/test_activation.dir/test_activation.cc.o.d"
+  "test_activation"
+  "test_activation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_activation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

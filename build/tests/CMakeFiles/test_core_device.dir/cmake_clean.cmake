@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_device.dir/test_core_device.cc.o"
+  "CMakeFiles/test_core_device.dir/test_core_device.cc.o.d"
+  "test_core_device"
+  "test_core_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coverage.dir/test_coverage.cc.o"
+  "CMakeFiles/test_coverage.dir/test_coverage.cc.o.d"
+  "test_coverage"
+  "test_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

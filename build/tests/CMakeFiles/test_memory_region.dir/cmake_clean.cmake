@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_region.dir/test_memory_region.cc.o"
+  "CMakeFiles/test_memory_region.dir/test_memory_region.cc.o.d"
+  "test_memory_region"
+  "test_memory_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipelined_trainer.dir/test_pipelined_trainer.cc.o"
+  "CMakeFiles/test_pipelined_trainer.dir/test_pipelined_trainer.cc.o.d"
+  "test_pipelined_trainer"
+  "test_pipelined_trainer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipelined_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

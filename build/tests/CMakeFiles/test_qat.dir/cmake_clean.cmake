@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qat.dir/test_qat.cc.o"
+  "CMakeFiles/test_qat.dir/test_qat.cc.o.d"
+  "test_qat"
+  "test_qat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quant.dir/test_quant.cc.o"
+  "CMakeFiles/test_quant.dir/test_quant.cc.o.d"
+  "test_quant"
+  "test_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

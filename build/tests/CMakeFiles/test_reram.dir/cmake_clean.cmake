@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reram.dir/test_reram.cc.o"
+  "CMakeFiles/test_reram.dir/test_reram.cc.o.d"
+  "test_reram"
+  "test_reram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_variation.dir/test_variation.cc.o"
+  "CMakeFiles/test_variation.dir/test_variation.cc.o.d"
+  "test_variation"
+  "test_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
