@@ -9,6 +9,8 @@
 #include "arch/granularity.hh"
 #include "arch/mapping.hh"
 #include "arch/pipeline.hh"
+#include "bench/bench_threads.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "reram/array_group.hh"
 #include "reram/crossbar.hh"
@@ -38,6 +40,42 @@ BM_CrossbarMatVec(benchmark::State &state)
                             params.array_cols);
 }
 BENCHMARK(BM_CrossbarMatVec);
+
+/**
+ * Crossbar matVec at an explicit thread count (one worker per
+ * bit-line range); the speedup counter compares against the
+ * PL_THREADS=1 serial fallback.  A 512x512 subarray gives each
+ * worker enough bit lines to amortise dispatch.
+ */
+void
+BM_CrossbarMatVecThreads(benchmark::State &state)
+{
+    const int64_t threads = state.range(0);
+    reram::DeviceParams params;
+    params.array_rows = 512;
+    params.array_cols = 512;
+    reram::CrossbarArray array(params);
+    Rng rng(4);
+    for (int64_t r = 0; r < params.array_rows; ++r)
+        for (int64_t c = 0; c < params.array_cols; ++c)
+            array.programCell(r, c,
+                              static_cast<int64_t>(rng.uniformInt(16)));
+    std::vector<int64_t> codes(static_cast<size_t>(params.array_rows));
+    for (auto &code : codes)
+        code = static_cast<int64_t>(rng.uniformInt(65536));
+    auto kernel = [&] {
+        benchmark::DoNotOptimize(array.matVecCodes(codes));
+    };
+    setThreadCount(threads);
+    for (auto _ : state)
+        kernel();
+    setThreadCount(1);
+    state.counters["speedup_vs_serial"] =
+        bench::speedupVsSerial(threads, kernel);
+    state.SetItemsProcessed(state.iterations() * params.array_rows *
+                            params.array_cols);
+}
+BENCHMARK(BM_CrossbarMatVecThreads)->Arg(1)->Arg(2)->Arg(4);
 
 void
 BM_ArrayGroupMatVec(benchmark::State &state)

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_threads.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "tensor/ops.hh"
 #include "tensor/tensor.hh"
@@ -30,6 +32,70 @@ BM_Conv2d(benchmark::State &state)
                             channels * 9);
 }
 BENCHMARK(BM_Conv2d)->Arg(1)->Arg(8)->Arg(32);
+
+/**
+ * conv2d at an explicit thread count; the speedup counter compares
+ * against the PL_THREADS=1 serial fallback (acceptance target: >= 2x
+ * at 4 threads on a 4-core host).
+ */
+void
+BM_Conv2dThreads(benchmark::State &state)
+{
+    const int64_t threads = state.range(0);
+    Rng rng(1);
+    const Tensor in = Tensor::randn({32, 28, 28}, rng);
+    const Tensor k = Tensor::randn({32, 32, 3, 3}, rng);
+    const Tensor b = Tensor::randn({32}, rng);
+    auto kernel = [&] {
+        benchmark::DoNotOptimize(ops::conv2d(in, k, b, 1, 1));
+    };
+    setThreadCount(threads);
+    for (auto _ : state)
+        kernel();
+    setThreadCount(1);
+    state.counters["speedup_vs_serial"] =
+        bench::speedupVsSerial(threads, kernel);
+    state.SetItemsProcessed(state.iterations() * 32 * 28 * 28 * 32 * 9);
+}
+BENCHMARK(BM_Conv2dThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void
+BM_ConvBackwardKernelThreads(benchmark::State &state)
+{
+    const int64_t threads = state.range(0);
+    Rng rng(6);
+    const Tensor in = Tensor::randn({32, 16, 16}, rng);
+    const Tensor delta = Tensor::randn({32, 14, 14}, rng);
+    auto kernel = [&] {
+        benchmark::DoNotOptimize(
+            ops::conv2dBackwardKernel(in, delta, 3, 3));
+    };
+    setThreadCount(threads);
+    for (auto _ : state)
+        kernel();
+    setThreadCount(1);
+    state.counters["speedup_vs_serial"] =
+        bench::speedupVsSerial(threads, kernel);
+}
+BENCHMARK(BM_ConvBackwardKernelThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void
+BM_MatVecThreads(benchmark::State &state)
+{
+    const int64_t threads = state.range(0);
+    Rng rng(7);
+    const Tensor w = Tensor::randn({1024, 1024}, rng);
+    const Tensor x = Tensor::randn({1024}, rng);
+    auto kernel = [&] { benchmark::DoNotOptimize(ops::matVec(w, x)); };
+    setThreadCount(threads);
+    for (auto _ : state)
+        kernel();
+    setThreadCount(1);
+    state.counters["speedup_vs_serial"] =
+        bench::speedupVsSerial(threads, kernel);
+    state.SetItemsProcessed(state.iterations() * 1024 * 1024);
+}
+BENCHMARK(BM_MatVecThreads)->Arg(1)->Arg(2)->Arg(4);
 
 void
 BM_Im2col(benchmark::State &state)

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Helpers for the serial-vs-parallel microbenchmark variants: measure
+ * a kernel at an explicit thread count so each benchmark instance can
+ * report its speedup over the PL_THREADS=1 serial fallback.
+ */
+
+#ifndef PIPELAYER_BENCH_BENCH_THREADS_HH_
+#define PIPELAYER_BENCH_BENCH_THREADS_HH_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "common/parallel.hh"
+
+namespace pipelayer {
+namespace bench {
+
+/**
+ * Nanoseconds per call of @p fn at @p threads threads (adaptive
+ * repetition until the sample is long enough to trust).
+ */
+inline double
+measureNs(int64_t threads, const std::function<void()> &fn)
+{
+    using clock = std::chrono::steady_clock;
+    const int64_t saved = threadCount();
+    setThreadCount(threads);
+    fn(); // warm-up: first call may grow the thread pool
+    double ns_per_call = 0.0;
+    for (int64_t iters = 1;; iters *= 2) {
+        const auto t0 = clock::now();
+        for (int64_t i = 0; i < iters; ++i)
+            fn();
+        const auto dt =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                clock::now() - t0)
+                .count();
+        ns_per_call =
+            static_cast<double>(dt) / static_cast<double>(iters);
+        if (dt > 20'000'000 || iters >= (int64_t{1} << 20))
+            break;
+    }
+    setThreadCount(saved);
+    return ns_per_call;
+}
+
+/**
+ * Speedup of @p fn at @p threads threads over the serial fallback
+ * (>1 = parallel wins).  Measured out-of-band so the google-benchmark
+ * loop itself still times the configured thread count.
+ */
+inline double
+speedupVsSerial(int64_t threads, const std::function<void()> &fn)
+{
+    const double serial_ns = measureNs(1, fn);
+    const double parallel_ns = measureNs(threads, fn);
+    return serial_ns / parallel_ns;
+}
+
+} // namespace bench
+} // namespace pipelayer
+
+#endif // PIPELAYER_BENCH_BENCH_THREADS_HH_

@@ -15,6 +15,8 @@
  *   --timeline     also render the Fig.-6-style pipeline chart
  *   --budget=MM2   ignore lambda; auto-tune the granularity to the
  *                  given area budget (the paper's §5.2 compiler path)
+ *   --threads=N    host threads for the functional hot loops
+ *                  (overrides PL_THREADS; 1 = serial)
  *
  * Prints the per-layer mapping (G, tiles, arrays, buffer entries),
  * the aggregate array/area budget, and simulated testing/training
@@ -23,6 +25,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <string>
 
 #include "arch/granularity.hh"
@@ -30,6 +33,7 @@
 #include "arch/pipeline.hh"
 #include "baseline/gpu_model.hh"
 #include "common/args.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "common/units.hh"
 #include "reram/params_io.hh"
@@ -42,7 +46,13 @@ main(int argc, char **argv)
     using namespace pipelayer;
 
     const ArgParser args(argc, argv);
-    args.rejectUnknown({"stats", "timeline", "budget", "device"});
+    args.rejectUnknown({"stats", "timeline", "budget", "device",
+                        "threads"});
+    constexpr int64_t kThreadsUnset =
+        std::numeric_limits<int64_t>::min();
+    if (const int64_t threads = args.integer("threads", kThreadsUnset);
+        threads != kThreadsUnset)
+        setThreadCount(threads); // rejects values < 1
     const std::string name = args.positional(0, "VGG-A");
     const double lambda =
         args.positionalCount() > 1

@@ -15,26 +15,19 @@ CircularBuffer::CircularBuffer(std::string name, int64_t entries)
               name_.c_str());
 }
 
-int64_t
-CircularBuffer::liveCount() const
-{
-    int64_t live = 0;
-    for (const auto &slot : slots_)
-        live += slot.live ? 1 : 0;
-    return live;
-}
-
 void
 CircularBuffer::write(int64_t tag)
 {
     Slot &slot = slots_[static_cast<size_t>(write_idx_)];
     if (slot.live)
         ++violations_; // overwrote data that was still needed
+    else
+        ++live_count_;
     slot.tag = tag;
     slot.live = true;
     write_idx_ = (write_idx_ + 1) % capacity_;
     ++writes_;
-    peak_live_ = std::max(peak_live_, liveCount());
+    peak_live_ = std::max(peak_live_, live_count_);
 }
 
 void
@@ -43,8 +36,10 @@ CircularBuffer::read(int64_t tag, bool final_read)
     for (auto &slot : slots_) {
         if (slot.live && slot.tag == tag) {
             ++reads_;
-            if (final_read)
+            if (final_read) {
                 slot.live = false;
+                --live_count_;
+            }
             return;
         }
     }

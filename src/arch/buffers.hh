@@ -59,6 +59,13 @@ class CircularBuffer
     /** Maximum number of simultaneously-live entries observed. */
     int64_t peakLive() const { return peak_live_; }
 
+    /**
+     * Number of currently-live entries.  Tracked incrementally: the
+     * former O(capacity) scan per write made PipelineScheduler::run
+     * quadratic in buffer depth for deep networks.
+     */
+    int64_t liveCount() const { return live_count_; }
+
     const std::string &name() const { return name_; }
 
   private:
@@ -68,8 +75,6 @@ class CircularBuffer
         bool live = false;
     };
 
-    int64_t liveCount() const;
-
     std::string name_;
     int64_t capacity_;
     std::vector<Slot> slots_;
@@ -77,6 +82,7 @@ class CircularBuffer
     int64_t writes_ = 0;
     int64_t reads_ = 0;
     int64_t violations_ = 0;
+    int64_t live_count_ = 0;
     int64_t peak_live_ = 0;
 };
 

@@ -1,0 +1,215 @@
+#include "common/parallel.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace pipelayer {
+
+namespace {
+
+/** Upper bound on threads — far above any sane host configuration. */
+constexpr int64_t kMaxThreads = 256;
+
+/** Resolved thread count; 0 until first resolution. */
+std::atomic<int64_t> g_thread_count{0};
+
+/** True on a thread currently executing inside a parallel region. */
+thread_local bool tl_in_parallel = false;
+
+/** RAII for the in-region flag (restores across nesting). */
+struct RegionGuard
+{
+    bool saved;
+    RegionGuard() : saved(tl_in_parallel) { tl_in_parallel = true; }
+    ~RegionGuard() { tl_in_parallel = saved; }
+};
+
+int64_t
+resolveThreadCount()
+{
+    if (const char *env = std::getenv("PL_THREADS")) {
+        char *end = nullptr;
+        const long long v = std::strtoll(env, &end, 10);
+        if (end == env || *end != '\0' || v < 1)
+            fatal("PL_THREADS must be a positive integer, got '%s'", env);
+        return std::min<int64_t>(v, kMaxThreads);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::min<int64_t>(std::max<int64_t>(1, hw), kMaxThreads);
+}
+
+} // namespace
+
+int64_t
+threadCount()
+{
+    int64_t n = g_thread_count.load(std::memory_order_relaxed);
+    if (n == 0) {
+        n = resolveThreadCount();
+        g_thread_count.store(n, std::memory_order_relaxed);
+    }
+    return n;
+}
+
+void
+setThreadCount(int64_t n)
+{
+    PL_ASSERT(n >= 1, "thread count must be >= 1, got %lld",
+              (long long)n);
+    g_thread_count.store(std::min(n, kMaxThreads),
+                         std::memory_order_relaxed);
+}
+
+bool
+inParallelRegion()
+{
+    return tl_in_parallel;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    // Deliberately never destroyed.  A fork()ed child (gtest death
+    // tests, daemonising callers) inherits the pool's mutex/condvar
+    // with the parent's parked workers still recorded in them, and
+    // destroying such a condvar at exit blocks forever in
+    // pthread_cond_destroy.  Workers park between jobs, so skipping
+    // shutdown loses nothing; the pointer below keeps the object
+    // reachable, so leak checkers stay quiet.
+    static ThreadPool *pool = new ThreadPool();
+    return *pool;
+}
+
+int64_t
+ThreadPool::currentPid()
+{
+    return static_cast<int64_t>(getpid());
+}
+
+ThreadPool::~ThreadPool()
+{
+    if (currentPid() != owner_pid_) {
+        // A fork()ed child (gtest death tests, daemonising callers)
+        // inherits this object but not the worker threads; joining
+        // would wait on threads that do not exist in this process.
+        for (auto &w : workers_)
+            w.detach();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::ensureWorkers(int64_t n)
+{
+    while (static_cast<int64_t>(workers_.size()) < n)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        work_cv_.wait(lk, [this] {
+            return shutdown_ || (job_ && next_chunk_ < job_chunks_);
+        });
+        if (shutdown_)
+            return;
+        while (job_ && next_chunk_ < job_chunks_) {
+            const int64_t chunk = next_chunk_++;
+            const auto *fn = job_;
+            lk.unlock();
+            {
+                RegionGuard guard;
+                (*fn)(chunk);
+            }
+            lk.lock();
+            if (++done_chunks_ == job_chunks_)
+                done_cv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::run(int64_t chunks, const std::function<void(int64_t)> &fn)
+{
+    PL_ASSERT(chunks >= 1, "need at least one chunk");
+    if (currentPid() != owner_pid_) {
+        // A fork()ed child (gtest death tests, daemonising callers)
+        // inherits the pool object mid-life but none of its worker
+        // threads, and the copied mutex/condvar internals may be in
+        // any state; touching them can deadlock.  Run inline.
+        RegionGuard guard;
+        for (int64_t c = 0; c < chunks; ++c)
+            fn(c);
+        return;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    if (job_) {
+        // Another caller's job is in flight (concurrent outer-level
+        // use of the substrate); run this job inline instead of
+        // interleaving two jobs in the pool.
+        lk.unlock();
+        RegionGuard guard;
+        for (int64_t c = 0; c < chunks; ++c)
+            fn(c);
+        return;
+    }
+    ensureWorkers(std::min(threadCount() - 1, chunks - 1));
+    job_ = &fn;
+    job_chunks_ = chunks;
+    next_chunk_ = 0;
+    done_chunks_ = 0;
+    work_cv_.notify_all();
+
+    // The caller works too, then waits for stragglers.
+    while (next_chunk_ < job_chunks_) {
+        const int64_t chunk = next_chunk_++;
+        lk.unlock();
+        {
+            RegionGuard guard;
+            fn(chunk);
+        }
+        lk.lock();
+        ++done_chunks_;
+    }
+    done_cv_.wait(lk, [this] { return done_chunks_ == job_chunks_; });
+    job_ = nullptr;
+}
+
+void
+parallel_for(int64_t begin, int64_t end, int64_t grain,
+             const std::function<void(int64_t, int64_t)> &fn)
+{
+    PL_ASSERT(begin <= end && grain >= 1,
+              "bad parallel_for range [%lld, %lld) grain %lld",
+              (long long)begin, (long long)end, (long long)grain);
+    const int64_t range = end - begin;
+    if (range == 0)
+        return;
+    const int64_t threads = threadCount();
+    if (threads == 1 || tl_in_parallel || range < 2 * grain) {
+        fn(begin, end);
+        return;
+    }
+    const int64_t chunks = std::min(threads, range / grain);
+    ThreadPool::global().run(chunks, [&](int64_t c) {
+        const int64_t b = begin + range * c / chunks;
+        const int64_t e = begin + range * (c + 1) / chunks;
+        fn(b, e);
+    });
+}
+
+} // namespace pipelayer

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Host-side parallel execution of the functional model's hot loops.
+ *
+ * PipeLayer's performance rests on two forms of hardware parallelism:
+ * intra-layer parallelism (the granularity knob G replicates a
+ * layer's arrays so many inputs are processed at once, paper §4.3)
+ * and inter-layer pipelining (all stages busy every cycle, §3.2).
+ * The functional substrate mirrors both on the host CPU: a shared
+ * ThreadPool executes disjoint slices of each hot loop, and the
+ * pipelined trainer evaluates the independent per-image stage work of
+ * one logical cycle concurrently.
+ *
+ * Determinism contract: parallel_for() partitions the index range
+ * into disjoint chunks that exactly cover it; every output element is
+ * written by exactly one worker, and the per-element floating-point
+ * evaluation order is the serial loop's.  No loop shares an
+ * accumulator across chunks, so results are bit-identical for every
+ * thread count, including the serial fallback (PL_THREADS=1) — a
+ * property the determinism tests assert.
+ *
+ * Thread-count selection, strongest first:
+ *   1. setThreadCount(n) — programmatic / CLI (--threads=N in tools);
+ *   2. the PL_THREADS environment variable;
+ *   3. std::thread::hardware_concurrency().
+ */
+
+#ifndef PIPELAYER_COMMON_PARALLEL_HH_
+#define PIPELAYER_COMMON_PARALLEL_HH_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pipelayer {
+
+/**
+ * A lazily-started pool of worker threads shared by all hot loops.
+ *
+ * The pool holds threadCount()-1 workers (the calling thread always
+ * participates), parked on a condition variable between jobs.  Only
+ * one parallel region runs at a time; nested parallel_for() calls
+ * from inside a worker run inline on that worker, so loops can be
+ * composed (the pipelined trainer parallelises per-image work whose
+ * tensor ops are themselves parallel_for loops) without deadlock.
+ */
+class ThreadPool
+{
+  public:
+    /** The process-wide pool, created on first use. */
+    static ThreadPool &global();
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Run @p chunks work items @c fn(chunk_index) across the pool and
+     * the calling thread; returns when all chunks finished.  Chunk
+     * assignment to threads is dynamic, which is safe because chunks
+     * own disjoint output ranges.
+     */
+    void run(int64_t chunks, const std::function<void(int64_t)> &fn);
+
+    /** Number of worker threads (threadCount() - 1, possibly 0). */
+    int64_t workerCount() const
+    {
+        return static_cast<int64_t>(workers_.size());
+    }
+
+  private:
+    ThreadPool() = default;
+
+    /** Process that owns the workers (fork children must not join). */
+    const int64_t owner_pid_ = currentPid();
+
+    static int64_t currentPid();
+
+    /** Grow the pool to @p n workers (under mu_). */
+    void ensureWorkers(int64_t n);
+
+    void workerLoop();
+
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_; //!< signals workers: job posted
+    std::condition_variable done_cv_; //!< signals caller: job drained
+    std::vector<std::thread> workers_;
+
+    // State of the in-flight job, guarded by mu_ (the chunk cursor is
+    // advanced under the lock; chunk bodies run unlocked).
+    const std::function<void(int64_t)> *job_ = nullptr;
+    int64_t job_chunks_ = 0;
+    int64_t next_chunk_ = 0;
+    int64_t done_chunks_ = 0;
+    bool shutdown_ = false;
+};
+
+/**
+ * Number of threads hot loops may use (>= 1).  Resolved once from
+ * setThreadCount() / PL_THREADS / hardware_concurrency and cached.
+ */
+int64_t threadCount();
+
+/**
+ * Override the thread count (1 = bit-exact serial fallback — which,
+ * by the determinism contract, every other count matches bit-for-bit).
+ * Takes effect for subsequent parallel_for() calls; the pool grows on
+ * demand and surplus workers stay parked.
+ */
+void setThreadCount(int64_t n);
+
+/**
+ * Execute fn(chunk_begin, chunk_end) over disjoint sub-ranges that
+ * exactly cover [begin, end).
+ *
+ * @param grain minimum indices per chunk; ranges smaller than
+ *        2*grain, a thread count of 1, and calls nested inside a
+ *        parallel region all run fn(begin, end) inline.
+ */
+void parallel_for(int64_t begin, int64_t end, int64_t grain,
+                  const std::function<void(int64_t, int64_t)> &fn);
+
+/** True while the calling thread executes inside a parallel region. */
+bool inParallelRegion();
+
+} // namespace pipelayer
+
+#endif // PIPELAYER_COMMON_PARALLEL_HH_

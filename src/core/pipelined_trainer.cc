@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "nn/layers.hh"
 #include "nn/loss.hh"
 #include "tensor/ops.hh"
@@ -261,27 +262,55 @@ PipelinedTrainer::trainBatch(const std::vector<Tensor> &inputs,
             check_capacity(0);
         }
 
-        // Images are walked in ascending order, so an image whose
-        // final read frees a slot is processed before the younger
-        // image whose write reuses it — the paper's read-before-write
-        // same-cycle semantics (§3.3).
+        // Each in-flight image performs exactly one action this cycle
+        // (forward, error seed, or backward pair), and no two images
+        // touch the same stage — the paper's inter-layer parallelism.
+        // Phase 1 computes every action's tensors concurrently (the
+        // buffers are only *read*); phase 2 commits buffer writes and
+        // frees serially in ascending image order, which preserves
+        // the read-before-write same-cycle semantics (§3.3) and keeps
+        // results bit-identical to the serial schedule.
+        enum class Action { Forward, Seed, Backward };
+        struct CycleWork
+        {
+            int64_t image = 0;
+            Action action = Action::Forward;
+            int64_t stage = 0; //!< s for Forward, 1-based l for Backward
+            Entry forward_out; //!< Forward result
+            double loss = 0.0; //!< Seed loss
+            Tensor delta;      //!< Seed / Backward error output
+        };
+        std::vector<CycleWork> work;
         for (int64_t i = std::max<int64_t>(0, cycle - 2 * depth_l - 2);
              i < batch && i < cycle; ++i) {
             const int64_t t0 = i;
-
-            // Forward stage s at cycle t0 + s + 1.
+            // Forward stage s at cycle t0 + s + 1; error seed at
+            // t0 + L + 1; backward pair for 1-based stage l at
+            // t0 + 2L + 2 - l.  The three windows are disjoint.
             const int64_t s = cycle - t0 - 1;
-            if (s >= 0 && s < depth_l) {
-                Stage &stage = *stages_[static_cast<size_t>(s)];
-                const Entry &in = d_buf[static_cast<size_t>(s)].at(i);
-                Entry out;
-                stage_forward(stage, in.output, &out);
-                d_buf[static_cast<size_t>(s + 1)][i] = std::move(out);
-                check_capacity(s + 1);
-            }
+            const int64_t l = t0 + 2 * depth_l + 2 - cycle;
+            if (s >= 0 && s < depth_l)
+                work.push_back({i, Action::Forward, s, {}, 0.0, {}});
+            else if (cycle == t0 + depth_l + 1)
+                work.push_back({i, Action::Seed, 0, {}, 0.0, {}});
+            else if (l >= 1 && l <= depth_l)
+                work.push_back({i, Action::Backward, l, {}, 0.0, {}});
+        }
 
-            // Error seed at cycle t0 + L + 1.
-            if (cycle == t0 + depth_l + 1) {
+        parallel_for(0, static_cast<int64_t>(work.size()), /*grain=*/1,
+                     [&](int64_t w0, int64_t w1) {
+        for (int64_t widx = w0; widx < w1; ++widx) {
+            CycleWork &wk = work[static_cast<size_t>(widx)];
+            const int64_t i = wk.image;
+            switch (wk.action) {
+              case Action::Forward: {
+                Stage &stage = *stages_[static_cast<size_t>(wk.stage)];
+                const Entry &in =
+                    d_buf[static_cast<size_t>(wk.stage)].at(i);
+                stage_forward(stage, in.output, &wk.forward_out);
+                break;
+              }
+              case Action::Seed: {
                 const Entry &top =
                     d_buf[static_cast<size_t>(depth_l)].at(i);
                 nn::LossResult seed;
@@ -293,20 +322,15 @@ PipelinedTrainer::trainBatch(const std::vector<Tensor> &inputs,
                     target.at(labels[static_cast<size_t>(i)]) = 1.0f;
                     seed = nn::l2Loss(top.output, target);
                 }
-                result.mean_loss += seed.loss;
+                wk.loss = seed.loss;
                 // δ_L lands at the array output of the last stage.
                 const Stage &last =
                     *stages_[static_cast<size_t>(depth_l - 1)];
-                delta_buf[static_cast<size_t>(depth_l - 1)][i] =
-                    tail_backward(last, seed.delta, top);
-                // d_L's last use: free the slot now (read-before-
-                // write within the cycle).
-                d_buf[static_cast<size_t>(depth_l)].erase(i);
-            }
-
-            // Backward pair for 1-based stage l at t0 + 2L + 2 - l.
-            const int64_t l = t0 + 2 * depth_l + 2 - cycle;
-            if (l >= 1 && l <= depth_l) {
+                wk.delta = tail_backward(last, seed.delta, top);
+                break;
+              }
+              case Action::Backward: {
+                const int64_t l = wk.stage;
                 Stage &stage = *stages_[static_cast<size_t>(l - 1)];
                 const Tensor &delta_array =
                     delta_buf[static_cast<size_t>(l - 1)].at(i);
@@ -314,7 +338,10 @@ PipelinedTrainer::trainBatch(const std::vector<Tensor> &inputs,
                     d_buf[static_cast<size_t>(l - 1)].at(i);
                 const auto params = stage.array_layer->parameters();
 
-                // Derivative unit: ∂W_l from d_{l-1} and δ_l.
+                // Derivative unit: ∂W_l from d_{l-1} and δ_l.  This
+                // stage is touched by no other image this cycle, so
+                // accumulating here keeps the serial per-stage order
+                // (one contribution per cycle, ascending images).
                 if (stage.array_kind == nn::LayerKind::Conv) {
                     stage.weight_grad += ops::conv2dBackwardKernel(
                         input_entry.output, delta_array,
@@ -354,14 +381,43 @@ PipelinedTrainer::trainBatch(const std::vector<Tensor> &inputs,
                         delta_in.reshape(input_entry.output.shape());
                     const Stage &below =
                         *stages_[static_cast<size_t>(l - 2)];
-                    delta_buf[static_cast<size_t>(l - 2)][i] =
+                    wk.delta =
                         tail_backward(below, delta_in, input_entry);
                 }
+                break;
+              }
+            }
+        }
+        });
 
+        // Phase 2: commit in ascending image order — identical buffer
+        // mutation order to the serial schedule.
+        for (CycleWork &wk : work) {
+            const int64_t i = wk.image;
+            switch (wk.action) {
+              case Action::Forward:
+                d_buf[static_cast<size_t>(wk.stage + 1)][i] =
+                    std::move(wk.forward_out);
+                check_capacity(wk.stage + 1);
+                break;
+              case Action::Seed:
+                result.mean_loss += wk.loss;
+                delta_buf[static_cast<size_t>(depth_l - 1)][i] =
+                    std::move(wk.delta);
+                // d_L's last use: free the slot now (read-before-
+                // write within the cycle).
+                d_buf[static_cast<size_t>(depth_l)].erase(i);
+                break;
+              case Action::Backward:
+                if (wk.stage >= 2) {
+                    delta_buf[static_cast<size_t>(wk.stage - 2)][i] =
+                        std::move(wk.delta);
+                }
                 // Last uses of d_{l-1} and δ_l for this image: free
                 // the slots before any younger image writes them.
-                d_buf[static_cast<size_t>(l - 1)].erase(i);
-                delta_buf[static_cast<size_t>(l - 1)].erase(i);
+                d_buf[static_cast<size_t>(wk.stage - 1)].erase(i);
+                delta_buf[static_cast<size_t>(wk.stage - 1)].erase(i);
+                break;
             }
         }
 

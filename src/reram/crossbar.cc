@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace pipelayer {
 namespace reram {
@@ -25,6 +26,9 @@ CrossbarArray::CrossbarArray(const DeviceParams &params,
 {
     PL_ASSERT(params.array_rows > 0 && params.array_cols > 0,
               "bad array geometry");
+    PL_ASSERT(params.counter_bits >= 1 && params.counter_bits <= 62,
+              "counter_bits %d outside the supported 1..62 range",
+              params.counter_bits);
     PL_ASSERT(params.write_noise_sigma >= 0.0 &&
               params.stuck_at_fault_rate >= 0.0 &&
               params.stuck_at_fault_rate <= 1.0,
@@ -113,14 +117,18 @@ CrossbarArray::matVec(const std::vector<SpikeTrain> &inputs)
               "more input trains (%zu) than word lines (%lld)",
               inputs.size(), (long long)rows());
 
-    std::vector<IntegrateFire> ifs(static_cast<size_t>(cols()),
-                                   IntegrateFire());
-    // Walk time slots in LSBF order, as the hardware would; slot t
-    // injects charge input_bit * 2^t * conductance into each bit line.
+    // Gather the spiking (time slot, word line) pairs in LSBF order,
+    // as the hardware would walk them; slot t injects charge
+    // input_bit * 2^t * conductance into each bit line.
+    struct Pulse
+    {
+        int64_t row;
+        int64_t weight;
+    };
     int max_bits = 0;
     for (const auto &train : inputs)
         max_bits = std::max(max_bits, train.bits());
-
+    std::vector<Pulse> pulses;
     for (int t = 0; t < max_bits; ++t) {
         const int64_t weight = int64_t{1} << t;
         for (size_t r = 0; r < inputs.size(); ++r) {
@@ -128,24 +136,41 @@ CrossbarArray::matVec(const std::vector<SpikeTrain> &inputs)
                 !inputs[r].slots[static_cast<size_t>(t)]) {
                 continue;
             }
-            ++activity_.input_spikes;
-            const int64_t row = static_cast<int64_t>(r);
-            for (int64_t c = 0; c < cols(); ++c) {
-                const int64_t g = cells_[static_cast<size_t>(
-                    row * cols() + c)];
-                if (g != 0)
-                    ifs[static_cast<size_t>(c)].integrate(weight * g);
-            }
+            pulses.push_back({static_cast<int64_t>(r), weight});
         }
     }
-
+    activity_.input_spikes += static_cast<int64_t>(pulses.size());
     ++activity_.mvm_ops;
-    last_saturated_ = false;
-    std::vector<int64_t> out(static_cast<size_t>(cols()));
-    for (int64_t c = 0; c < cols(); ++c) {
-        out[static_cast<size_t>(c)] = ifs[static_cast<size_t>(c)].count();
-        last_saturated_ |= ifs[static_cast<size_t>(c)].saturated();
-    }
+
+    // Bit lines integrate independently: workers own disjoint column
+    // ranges, each with private integrate-and-fire units fed in the
+    // same pulse order as the serial walk, so counts and saturation
+    // behaviour are bit-identical at any thread count.
+    const int64_t n_cols = cols();
+    std::vector<int64_t> out(static_cast<size_t>(n_cols));
+    std::vector<uint8_t> sat(static_cast<size_t>(n_cols), 0);
+    const int64_t *cell_p = cells_.data();
+    parallel_for(0, n_cols, /*grain=*/16, [&](int64_t c0, int64_t c1) {
+        std::vector<IntegrateFire> ifs(
+            static_cast<size_t>(c1 - c0),
+            IntegrateFire(params_.counter_bits));
+        for (const Pulse &pulse : pulses) {
+            const int64_t *cell_row = cell_p + pulse.row * n_cols;
+            for (int64_t c = c0; c < c1; ++c) {
+                const int64_t g = cell_row[c];
+                if (g != 0)
+                    ifs[static_cast<size_t>(c - c0)].integrate(
+                        pulse.weight * g);
+            }
+        }
+        for (int64_t c = c0; c < c1; ++c) {
+            const auto &fire = ifs[static_cast<size_t>(c - c0)];
+            out[static_cast<size_t>(c)] = fire.count();
+            sat[static_cast<size_t>(c)] = fire.saturated() ? 1 : 0;
+        }
+    });
+    last_saturated_ =
+        std::any_of(sat.begin(), sat.end(), [](uint8_t s) { return s; });
     return out;
 }
 

@@ -32,6 +32,12 @@ struct DeviceParams
     int cell_bits = 4;
     /** Data/weight resolution (paper default 16-bit, like ISAAC). */
     int data_bits = 16;
+    /**
+     * Width of the integrate-and-fire output spike counter
+     * (Fig. 9b); a narrow counter saturates on large dot products.
+     * Valid range 1..62.
+     */
+    int counter_bits = 48;
 
     /** Seconds per input spike slot during compute/read. */
     double read_latency_per_spike = units::ns(29.31);

@@ -45,6 +45,10 @@ keyTable()
          [](DeviceParams &p, double v) {
              p.data_bits = static_cast<int>(v);
          }},
+        {"counter_bits",
+         [](DeviceParams &p, double v) {
+             p.counter_bits = static_cast<int>(v);
+         }},
         {"read_latency_per_spike",
          [](DeviceParams &p, double v) { p.read_latency_per_spike = v; }},
         {"write_latency_per_spike",
@@ -123,6 +127,9 @@ parseDeviceParams(const std::string &text)
     }
     PL_ASSERT(params.data_bits % params.cell_bits == 0,
               "data_bits must be a multiple of cell_bits");
+    PL_ASSERT(params.counter_bits >= 1 && params.counter_bits <= 62,
+              "counter_bits %d outside the supported 1..62 range",
+              params.counter_bits);
     return params;
 }
 
@@ -145,6 +152,7 @@ writeDeviceParams(const DeviceParams &p, std::ostream &os)
     os << "array_cols = " << p.array_cols << "\n";
     os << "cell_bits = " << p.cell_bits << "\n";
     os << "data_bits = " << p.data_bits << "\n";
+    os << "counter_bits = " << p.counter_bits << "\n";
     os << "read_latency_per_spike = " << p.read_latency_per_spike
        << "  # seconds\n";
     os << "write_latency_per_spike = " << p.write_latency_per_spike

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace pipelayer {
 namespace ops {
@@ -43,14 +44,18 @@ conv2d(const Tensor &input, const Tensor &kernel, const Tensor &bias,
     const int64_t wo = convExtent(w, kw, stride, pad);
     Tensor out({co, ho, wo});
 
-    // Hot loop: raw pointers avoid per-element bounds checks.
+    // Hot loop: raw pointers avoid per-element bounds checks.  The
+    // flattened (oc, oy) output rows are independent, so workers own
+    // disjoint row ranges and results match the serial loop exactly.
     const float *in_p = input.data();
     const float *k_p = kernel.data();
     float *out_p = out.data();
-    for (int64_t oc = 0; oc < co; ++oc) {
-        const float b = has_bias ? bias.at(oc) : 0.0f;
-        const float *k_oc = k_p + oc * ci * kh * kw;
-        for (int64_t oy = 0; oy < ho; ++oy) {
+    parallel_for(0, co * ho, /*grain=*/4, [&](int64_t row0, int64_t row1) {
+        for (int64_t row = row0; row < row1; ++row) {
+            const int64_t oc = row / ho;
+            const int64_t oy = row % ho;
+            const float b = has_bias ? bias.at(oc) : 0.0f;
+            const float *k_oc = k_p + oc * ci * kh * kw;
             for (int64_t ox = 0; ox < wo; ++ox) {
                 double acc = b;
                 for (int64_t icn = 0; icn < ci; ++icn) {
@@ -74,7 +79,7 @@ conv2d(const Tensor &input, const Tensor &kernel, const Tensor &bias,
                     static_cast<float>(acc);
             }
         }
-    }
+    });
     return out;
 }
 
@@ -156,9 +161,14 @@ conv2dBackwardKernel(const Tensor &input, const Tensor &delta_out,
     const float *pad_p = padded.data();
     const float *d_p = delta_out.data();
     float *g_p = grad.data();
-    for (int64_t oc = 0; oc < co; ++oc) {
-        const float *d_oc = d_p + oc * ho * wo;
-        for (int64_t icn = 0; icn < ci; ++icn) {
+    // Each flattened (oc, icn) pair owns its kh*kw gradient taps, so
+    // chunks write disjoint output ranges.
+    parallel_for(0, co * ci, /*grain=*/1,
+                 [&](int64_t pair0, int64_t pair1) {
+        for (int64_t pair = pair0; pair < pair1; ++pair) {
+            const int64_t oc = pair / ci;
+            const int64_t icn = pair % ci;
+            const float *d_oc = d_p + oc * ho * wo;
             const float *pad_c = pad_p + icn * h * w;
             for (int64_t ky = 0; ky < kh; ++ky) {
                 for (int64_t kx = 0; kx < kw; ++kx) {
@@ -175,7 +185,7 @@ conv2dBackwardKernel(const Tensor &input, const Tensor &delta_out,
                 }
             }
         }
-    }
+    });
     return grad;
 }
 
@@ -224,8 +234,15 @@ maxPoolBackward(const Tensor &delta_out, const Tensor &indices,
     PL_ASSERT(delta_out.numel() == indices.numel(),
               "indices/delta mismatch in maxPoolBackward");
     Tensor grad(input_shape);
+    const int64_t limit = shapeNumel(input_shape);
     for (int64_t i = 0; i < delta_out.numel(); ++i) {
         const int64_t flat = static_cast<int64_t>(indices.at(i));
+        // A stale or corrupted index tensor would otherwise scatter
+        // into foreign gradient slots (or crash) with no diagnosis.
+        PL_ASSERT(flat >= 0 && flat < limit,
+                  "maxPoolBackward index %lld at position %lld outside "
+                  "input of %lld elements — stale pooling indices?",
+                  (long long)flat, (long long)i, (long long)limit);
         grad.at(flat) += delta_out.at(i);
     }
     return grad;
@@ -281,13 +298,15 @@ matVec(const Tensor &weight, const Tensor &x)
     const float *w_p = weight.data();
     const float *x_p = x.data();
     float *out_p = out.data();
-    for (int64_t i = 0; i < n; ++i) {
-        const float *row = w_p + i * m;
-        double acc = 0.0;
-        for (int64_t j = 0; j < m; ++j)
-            acc += row[j] * x_p[j];
-        out_p[i] = static_cast<float>(acc);
-    }
+    parallel_for(0, n, /*grain=*/16, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            const float *row = w_p + i * m;
+            double acc = 0.0;
+            for (int64_t j = 0; j < m; ++j)
+                acc += row[j] * x_p[j];
+            out_p[i] = static_cast<float>(acc);
+        }
+    });
     return out;
 }
 
@@ -301,12 +320,17 @@ matVecT(const Tensor &weight, const Tensor &y)
     const float *w_p = weight.data();
     const float *y_p = y.data();
     float *out_p = out.data();
-    for (int64_t i = 0; i < n; ++i) {
-        const float yi = y_p[i];
-        const float *row = w_p + i * m;
-        for (int64_t j = 0; j < m; ++j)
-            out_p[j] += row[j] * yi;
-    }
+    // Workers own disjoint column ranges; each out[j] accumulates
+    // over rows in ascending order, exactly like the serial loop, so
+    // no chunk shares an accumulator and the result is bit-identical.
+    parallel_for(0, m, /*grain=*/64, [&](int64_t j0, int64_t j1) {
+        for (int64_t i = 0; i < n; ++i) {
+            const float yi = y_p[i];
+            const float *row = w_p + i * m;
+            for (int64_t j = j0; j < j1; ++j)
+                out_p[j] += row[j] * yi;
+        }
+    });
     return out;
 }
 
@@ -319,12 +343,14 @@ outer(const Tensor &d, const Tensor &delta)
     const float *d_p = d.data();
     const float *delta_p = delta.data();
     float *out_p = out.data();
-    for (int64_t i = 0; i < n; ++i) {
-        const float di = delta_p[i];
-        float *row = out_p + i * m;
-        for (int64_t j = 0; j < m; ++j)
-            row[j] = di * d_p[j];
-    }
+    parallel_for(0, n, /*grain=*/16, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+            const float di = delta_p[i];
+            float *row = out_p + i * m;
+            for (int64_t j = 0; j < m; ++j)
+                row[j] = di * d_p[j];
+        }
+    });
     return out;
 }
 
