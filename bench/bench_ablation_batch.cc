@@ -18,64 +18,73 @@
 #include "arch/granularity.hh"
 #include "arch/mapping.hh"
 #include "arch/pipeline.hh"
-#include "common/logging.hh"
-#include "common/table.hh"
+#include "bench/bench_util.hh"
 #include "workloads/model_zoo.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pipelayer;
 
-    setLogLevel(LogLevel::Warn);
+    return bench::Runner::main(
+        "ablation_batch", argc, argv, {},
+        [](bench::Runner &r) {
+        const std::vector<int64_t> batches = {1, 2, 4, 8, 16, 32, 64,
+                                              128, 256};
+        std::cout << "Ablation: training-pipeline utilisation vs "
+                     "batch size B (N = 512 images)\n\n";
 
-    const std::vector<int64_t> batches = {1, 2, 4, 8, 16, 32, 64, 128,
-                                          256};
-    std::cout << "Ablation: training-pipeline utilisation vs batch "
-                 "size B (N = 512 images)\n\n";
+        json::Value &res = r.result();
+        const reram::DeviceParams params;
+        for (const auto &spec :
+             {workloads::mnistO(), workloads::vggE()}) {
+            std::cout << spec.name << " (L = " << spec.pipelineDepth()
+                      << ")\n";
+            Table table({"B", "pipelined cycles", "cycles/image",
+                         "utilisation", "speedup vs non-pipelined",
+                         "formula (N/B)(2L+B+1)"});
+            const auto g = arch::GranularityConfig::balanced(spec);
+            for (int64_t b : batches) {
+                const arch::NetworkMapping map(spec, g, params, true,
+                                               b);
+                arch::ScheduleConfig config;
+                config.training = true;
+                config.batch_size = b;
+                config.num_images = 512;
 
-    const reram::DeviceParams params;
-    for (const auto &spec : {workloads::mnistO(), workloads::vggE()}) {
-        std::cout << spec.name << " (L = " << spec.pipelineDepth()
-                  << ")\n";
-        Table table({"B", "pipelined cycles", "cycles/image",
-                     "utilisation", "speedup vs non-pipelined",
-                     "formula (N/B)(2L+B+1)"});
-        const auto g = arch::GranularityConfig::balanced(spec);
-        for (int64_t b : batches) {
-            const arch::NetworkMapping map(spec, g, params, true, b);
-            arch::ScheduleConfig config;
-            config.training = true;
-            config.batch_size = b;
-            config.num_images = 512;
+                config.pipelined = true;
+                const auto piped =
+                    arch::PipelineScheduler(map, config).run();
+                config.pipelined = false;
+                const auto serial =
+                    arch::PipelineScheduler(map, config).run();
 
-            config.pipelined = true;
-            const auto piped = arch::PipelineScheduler(map, config).run();
-            config.pipelined = false;
-            const auto serial =
-                arch::PipelineScheduler(map, config).run();
-
-            table.addRow({std::to_string(b),
-                          std::to_string(piped.total_cycles),
-                          Table::num(static_cast<double>(
-                                         piped.total_cycles) /
-                                         512.0, 2),
-                          Table::num(piped.stage_utilization, 3),
-                          Table::num(static_cast<double>(
-                                         serial.total_cycles) /
-                                         static_cast<double>(
-                                             piped.total_cycles), 2),
-                          std::to_string(
-                              arch::PipelineScheduler::
-                                  analyticTrainingCycles(
-                                      spec.pipelineDepth(), 512, b,
-                                      true))});
+                table.addRow(
+                    {std::to_string(b),
+                     std::to_string(piped.total_cycles),
+                     Table::num(static_cast<double>(
+                                    piped.total_cycles) /
+                                    512.0,
+                                2),
+                     Table::num(piped.stage_utilization, 3),
+                     Table::num(static_cast<double>(
+                                    serial.total_cycles) /
+                                    static_cast<double>(
+                                        piped.total_cycles),
+                                2),
+                     std::to_string(
+                         arch::PipelineScheduler::
+                             analyticTrainingCycles(
+                                 spec.pipelineDepth(), 512, b,
+                                 true))});
+            }
+            r.print(table);
+            res[spec.name] = table.toJson();
+            std::cout << "\n";
         }
-        table.print(std::cout);
-        std::cout << "\n";
-    }
-    std::cout << "paper reference: within a batch a new input enters "
-                 "every cycle; a new batch waits for the previous one "
-                 "to drain plus one update cycle\n";
-    return 0;
+        std::cout << "paper reference: within a batch a new input "
+                     "enters every cycle; a new batch waits for the "
+                     "previous one to drain plus one update cycle\n";
+        return 0;
+        });
 }

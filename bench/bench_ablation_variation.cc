@@ -15,9 +15,8 @@
 #include <memory>
 #include <vector>
 
-#include "common/logging.hh"
+#include "bench/bench_util.hh"
 #include "common/rng.hh"
-#include "common/table.hh"
 #include "core/device.hh"
 #include "nn/layers.hh"
 #include "nn/trainer.hh"
@@ -58,57 +57,65 @@ deployedAccuracy(nn::Network &net, const nn::Dataset &test,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    setLogLevel(LogLevel::Warn);
+    return bench::Runner::main(
+        "ablation_variation", argc, argv, {},
+        [](bench::Runner &r) {
+        // Train a clean reference network on the host.
+        workloads::SyntheticConfig data;
+        data.classes = 4;
+        data.image_size = 8;
+        data.train_per_class = 40;
+        data.test_per_class = 15;
+        data.noise = 0.25f;
+        auto task = workloads::makeSyntheticTask(data);
 
-    // Train a clean reference network on the host.
-    workloads::SyntheticConfig data;
-    data.classes = 4;
-    data.image_size = 8;
-    data.train_per_class = 40;
-    data.test_per_class = 15;
-    data.noise = 0.25f;
-    auto task = workloads::makeSyntheticTask(data);
+        nn::Network net = makeNet(11);
+        nn::TrainConfig train_config;
+        train_config.epochs = 12;
+        train_config.batch_size = 8;
+        train_config.learning_rate = 0.1f;
+        Rng train_rng(5);
+        const auto host = nn::train(net, task.train, task.test,
+                                    train_config, train_rng);
+        std::cout << "Ablation: accuracy of a deployed network vs "
+                     "device non-idealities\n";
+        std::cout << "host float accuracy: "
+                  << host.final_test_accuracy << "\n\n";
+        r.result()["host_accuracy"] =
+            json::Value(host.final_test_accuracy);
 
-    nn::Network net = makeNet(11);
-    nn::TrainConfig train_config;
-    train_config.epochs = 12;
-    train_config.batch_size = 8;
-    train_config.learning_rate = 0.1f;
-    Rng train_rng(5);
-    const auto host = nn::train(net, task.train, task.test,
-                                train_config, train_rng);
-    std::cout << "Ablation: accuracy of a deployed network vs device "
-                 "non-idealities\n";
-    std::cout << "host float accuracy: " << host.final_test_accuracy
-              << "\n\n";
+        std::cout << "(a) programming-noise sigma (fraction of full "
+                     "conductance range)\n";
+        Table noise_table({"sigma", "deployed accuracy"});
+        for (double sigma : {0.0, 0.01, 0.02, 0.05, 0.1, 0.2}) {
+            noise_table.addRow(
+                {Table::num(sigma, 2),
+                 Table::num(deployedAccuracy(net, task.test, sigma,
+                                             0.0),
+                            3)});
+        }
+        r.print(noise_table);
+        r.result()["write_noise"] = noise_table.toJson();
 
-    std::cout << "(a) programming-noise sigma (fraction of full "
-                 "conductance range)\n";
-    Table noise_table({"sigma", "deployed accuracy"});
-    for (double sigma : {0.0, 0.01, 0.02, 0.05, 0.1, 0.2}) {
-        noise_table.addRow({Table::num(sigma, 2),
-                            Table::num(deployedAccuracy(net, task.test,
-                                                        sigma, 0.0),
-                                       3)});
-    }
-    noise_table.print(std::cout);
+        std::cout << "\n(b) stuck-at-fault rate (fraction of cells "
+                     "frozen at an extreme)\n";
+        Table saf_table({"fault rate", "deployed accuracy"});
+        for (double rate : {0.0, 0.001, 0.005, 0.01, 0.05, 0.1}) {
+            saf_table.addRow(
+                {Table::num(rate, 3),
+                 Table::num(deployedAccuracy(net, task.test, 0.0,
+                                             rate),
+                            3)});
+        }
+        r.print(saf_table);
+        r.result()["stuck_at_faults"] = saf_table.toJson();
 
-    std::cout << "\n(b) stuck-at-fault rate (fraction of cells frozen "
-                 "at an extreme)\n";
-    Table saf_table({"fault rate", "deployed accuracy"});
-    for (double rate : {0.0, 0.001, 0.005, 0.01, 0.05, 0.1}) {
-        saf_table.addRow({Table::num(rate, 3),
-                          Table::num(deployedAccuracy(net, task.test,
-                                                      0.0, rate),
-                                     3)});
-    }
-    saf_table.print(std::cout);
-
-    std::cout << "\nexpectation: accuracy degrades monotonically; "
-                 "stuck cells hurt more than write noise because a "
-                 "stuck MSB-slice cell perturbs a weight by up to "
-                 "15/16 of full scale\n";
-    return 0;
+        std::cout << "\nexpectation: accuracy degrades monotonically; "
+                     "stuck cells hurt more than write noise because "
+                     "a stuck MSB-slice cell perturbs a weight by up "
+                     "to 15/16 of full scale\n";
+        return 0;
+        });
 }

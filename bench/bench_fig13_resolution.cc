@@ -22,76 +22,82 @@
 #include <utility>
 #include <vector>
 
-#include "common/logging.hh"
+#include "bench/bench_util.hh"
 #include "common/rng.hh"
-#include "common/table.hh"
 #include "quant/qat.hh"
 #include "workloads/model_zoo.hh"
 #include "workloads/synthetic_data.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pipelayer;
 
-    setLogLevel(LogLevel::Warn);
+    return bench::Runner::main(
+        "fig13_resolution", argc, argv, {},
+        [](bench::Runner &r) {
+        workloads::SyntheticConfig data_config;
+        data_config.noise = 0.5f; // harder task: tighter class margins
+        data_config.train_per_class = 50;
+        workloads::SyntheticTask task =
+            workloads::makeSyntheticTask(data_config);
 
-    workloads::SyntheticConfig data_config;
-    data_config.noise = 0.5f; // harder task: tighter class margins
-    data_config.train_per_class = 50;
-    workloads::SyntheticTask task =
-        workloads::makeSyntheticTask(data_config);
+        const std::vector<int> bit_widths = {0, 8, 7, 6, 5, 4, 3, 2};
 
-    const std::vector<int> bit_widths = {0, 8, 7, 6, 5, 4, 3, 2};
+        std::cout << "Figure 13: normalised accuracy vs ReRAM cell "
+                     "resolution (trained at each resolution)\n";
+        std::cout << "synthetic " << task.config.classes
+                  << "-class task, " << task.train.size()
+                  << " train / " << task.test.size()
+                  << " test images\n\n";
 
-    std::cout << "Figure 13: normalised accuracy vs ReRAM cell "
-                 "resolution (trained at each resolution)\n";
-    std::cout << "synthetic " << task.config.classes << "-class task, "
-              << task.train.size() << " train / " << task.test.size()
-              << " test images\n\n";
+        std::vector<std::string> header = {"network", "float acc"};
+        for (size_t i = 1; i < bit_widths.size(); ++i)
+            header.push_back(std::to_string(bit_widths[i]) + "-bit");
+        Table table(std::move(header));
 
-    std::vector<std::string> header = {"network", "float acc"};
-    for (size_t i = 1; i < bit_widths.size(); ++i)
-        header.push_back(std::to_string(bit_widths[i]) + "-bit");
-    Table table(std::move(header));
+        const char *const names[] = {"M-1", "M-2", "M-3", "M-C",
+                                     "C-4"};
+        for (int ni = 0; ni < 5; ++ni) {
+            std::vector<std::string> row = {names[ni]};
+            double float_acc = 0.0;
+            for (int bits : bit_widths) {
+                // Fresh identically-initialised network per
+                // resolution.
+                Rng build_rng(2024);
+                auto nets = workloads::studyNetworks(build_rng);
+                nn::Network &net =
+                    nets[static_cast<size_t>(ni)].second;
 
-    const char *const names[] = {"M-1", "M-2", "M-3", "M-C", "C-4"};
-    for (int ni = 0; ni < 5; ++ni) {
-        std::vector<std::string> row = {names[ni]};
-        double float_acc = 0.0;
-        for (int bits : bit_widths) {
-            // Fresh identically-initialised network per resolution.
-            Rng build_rng(2024);
-            auto nets = workloads::studyNetworks(build_rng);
-            nn::Network &net = nets[static_cast<size_t>(ni)].second;
-
-            quant::QatConfig config;
-            config.bits = bits;
-            config.epochs = 10;
-            config.batch_size = 10;
-            config.learning_rate =
-                net.name() == "C-4" ? 0.05f : 0.1f;
-            Rng train_rng(99);
-            const auto result = quant::trainQuantized(
-                net, task.train, task.test, config, train_rng);
-            if (bits == 0) {
-                float_acc = result.test_accuracy;
-                row.push_back(Table::num(float_acc, 3));
-            } else {
-                row.push_back(Table::num(
-                    float_acc > 0
-                        ? result.test_accuracy / float_acc
-                        : 0.0,
-                    3));
+                quant::QatConfig config;
+                config.bits = bits;
+                config.epochs = 10;
+                config.batch_size = 10;
+                config.learning_rate =
+                    net.name() == "C-4" ? 0.05f : 0.1f;
+                Rng train_rng(99);
+                const auto result = quant::trainQuantized(
+                    net, task.train, task.test, config, train_rng);
+                if (bits == 0) {
+                    float_acc = result.test_accuracy;
+                    row.push_back(Table::num(float_acc, 3));
+                } else {
+                    row.push_back(Table::num(
+                        float_acc > 0
+                            ? result.test_accuracy / float_acc
+                            : 0.0,
+                        3));
+                }
             }
+            table.addRow(std::move(row));
         }
-        table.addRow(std::move(row));
-    }
 
-    table.print(std::cout);
-    std::cout << "\npaper reference shape: MLPs (M-1/2/3) stay near "
-                 "1.0 at low resolution; CNNs drop sharply, the deep "
-                 "C-4 collapsing to ~0.2 (here at 2-bit; see "
-                 "EXPERIMENTS.md for the shift)\n";
-    return 0;
+        r.print(table);
+        r.result()["rows"] = table.toJson();
+        std::cout << "\npaper reference shape: MLPs (M-1/2/3) stay "
+                     "near 1.0 at low resolution; CNNs drop sharply, "
+                     "the deep C-4 collapsing to ~0.2 (here at 2-bit; "
+                     "see EXPERIMENTS.md for the shift)\n";
+        return 0;
+        });
 }

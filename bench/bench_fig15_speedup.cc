@@ -10,13 +10,9 @@
  */
 
 #include <cmath>
-#include <cstdio>
 #include <iostream>
 
 #include "bench/bench_util.hh"
-#include "common/args.hh"
-#include "common/logging.hh"
-#include "common/table.hh"
 
 int
 main(int argc, char **argv)
@@ -24,50 +20,58 @@ main(int argc, char **argv)
     using namespace pipelayer;
     using namespace pipelayer::bench;
 
-    setLogLevel(LogLevel::Warn);
-    const ArgParser args(argc, argv);
-    args.rejectUnknown({"batch", "images"});
-    EvalConfig config;
-    config.batch_size = args.integer("batch", config.batch_size);
-    config.num_images = args.integer("images", config.num_images);
+    return Runner::main(
+        "fig15_speedup", argc, argv, {"batch", "images"},
+        [](Runner &r) {
+        const EvalConfig config = r.evalConfig();
 
-    std::cout << "Figure 15: speedups of networks in training and "
-                 "testing (GPU = 1x)\n";
-    std::cout << "batch size B = " << config.batch_size << ", N = "
-              << config.num_images << " images\n\n";
+        std::cout << "Figure 15: speedups of networks in training and "
+                     "testing (GPU = 1x)\n";
+        std::cout << "batch size B = " << config.batch_size << ", N = "
+                  << config.num_images << " images\n\n";
 
-    Table table({"network", "phase", "GPU", "PipeLayer w/o pipeline",
-                 "PipeLayer"});
+        Table table({"network", "phase", "GPU",
+                     "PipeLayer w/o pipeline", "PipeLayer"});
 
-    double overall_log_sum = 0.0;
-    int overall_count = 0;
-    for (const bool training : {true, false}) {
-        const auto rows = evaluateAll(training, config);
-        for (const auto &row : rows) {
-            table.addRow({row.network + (training ? "_train" : "_test"),
+        json::Value &res = r.result();
+        double overall_log_sum = 0.0;
+        int overall_count = 0;
+        for (const bool training : {true, false}) {
+            const auto rows = evaluateAll(training, config);
+            for (const auto &row : rows) {
+                table.addRow({row.network +
+                                  (training ? "_train" : "_test"),
+                              training ? "train" : "test", "1.00",
+                              Table::num(row.speedupNoPipe(), 2),
+                              Table::num(row.speedup(), 2)});
+            }
+            const double gm_nopipe =
+                geomeanOf(rows, &EvalRow::speedupNoPipe);
+            const double gm = geomeanOf(rows, &EvalRow::speedup);
+            table.addSeparator();
+            table.addRow({std::string("Gmean_") +
+                              (training ? "train" : "test"),
                           training ? "train" : "test", "1.00",
-                          Table::num(row.speedupNoPipe(), 2),
-                          Table::num(row.speedup(), 2)});
+                          Table::num(gm_nopipe, 2), Table::num(gm, 2)});
+            table.addSeparator();
+            for (const auto &row : rows) {
+                overall_log_sum += std::log(row.speedup());
+                ++overall_count;
+            }
+            const std::string phase = training ? "training" : "testing";
+            res[phase + "_rows"] = toJson(rows);
+            res["gmean_" + phase] = json::Value(gm);
+            res["gmean_nopipe_" + phase] = json::Value(gm_nopipe);
         }
-        const double gm_nopipe = geomeanOf(rows, &EvalRow::speedupNoPipe);
-        const double gm = geomeanOf(rows, &EvalRow::speedup);
-        table.addSeparator();
-        table.addRow({std::string("Gmean_") +
-                          (training ? "train" : "test"),
-                      training ? "train" : "test", "1.00",
-                      Table::num(gm_nopipe, 2), Table::num(gm, 2)});
-        table.addSeparator();
-        for (const auto &row : rows) {
-            overall_log_sum += std::log(row.speedup());
-            ++overall_count;
-        }
-    }
-    const double gm_all = std::exp(overall_log_sum / overall_count);
-    table.addRow({"Gmean_all", "both", "1.00", "-",
-                  Table::num(gm_all, 2)});
-    table.print(std::cout);
+        const double gm_all =
+            std::exp(overall_log_sum / overall_count);
+        table.addRow({"Gmean_all", "both", "1.00", "-",
+                      Table::num(gm_all, 2)});
+        r.print(table);
+        res["gmean_all"] = json::Value(gm_all);
 
-    std::cout << "\npaper reference: Gmean_test 42.45x, Gmean_all "
-                 "~13.85x, best pipelined 46.58x\n";
-    return 0;
+        std::cout << "\npaper reference: Gmean_test 42.45x, Gmean_all "
+                     "~13.85x, best pipelined 46.58x\n";
+        return 0;
+        });
 }

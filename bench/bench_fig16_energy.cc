@@ -13,9 +13,6 @@
 #include <iostream>
 
 #include "bench/bench_util.hh"
-#include "common/args.hh"
-#include "common/logging.hh"
-#include "common/table.hh"
 #include "common/units.hh"
 
 int
@@ -24,47 +21,54 @@ main(int argc, char **argv)
     using namespace pipelayer;
     using namespace pipelayer::bench;
 
-    setLogLevel(LogLevel::Warn);
-    const ArgParser args(argc, argv);
-    args.rejectUnknown({"batch", "images"});
-    EvalConfig config;
-    config.batch_size = args.integer("batch", config.batch_size);
-    config.num_images = args.integer("images", config.num_images);
+    return Runner::main(
+        "fig16_energy", argc, argv, {"batch", "images"},
+        [](Runner &r) {
+        const EvalConfig config = r.evalConfig();
 
-    std::cout << "Figure 16: energy savings for PipeLayer (GPU = 1x)\n";
-    std::cout << "batch size B = " << config.batch_size << ", N = "
-              << config.num_images << " images\n\n";
+        std::cout << "Figure 16: energy savings for PipeLayer "
+                     "(GPU = 1x)\n";
+        std::cout << "batch size B = " << config.batch_size << ", N = "
+                  << config.num_images << " images\n\n";
 
-    Table table({"network", "phase", "GPU J/img", "PipeLayer J/img",
-                 "energy saving"});
+        Table table({"network", "phase", "GPU J/img",
+                     "PipeLayer J/img", "energy saving"});
 
-    double overall_log_sum = 0.0;
-    int overall_count = 0;
-    for (const bool training : {true, false}) {
-        const auto rows = evaluateAll(training, config);
-        for (const auto &row : rows) {
-            table.addRow({row.network + (training ? "_train" : "_test"),
-                          training ? "train" : "test",
-                          formatEnergy(row.gpu_energy),
-                          formatEnergy(row.pl_energy),
-                          Table::num(row.energySaving(), 2)});
-            overall_log_sum += std::log(row.energySaving());
-            ++overall_count;
+        json::Value &res = r.result();
+        double overall_log_sum = 0.0;
+        int overall_count = 0;
+        for (const bool training : {true, false}) {
+            const auto rows = evaluateAll(training, config);
+            for (const auto &row : rows) {
+                table.addRow({row.network +
+                                  (training ? "_train" : "_test"),
+                              training ? "train" : "test",
+                              formatEnergy(row.gpu_energy),
+                              formatEnergy(row.pl_energy),
+                              Table::num(row.energySaving(), 2)});
+                overall_log_sum += std::log(row.energySaving());
+                ++overall_count;
+            }
+            const double gm = geomeanOf(rows, &EvalRow::energySaving);
+            table.addSeparator();
+            table.addRow({std::string("Gmean_") +
+                              (training ? "train" : "test"),
+                          training ? "train" : "test", "-", "-",
+                          Table::num(gm, 2)});
+            table.addSeparator();
+            const std::string phase = training ? "training" : "testing";
+            res[phase + "_rows"] = toJson(rows);
+            res["gmean_" + phase] = json::Value(gm);
         }
-        table.addSeparator();
-        table.addRow({std::string("Gmean_") +
-                          (training ? "train" : "test"),
-                      training ? "train" : "test", "-", "-",
-                      Table::num(geomeanOf(rows, &EvalRow::energySaving),
-                                 2)});
-        table.addSeparator();
-    }
-    table.addRow({"Gmean_all", "both", "-", "-",
-                  Table::num(std::exp(overall_log_sum / overall_count),
-                             2)});
-    table.print(std::cout);
+        const double gm_all =
+            std::exp(overall_log_sum / overall_count);
+        table.addRow({"Gmean_all", "both", "-", "-",
+                      Table::num(gm_all, 2)});
+        r.print(table);
+        res["gmean_all"] = json::Value(gm_all);
 
-    std::cout << "\npaper reference: Gmean_train 6.52x, Gmean_test "
-                 "7.88x, Gmean_all 7.17x\n";
-    return 0;
+        std::cout << "\npaper reference: Gmean_train 6.52x, Gmean_test "
+                     "7.88x, Gmean_all 7.17x\n";
+        return 0;
+        });
 }

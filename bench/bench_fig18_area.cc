@@ -16,41 +16,46 @@
 
 #include "arch/granularity.hh"
 #include "arch/mapping.hh"
-#include "common/logging.hh"
-#include "common/table.hh"
+#include "bench/bench_util.hh"
 #include "workloads/model_zoo.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pipelayer;
 
-    setLogLevel(LogLevel::Warn);
+    return bench::Runner::main(
+        "fig18_area", argc, argv, {},
+        [](bench::Runner &r) {
+        const std::vector<double> lambdas = {0.0, 0.25, 0.5, 1.0, 2.0,
+                                             4.0, 1e18};
+        std::cout << "Figure 18: accelerator area (mm^2, training "
+                     "provisioning, B = 64) vs granularity scale "
+                     "lambda\n\n";
 
-    const std::vector<double> lambdas = {0.0, 0.25, 0.5, 1.0, 2.0, 4.0,
-                                         1e18};
-    std::cout << "Figure 18: accelerator area (mm^2, training "
-                 "provisioning, B = 64) vs granularity scale lambda\n\n";
-
-    std::vector<std::string> header = {"network"};
-    for (double l : lambdas)
-        header.push_back(l > 1e9 ? std::string("inf") : Table::num(l, 2));
-    Table table(std::move(header));
-
-    const reram::DeviceParams params;
-    for (const auto &spec : workloads::vggNetworks()) {
-        const auto base = arch::GranularityConfig::balanced(spec);
-        std::vector<std::string> row = {spec.name};
-        for (double lambda : lambdas) {
-            const arch::NetworkMapping map(
-                spec, base.scaled(spec, lambda), params, true, 64);
-            row.push_back(Table::num(map.areaMm2(), 1));
+        std::vector<std::string> header = {"network"};
+        for (double l : lambdas) {
+            header.push_back(l > 1e9 ? std::string("inf")
+                                     : Table::num(l, 2));
         }
-        table.addRow(std::move(row));
-    }
-    table.print(std::cout);
-    std::cout << "\npaper reference: monotonic growth with lambda; "
-                 "PipeLayer's overall area is 82.6 mm^2 at the default "
-                 "configuration\n";
-    return 0;
+        Table table(std::move(header));
+
+        const reram::DeviceParams params;
+        for (const auto &spec : workloads::vggNetworks()) {
+            const auto base = arch::GranularityConfig::balanced(spec);
+            std::vector<std::string> row = {spec.name};
+            for (double lambda : lambdas) {
+                const arch::NetworkMapping map(
+                    spec, base.scaled(spec, lambda), params, true, 64);
+                row.push_back(Table::num(map.areaMm2(), 1));
+            }
+            table.addRow(std::move(row));
+        }
+        r.print(table);
+        r.result()["fig18_rows"] = table.toJson();
+        std::cout << "\npaper reference: monotonic growth with lambda; "
+                     "PipeLayer's overall area is 82.6 mm^2 at the "
+                     "default configuration\n";
+        return 0;
+        });
 }

@@ -15,61 +15,70 @@
 #include <vector>
 
 #include "baseline/isaac_model.hh"
-#include "common/logging.hh"
-#include "common/table.hh"
+#include "bench/bench_util.hh"
 #include "workloads/model_zoo.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pipelayer;
 
-    setLogLevel(LogLevel::Warn);
+    return bench::Runner::main(
+        "isaac_stalls", argc, argv, {},
+        [](bench::Runner &r) {
+        const std::vector<int64_t> batches = {1, 8, 16, 32, 64, 128,
+                                              256, 1024, 8192};
 
-    const std::vector<int64_t> batches = {1, 8, 16, 32, 64, 128, 256,
-                                          1024, 8192};
+        std::cout << "ISAAC-style deep pipeline vs PipeLayer "
+                     "pipeline: utilisation under batched training\n\n";
 
-    std::cout << "ISAAC-style deep pipeline vs PipeLayer pipeline: "
-                 "utilisation under batched training\n\n";
-
-    for (const auto &spec :
-         {workloads::vggA(), workloads::vggE()}) {
-        baseline::IsaacParams isaac;
-        std::cout << spec.name << " (L = " << spec.pipelineDepth()
-                  << ", ISAAC pipeline depth = "
-                  << baseline::isaacThroughput(spec, isaac, 1)
-                         .pipeline_depth
-                  << " stages, PipeLayer fill = "
-                  << baseline::pipeLayerThroughput(spec, 1)
-                         .pipeline_depth
-                  << " cycles)\n";
-        std::cout << "dependence fan-in over the last 4 conv layers: "
-                  << baseline::dependenceFanIn(spec, 4)
-                  << " points (paper's 2x2-kernel example: 340)\n";
-        Table table({"batch B", "ISAAC util", "ISAAC util w/ bubbles",
-                     "PipeLayer util", "advantage"});
-        baseline::IsaacParams bubbly;
-        // Bubbles from data-dependence stalls: each upstream point is
-        // late with probability 1e-5; the huge transitive fan-in
-        // makes stalls likely anyway (paper §3.2.2).
-        bubbly.bubble_cycles_per_image =
-            baseline::expectedBubbleCycles(spec, 1e-5);
-        for (int64_t b : batches) {
-            const auto i = baseline::isaacThroughput(spec, isaac, b);
-            const auto ib = baseline::isaacThroughput(spec, bubbly, b);
-            const auto p = baseline::pipeLayerThroughput(spec, b);
-            table.addRow({std::to_string(b),
-                          Table::num(i.utilization, 3),
-                          Table::num(ib.utilization, 3),
-                          Table::num(p.utilization, 3),
-                          Table::num(p.utilization / i.utilization, 1)});
+        json::Value &res = r.result();
+        for (const auto &spec :
+             {workloads::vggA(), workloads::vggE()}) {
+            baseline::IsaacParams isaac;
+            std::cout << spec.name << " (L = " << spec.pipelineDepth()
+                      << ", ISAAC pipeline depth = "
+                      << baseline::isaacThroughput(spec, isaac, 1)
+                             .pipeline_depth
+                      << " stages, PipeLayer fill = "
+                      << baseline::pipeLayerThroughput(spec, 1)
+                             .pipeline_depth
+                      << " cycles)\n";
+            std::cout << "dependence fan-in over the last 4 conv "
+                         "layers: "
+                      << baseline::dependenceFanIn(spec, 4)
+                      << " points (paper's 2x2-kernel example: 340)\n";
+            Table table({"batch B", "ISAAC util",
+                         "ISAAC util w/ bubbles", "PipeLayer util",
+                         "advantage"});
+            baseline::IsaacParams bubbly;
+            // Bubbles from data-dependence stalls: each upstream
+            // point is late with probability 1e-5; the huge
+            // transitive fan-in makes stalls likely anyway (paper
+            // §3.2.2).
+            bubbly.bubble_cycles_per_image =
+                baseline::expectedBubbleCycles(spec, 1e-5);
+            for (int64_t b : batches) {
+                const auto i =
+                    baseline::isaacThroughput(spec, isaac, b);
+                const auto ib =
+                    baseline::isaacThroughput(spec, bubbly, b);
+                const auto p = baseline::pipeLayerThroughput(spec, b);
+                table.addRow(
+                    {std::to_string(b), Table::num(i.utilization, 3),
+                     Table::num(ib.utilization, 3),
+                     Table::num(p.utilization, 3),
+                     Table::num(p.utilization / i.utilization, 1)});
+            }
+            r.print(table);
+            res[spec.name] = table.toJson();
+            std::cout << "\n";
         }
-        table.print(std::cout);
-        std::cout << "\n";
-    }
 
-    std::cout << "paper reference: at training batch sizes (B = 64) "
-                 "the deep pipeline is mostly fill/drain; only very "
-                 "long consecutive input runs amortise it\n";
-    return 0;
+        std::cout << "paper reference: at training batch sizes "
+                     "(B = 64) the deep pipeline is mostly "
+                     "fill/drain; only very long consecutive input "
+                     "runs amortise it\n";
+        return 0;
+        });
 }

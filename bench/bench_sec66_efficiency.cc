@@ -16,50 +16,50 @@
 
 #include <iostream>
 
-#include "common/logging.hh"
-#include "common/table.hh"
-#include "sim/simulator.hh"
+#include "bench/bench_util.hh"
 #include "workloads/model_zoo.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pipelayer;
 
-    setLogLevel(LogLevel::Warn);
+    return bench::Runner::main(
+        "sec66_efficiency", argc, argv, {},
+        [](bench::Runner &r) {
+        std::cout << "Section 6.6: computation efficiency (default "
+                     "granularity, B = 64)\n\n";
+        Table table({"network", "phase", "area mm^2", "GOPS/s",
+                     "GOPS/s/mm^2", "GOPS/s/W"});
 
-    std::cout << "Section 6.6: computation efficiency (default "
-                 "granularity, B = 64)\n\n";
-    Table table({"network", "phase", "area mm^2", "GOPS/s",
-                 "GOPS/s/mm^2", "GOPS/s/W"});
-
-    for (const bool training : {true, false}) {
-        for (const auto &spec : workloads::evaluationNetworks()) {
-            const sim::Simulator simulator(spec,
-                                           reram::DeviceParams());
-            sim::SimConfig config;
-            config.phase = training ? sim::Phase::Training
-                                    : sim::Phase::Testing;
-            config.batch_size = 64;
-            config.num_images = 256;
-            const auto r = simulator.run(config);
-            table.addRow({spec.name, training ? "train" : "test",
-                          Table::num(r.area_mm2, 1),
-                          Table::num(r.gops_per_s, 0),
-                          Table::num(r.gops_per_s_per_mm2, 1),
-                          Table::num(r.gops_per_w, 1)});
+        for (const bool training : {true, false}) {
+            for (const auto &spec : workloads::evaluationNetworks()) {
+                const sim::Simulator simulator(spec,
+                                               reram::DeviceParams());
+                const sim::SimConfig config =
+                    training ? sim::SimConfig::training(64, 256)
+                             : sim::SimConfig::testing(256);
+                const auto rep = simulator.run(config);
+                table.addRow({spec.name, training ? "train" : "test",
+                              Table::num(rep.area_mm2, 1),
+                              Table::num(rep.gops_per_s, 0),
+                              Table::num(rep.gops_per_s_per_mm2, 1),
+                              Table::num(rep.gops_per_w, 1)});
+            }
+            table.addSeparator();
         }
-        table.addSeparator();
-    }
-    table.print(std::cout);
+        r.print(table);
+        r.result()["rows"] = table.toJson();
 
-    std::cout
-        << "\ncalibration anchor: VGG-E training -> paper reports "
-           "area 82.6 mm^2 and power efficiency 142.9 GOPS/s/W\n"
-        << "paper comparison row: PipeLayer 1485 GOPS/s/mm^2 / 142.9 "
-           "GOPS/s/W; DaDianNao 63.46 / 286.4; ISAAC 479.0 / 380.7\n"
-        << "note: the paper's single computational-efficiency number "
-           "sits between our testing and training values; it mixes "
-           "phases (see EXPERIMENTS.md)\n";
-    return 0;
+        std::cout
+            << "\ncalibration anchor: VGG-E training -> paper reports "
+               "area 82.6 mm^2 and power efficiency 142.9 GOPS/s/W\n"
+            << "paper comparison row: PipeLayer 1485 GOPS/s/mm^2 / "
+               "142.9 GOPS/s/W; DaDianNao 63.46 / 286.4; ISAAC 479.0 "
+               "/ 380.7\n"
+            << "note: the paper's single computational-efficiency "
+               "number sits between our testing and training values; "
+               "it mixes phases (see EXPERIMENTS.md)\n";
+        return 0;
+        });
 }

@@ -13,8 +13,8 @@
 #include "arch/granularity.hh"
 #include "arch/mapping.hh"
 #include "arch/pipeline.hh"
+#include "bench/bench_util.hh"
 #include "common/logging.hh"
-#include "common/table.hh"
 #include "workloads/model_zoo.hh"
 
 namespace {
@@ -22,7 +22,7 @@ namespace {
 using namespace pipelayer;
 
 void
-printCycleTable()
+printCycleTable(bench::Runner &r)
 {
     std::cout << "Table 2 / Fig. 7: training cycles, formula vs "
                  "simulated schedule\n\n";
@@ -42,7 +42,8 @@ printCycleTable()
                     workloads::LayerSpec::innerProduct(64, 64));
             }
             const auto g = arch::GranularityConfig::naive(spec);
-            const arch::NetworkMapping map(spec, g, params, true, batch);
+            const arch::NetworkMapping map(spec, g, params, true,
+                                           batch);
 
             arch::ScheduleConfig config;
             config.training = true;
@@ -77,13 +78,14 @@ printCycleTable()
                       "scheduler diverged from the paper formulas");
         }
     }
-    table.print(std::cout);
+    r.print(table);
+    r.result()["cycles"] = table.toJson();
     std::cout << "\nnon-pipelined formula: (2L+1)N + N/B    pipelined "
                  "formula: (N/B)(2L+B+1)\n\n";
 }
 
 void
-printArrayCostTable()
+printArrayCostTable(bench::Runner &r)
 {
     std::cout << "Table 2 (cost rows): morphable arrays and memory "
                  "buffer entries per network (B = 64)\n\n";
@@ -95,24 +97,27 @@ printArrayCostTable()
         const auto g = arch::GranularityConfig::balanced(spec);
         const arch::NetworkMapping testing(spec, g, params, false, 64);
         const arch::NetworkMapping training(spec, g, params, true, 64);
-        table.addRow({spec.name, std::to_string(testing.depth()),
-                      std::to_string(testing.morphableArrays()),
-                      std::to_string(training.morphableArrays()),
-                      std::to_string(training.memoryBufferEntries(false)),
-                      std::to_string(training.memoryBufferEntries(true))});
+        table.addRow(
+            {spec.name, std::to_string(testing.depth()),
+             std::to_string(testing.morphableArrays()),
+             std::to_string(training.morphableArrays()),
+             std::to_string(training.memoryBufferEntries(false)),
+             std::to_string(training.memoryBufferEntries(true))});
     }
-    table.print(std::cout);
+    r.print(table);
+    r.result()["costs"] = table.toJson();
     std::cout << "\nbuffer sizing per stage: 2(L-l)+1 entries "
                  "(validated cycle-by-cycle in tests/test_pipeline)\n\n";
 }
 
 void
-printTable3()
+printTable3(bench::Runner &r)
 {
     std::cout << "Table 3: MNIST network hyper-parameters "
                  "(reconstruction; see DESIGN.md)\n\n";
     Table table({"network", "topology", "params", "fwd ops/img"});
-    for (const char *name : {"Mnist-A", "Mnist-B", "Mnist-C", "Mnist-0"}) {
+    for (const char *name :
+         {"Mnist-A", "Mnist-B", "Mnist-C", "Mnist-0"}) {
         const auto spec = workloads::networkByName(name);
         std::string topo;
         for (size_t i = 0; i < spec.layers.size(); ++i) {
@@ -123,17 +128,21 @@ printTable3()
         table.addRow({name, topo, std::to_string(spec.paramCount()),
                       std::to_string(spec.forwardOps())});
     }
-    table.print(std::cout);
+    r.print(table);
+    r.result()["table3"] = table.toJson();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    setLogLevel(LogLevel::Warn);
-    printCycleTable();
-    printArrayCostTable();
-    printTable3();
-    return 0;
+    return bench::Runner::main(
+        "table2_formulas", argc, argv, {},
+        [](bench::Runner &r) {
+        printCycleTable(r);
+        printArrayCostTable(r);
+        printTable3(r);
+        return 0;
+        });
 }

@@ -1,7 +1,12 @@
 #include "bench/bench_util.hh"
 
+#include <algorithm>
+#include <fstream>
+#include <iostream>
 #include <vector>
 
+#include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/units.hh"
 #include "workloads/model_zoo.hh"
 
@@ -23,11 +28,11 @@ evaluateNetwork(const workloads::NetworkSpec &spec, bool training,
     row.gpu_energy = gpu_cost.energy_per_image;
 
     const sim::Simulator simulator(spec, reram::DeviceParams());
-    sim::SimConfig sim_config;
-    sim_config.phase =
-        training ? sim::Phase::Training : sim::Phase::Testing;
-    sim_config.batch_size = config.batch_size;
-    sim_config.num_images = config.num_images;
+    sim::SimConfig sim_config =
+        training
+            ? sim::SimConfig::training(config.batch_size,
+                                       config.num_images)
+            : sim::SimConfig::testing(config.num_images);
 
     sim_config.pipelined = true;
     const sim::SimReport piped = simulator.run(sim_config);
@@ -60,6 +65,125 @@ geomeanOf(const std::vector<EvalRow> &rows,
     for (const auto &row : rows)
         values.push_back((row.*metric)());
     return geomean(values.data(), values.size());
+}
+
+json::Value
+toJson(const EvalRow &row)
+{
+    json::Value v = json::Value::object();
+    v["network"] = json::Value(row.network);
+    v["phase"] = json::Value(row.training ? "training" : "testing");
+    v["gpu_time_s"] = json::Value(row.gpu_time);
+    v["gpu_energy_j"] = json::Value(row.gpu_energy);
+    v["pl_time_nopipe_s"] = json::Value(row.pl_time_nopipe);
+    v["pl_time_s"] = json::Value(row.pl_time);
+    v["pl_energy_j"] = json::Value(row.pl_energy);
+    v["pl_area_mm2"] = json::Value(row.pl_area);
+    v["speedup_nopipe"] = json::Value(row.speedupNoPipe());
+    v["speedup"] = json::Value(row.speedup());
+    v["energy_saving"] = json::Value(row.energySaving());
+    return v;
+}
+
+json::Value
+toJson(const std::vector<EvalRow> &rows)
+{
+    json::Value arr = json::Value::array();
+    for (const auto &row : rows)
+        arr.push(toJson(row));
+    return arr;
+}
+
+Runner::Runner(std::string name, int argc, const char *const *argv,
+               std::vector<std::string> extra)
+    : name_(std::move(name)), args_(argc, argv),
+      extra_(std::move(extra))
+{
+    setLogLevel(LogLevel::Warn);
+
+    std::vector<std::string> known = {"json", "csv", "threads", "help"};
+    known.insert(known.end(), extra_.begin(), extra_.end());
+    args_.rejectUnknown(known);
+
+    csv_ = args_.flag("csv");
+    help_ = args_.flag("help");
+    json_path_ = args_.str("json", "BENCH_" + name_ + ".json");
+
+    const int64_t threads = args_.integer("threads", 0);
+    if (threads > 0)
+        setThreadCount(threads);
+
+    if (help_) {
+        std::cout << "usage: bench_" << name_
+                  << " [--json=PATH] [--csv] [--threads=N]";
+        for (const auto &f : extra_)
+            std::cout << " [--" << f << "=...]";
+        std::cout << "\n\nwrites a machine-readable JSON envelope to "
+                  << "--json (default BENCH_" << name_
+                  << ".json); see docs/observability.md\n";
+    }
+}
+
+EvalConfig
+Runner::evalConfig() const
+{
+    EvalConfig config;
+    config.batch_size = args_.integer("batch", config.batch_size);
+    config.num_images = args_.integer("images", config.num_images);
+    return config;
+}
+
+void
+Runner::print(const Table &table) const
+{
+    if (csv_)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+}
+
+int
+Runner::finish()
+{
+    json::Value envelope = json::Value::object();
+    envelope["bench"] = json::Value(name_);
+    envelope["threads"] = json::Value(threadCount());
+    envelope["result"] = std::move(result_);
+
+    std::ofstream out(json_path_);
+    if (!out) {
+        std::cerr << "bench_" << name_ << ": cannot write " << json_path_
+                  << "\n";
+        return 1;
+    }
+    envelope.write(out, /*indent=*/1);
+    out << "\n";
+    if (!out) {
+        std::cerr << "bench_" << name_ << ": write to " << json_path_
+                  << " failed\n";
+        return 1;
+    }
+    std::cout << "\nwrote " << json_path_ << "\n";
+    return 0;
+}
+
+int
+Runner::main(const std::string &name, int argc, const char *const *argv,
+             const std::vector<std::string> &extra,
+             const std::function<int(Runner &)> &body)
+{
+    try {
+        Runner runner(name, argc, argv, extra);
+        if (runner.help_)
+            return 0;
+        const int rc = body(runner);
+        if (rc != 0)
+            return rc;
+        return runner.finish();
+    } catch (const ConfigError &err) {
+        std::cerr << "bench_" << name << ": " << err.what() << "\n";
+        return 1;
+    }
 }
 
 } // namespace bench

@@ -8,10 +8,14 @@
 #ifndef PIPELAYER_BENCH_BENCH_UTIL_HH_
 #define PIPELAYER_BENCH_BENCH_UTIL_HH_
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "baseline/gpu_model.hh"
+#include "common/args.hh"
+#include "common/json.hh"
+#include "common/table.hh"
 #include "sim/simulator.hh"
 #include "workloads/layer_spec.hh"
 
@@ -55,6 +59,92 @@ std::vector<EvalRow> evaluateAll(bool training, const EvalConfig &config);
 /** Geometric mean of a row metric over a set of rows. */
 double geomeanOf(const std::vector<EvalRow> &rows,
                  double (EvalRow::*metric)() const);
+
+/** Machine-readable form of one evaluation row. */
+json::Value toJson(const EvalRow &row);
+
+/** Machine-readable form of a set of evaluation rows. */
+json::Value toJson(const std::vector<EvalRow> &rows);
+
+/**
+ * The shared front end of every figure/table reproduction bench.
+ *
+ * Gives all benches the same command line —
+ *
+ *   --json=PATH    machine-readable output (default BENCH_<name>.json)
+ *   --csv          print tables as CSV instead of aligned text
+ *   --threads=N    worker thread count (else PL_THREADS / hardware)
+ *   --help         usage
+ *
+ * plus any bench-specific flags declared at construction — and the
+ * same exit codes: 0 on success, 1 on a configuration error
+ * (ConfigError) or unwritable output.  Every run writes a JSON
+ * envelope {"bench", "threads", "result"} whose "result" member the
+ * bench fills via result() (schema in docs/observability.md).
+ *
+ * @code
+ *   int main(int argc, char **argv)
+ *   {
+ *       return bench::Runner::main(
+ *           "fig15_speedup", argc, argv, {"batch", "images"},
+ *           [](bench::Runner &r) {
+ *               Table t = ...;
+ *               r.print(t);
+ *               r.result()["rows"] = t.toJson();
+ *               return 0;
+ *           });
+ *   }
+ * @endcode
+ */
+class Runner
+{
+  public:
+    /**
+     * Parse the command line.  @p extra lists bench-specific option
+     * names accepted in addition to the common set; anything else is
+     * rejected as a typo.
+     */
+    Runner(std::string name, int argc, const char *const *argv,
+           std::vector<std::string> extra = {});
+
+    const std::string &name() const { return name_; }
+    const ArgParser &args() const { return args_; }
+    bool csv() const { return csv_; }
+
+    /**
+     * The --batch/--images evaluation volume (paper defaults).  Only
+     * meaningful when "batch"/"images" were declared in @p extra.
+     */
+    EvalConfig evalConfig() const;
+
+    /** Print @p table as aligned text, or CSV under --csv. */
+    void print(const Table &table) const;
+
+    /** The "result" member of the JSON envelope — fill me. */
+    json::Value &result() { return result_; }
+
+    /** Write the JSON envelope; returns the process exit code. */
+    int finish();
+
+    /**
+     * Run @p body with a Runner, then finish().  ConfigError is
+     * caught and reported as exit code 1; --help short-circuits to
+     * exit code 0.  This is the whole main() of a bench.
+     */
+    static int main(const std::string &name, int argc,
+                    const char *const *argv,
+                    const std::vector<std::string> &extra,
+                    const std::function<int(Runner &)> &body);
+
+  private:
+    std::string name_;
+    ArgParser args_;
+    std::vector<std::string> extra_;
+    bool csv_ = false;
+    bool help_ = false;
+    std::string json_path_;
+    json::Value result_ = json::Value::object();
+};
 
 } // namespace bench
 } // namespace pipelayer

@@ -88,11 +88,8 @@ main(int argc, char **argv)
 
     // ---- Per-layer mapping and cost ---------------------------------
     sim::Simulator layer_sim(spec, params, g);
-    sim::SimConfig layer_config;
-    layer_config.phase = sim::Phase::Training;
-    layer_config.batch_size = batch;
-    layer_config.num_images = batch;
-    const auto layer_report = layer_sim.run(layer_config);
+    const auto layer_report =
+        layer_sim.run(sim::SimConfig::training(batch, batch));
 
     Table layer_table({"stage", "layer", "rows x cols", "G",
                        "steps/cycle", "fwd arrays", "bwd arrays",
@@ -135,11 +132,9 @@ main(int argc, char **argv)
     for (const bool training : {false, true}) {
         const auto cost =
             training ? gpu.training(spec) : gpu.testing(spec);
-        sim::SimConfig config;
-        config.phase =
-            training ? sim::Phase::Training : sim::Phase::Testing;
-        config.batch_size = batch;
-        config.num_images = 4 * batch;
+        const sim::SimConfig config =
+            training ? sim::SimConfig::training(batch, 4 * batch)
+                     : sim::SimConfig::testing(4 * batch);
         const auto report = simulator.run(config);
         perf.addRow({training ? "train" : "test",
                      formatTime(cost.time_per_image),

@@ -90,11 +90,9 @@ main()
                       formatEnergy(cost.energy_per_image)});
 
         sim::Simulator simulator(spec, reram::DeviceParams());
-        sim::SimConfig sim_config;
-        sim_config.phase = training ? sim::Phase::Training
-                                    : sim::Phase::Testing;
-        sim_config.batch_size = 64;
-        sim_config.num_images = 256;
+        sim::SimConfig sim_config =
+            training ? sim::SimConfig::training(64, 256)
+                     : sim::SimConfig::testing(256);
         for (const bool pipelined : {false, true}) {
             sim_config.pipelined = pipelined;
             const auto report = simulator.run(sim_config);

@@ -18,6 +18,78 @@ ceilDiv(int64_t a, int64_t b)
 
 } // namespace
 
+void
+ScheduleStats::addStats(stats::StatGroup &group) const
+{
+    auto value = [](double v) {
+        return [v] { return v; };
+    };
+    group.addFormula("total_cycles",
+                     value(static_cast<double>(total_cycles)),
+                     "logical cycles for the whole schedule");
+    group.addFormula("forward_ops",
+                     value(static_cast<double>(forward_ops)),
+                     "stage-forward activations");
+    group.addFormula("error_ops",
+                     value(static_cast<double>(error_ops)),
+                     "error-backward activations");
+    group.addFormula("derivative_ops",
+                     value(static_cast<double>(derivative_ops)),
+                     "derivative (dW) computations");
+    group.addFormula("update_cycles",
+                     value(static_cast<double>(update_cycles)),
+                     "weight-update cycles");
+    group.addFormula("stage_utilization", value(stage_utilization),
+                     "busy stage-slots / (units x cycles)");
+    group.addFormula("structural_hazards",
+                     value(static_cast<double>(structural_hazards)),
+                     "same-unit double-claims detected");
+    group.addFormula("buffer_violations",
+                     value(static_cast<double>(buffer_violations)),
+                     "buffer overwrite/eviction violations");
+    for (size_t s = 0; s < per_stage_ops.size(); ++s) {
+        const std::string stage = "stage" + std::to_string(s);
+        group.addFormula(stage + ".ops",
+                         value(static_cast<double>(per_stage_ops[s])),
+                         "busy unit-slots at this array stage");
+        const double occupancy = total_cycles > 0
+            ? static_cast<double>(per_stage_ops[s]) /
+                  static_cast<double>(total_cycles)
+            : 0.0;
+        group.addFormula(stage + ".occupancy", value(occupancy),
+                         "busy fraction of the run at this stage");
+    }
+    for (size_t j = 0; j < peak_buffer_entries.size(); ++j) {
+        group.addFormula(
+            "buffer.d" + std::to_string(j) + ".peak_live",
+            value(static_cast<double>(peak_buffer_entries[j])),
+            "live-entry high-water mark of this stage buffer");
+    }
+}
+
+json::Value
+ScheduleStats::toJson() const
+{
+    json::Value v = json::Value::object();
+    v["total_cycles"] = total_cycles;
+    v["forward_ops"] = forward_ops;
+    v["error_ops"] = error_ops;
+    v["derivative_ops"] = derivative_ops;
+    v["update_cycles"] = update_cycles;
+    v["stage_utilization"] = stage_utilization;
+    v["structural_hazards"] = structural_hazards;
+    v["buffer_violations"] = buffer_violations;
+    json::Value peaks = json::Value::array();
+    for (const int64_t peak : peak_buffer_entries)
+        peaks.push(peak);
+    v["peak_buffer_entries"] = std::move(peaks);
+    json::Value per_stage = json::Value::array();
+    for (const int64_t ops : per_stage_ops)
+        per_stage.push(ops);
+    v["per_stage_ops"] = std::move(per_stage);
+    return v;
+}
+
 PipelineScheduler::PipelineScheduler(const NetworkMapping &mapping,
                                      const ScheduleConfig &config,
                                      int64_t buffer_slack)
@@ -25,6 +97,48 @@ PipelineScheduler::PipelineScheduler(const NetworkMapping &mapping,
 {
     PL_ASSERT(config.num_images >= 1, "need at least one image");
     PL_ASSERT(config.batch_size >= 1, "batch size must be positive");
+}
+
+void
+PipelineScheduler::setTrace(trace::TraceRecorder *recorder)
+{
+    trace_ = recorder;
+    if (!recorder)
+        return;
+    // Declare one track per unit row, in renderTimeline() order.
+    const int64_t depth = mapping_.depth();
+    trace_base_ = recorder->trackCount();
+    for (int64_t s = 0; s < depth; ++s)
+        recorder->addTrack("A" + std::to_string(s + 1));
+    if (config_.training) {
+        recorder->addTrack("ErrL");
+        for (int64_t s = depth - 1; s >= 1; --s)
+            recorder->addTrack("A" + std::to_string(s + 1) + "2");
+        for (int64_t s = depth - 1; s >= 0; --s)
+            recorder->addTrack("dW" + std::to_string(s + 1));
+        recorder->addTrack("Upd");
+    }
+}
+
+int64_t
+PipelineScheduler::traceTrack(Op::Kind kind, int64_t stage) const
+{
+    const int64_t depth = mapping_.depth();
+    switch (kind) {
+      case Op::Kind::Forward:
+        return trace_base_ + stage;
+      case Op::Kind::ErrorSeed:
+        return trace_base_ + depth;
+      case Op::Kind::ErrorBack:
+        // Rows A_L2 .. A_22 follow ErrL, highest stage first.
+        return trace_base_ + depth + 1 + (depth - 1 - stage);
+      case Op::Kind::Derivative:
+        // Rows dW_L .. dW_1 follow the error rows.
+        return trace_base_ + 2 * depth + (depth - 1 - stage);
+      case Op::Kind::Update:
+        return trace_base_ + 3 * depth;
+    }
+    panic("unreachable trace track kind");
 }
 
 int64_t
@@ -150,6 +264,7 @@ PipelineScheduler::run()
 
     // ---- Walk the cycles ------------------------------------------
     ScheduleStats stats;
+    stats.per_stage_ops.assign(static_cast<size_t>(depth), 0);
     std::map<std::pair<int, int64_t>, int64_t> unit_claims;
 
     // Pre-compute input-write cycles: image i writes d_0 at t0.
@@ -169,6 +284,30 @@ PipelineScheduler::run()
                                             op.stage);
             if (++unit_claims[key] > 1)
                 ++stats.structural_hazards;
+            if (op.stage >= 0)
+                ++stats.per_stage_ops[static_cast<size_t>(op.stage)];
+        }
+
+        // Pipeline event trace: one slice per occupied unit-cycle
+        // (ts 0 = the first compute cycle, so the trace spans exactly
+        // total_cycles logical cycles).
+        if (trace_) {
+            for (const auto &op : ops) {
+                const char *cat = "";
+                switch (op.kind) {
+                  case Op::Kind::Forward:    cat = "forward"; break;
+                  case Op::Kind::ErrorSeed:  cat = "error_seed"; break;
+                  case Op::Kind::ErrorBack:  cat = "error_back"; break;
+                  case Op::Kind::Derivative: cat = "derivative"; break;
+                  case Op::Kind::Update:     cat = "update"; break;
+                }
+                const std::string name = op.image >= 0
+                    ? "img" + std::to_string(op.image)
+                    : std::string("update");
+                trace_->complete(traceTrack(op.kind, op.stage), name,
+                                 cat, static_cast<int64_t>(cycle) - 1,
+                                 1, op.image);
+            }
         }
 
         // Phase 1: non-final reads.

@@ -24,6 +24,8 @@
 
 #include "arch/buffers.hh"
 #include "arch/mapping.hh"
+#include "common/stats.hh"
+#include "common/trace.hh"
 
 namespace pipelayer {
 namespace arch {
@@ -58,6 +60,20 @@ struct ScheduleStats
 
     /** Peak live entries per stage buffer. */
     std::vector<int64_t> peak_buffer_entries;
+
+    /** Busy unit-slots per array stage (forward + error + ∂W ops). */
+    std::vector<int64_t> per_stage_ops;
+
+    /**
+     * Register every measurement with @p group: run totals, per-stage
+     * occupancy ("stage3.occupancy") and the buffer live-entry
+     * high-water marks ("buffer.d2.peak_live").  Values are copied,
+     * so the group does not need this object to stay alive.
+     */
+    void addStats(stats::StatGroup &group) const;
+
+    /** Machine-readable form of every measurement. */
+    json::Value toJson() const;
 };
 
 /**
@@ -77,6 +93,15 @@ class PipelineScheduler
 
     /** Run the schedule and return the measurements. */
     ScheduleStats run();
+
+    /**
+     * Attach a pipeline event trace: the unit rows (renderTimeline()
+     * order) are declared as tracks immediately, and run() then emits
+     * one complete event per (unit, image, cycle) occupancy into
+     * @p recorder.  Pass nullptr to detach.  The recorder must
+     * outlive run().
+     */
+    void setTrace(trace::TraceRecorder *recorder);
 
     /**
      * Render the schedule as a Fig.-6-style occupancy chart: one row
@@ -122,9 +147,14 @@ class PipelineScheduler
     int64_t buildSchedule(std::vector<std::vector<Op>> &by_cycle,
                           std::vector<int64_t> &entry_cycle);
 
+    /** Track index of (kind, stage) given the declared row layout. */
+    int64_t traceTrack(Op::Kind kind, int64_t stage) const;
+
     const NetworkMapping &mapping_;
     ScheduleConfig config_;
     int64_t buffer_slack_;
+    trace::TraceRecorder *trace_ = nullptr;
+    int64_t trace_base_ = 0; //!< first track declared on trace_
 };
 
 } // namespace arch

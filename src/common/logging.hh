@@ -18,6 +18,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace pipelayer {
@@ -65,6 +66,18 @@ void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
     __attribute__((format(printf, 1, 2)));
 
 /**
+ * A configuration the user asked for is invalid (bad batch size,
+ * image count, ...).  Thrown by the validating API surfaces
+ * (sim::SimConfig::validate) so embedding callers can recover instead
+ * of dying in fatal(); the CLI front ends catch it and exit 1.
+ */
+class ConfigError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
  * Assert an invariant with a formatted explanation.  Unlike assert(),
  * this is active in release builds: simulator correctness depends on
  * these checks.
@@ -76,6 +89,21 @@ void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
                                #cond __VA_OPT__(, ) __VA_ARGS__);       \
         }                                                               \
     } while (0)
+
+/**
+ * PL_ASSERT for checks too costly or too intrusive for release builds
+ * (e.g. the StatGroup component-outlives-dump contract).  Compiled
+ * out under NDEBUG.
+ */
+#ifdef NDEBUG
+#define PL_DEBUG_ASSERT(cond, fmt, ...)                                 \
+    do {                                                                \
+        (void)sizeof(cond);                                             \
+    } while (0)
+#else
+#define PL_DEBUG_ASSERT(cond, fmt, ...)                                 \
+    PL_ASSERT(cond, fmt __VA_OPT__(, ) __VA_ARGS__)
+#endif
 
 } // namespace pipelayer
 

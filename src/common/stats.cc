@@ -1,11 +1,53 @@
 #include "common/stats.hh"
 
 #include <iomanip>
+#include <sstream>
 
 #include "common/logging.hh"
 
 namespace pipelayer {
 namespace stats {
+
+Scalar::~Scalar()
+{
+    if (group_)
+        group_->noteScalarDestroyed(this);
+}
+
+StatGroup::~StatGroup()
+{
+    // Unlink surviving tracked scalars so their destructors don't
+    // call back into a dead group.
+    for (auto &e : entries_) {
+        if (e.mutable_scalar && !e.dead)
+            e.mutable_scalar->group_ = nullptr;
+    }
+}
+
+void
+StatGroup::checkName(const std::string &name) const
+{
+    for (const auto &e : entries_) {
+        PL_ASSERT(e.name != name,
+                  "statistic '%s' registered twice in group '%s'",
+                  name.c_str(), prefix_.c_str());
+    }
+}
+
+void
+StatGroup::registerScalar(const std::string &name, Scalar *scalar,
+                          std::string desc)
+{
+    PL_ASSERT(scalar != nullptr, "null scalar registered as %s",
+              name.c_str());
+    PL_ASSERT(scalar->group_ == nullptr,
+              "scalar '%s' is already registered with group '%s'",
+              name.c_str(), scalar->group_->prefix().c_str());
+    checkName(name);
+    scalar->group_ = this;
+    entries_.push_back(
+        {name, scalar, scalar, nullptr, std::move(desc), false});
+}
 
 void
 StatGroup::addScalar(const std::string &name, const Scalar *scalar,
@@ -13,7 +55,9 @@ StatGroup::addScalar(const std::string &name, const Scalar *scalar,
 {
     PL_ASSERT(scalar != nullptr, "null scalar registered as %s",
               name.c_str());
-    entries_.push_back({name, scalar, nullptr, std::move(desc)});
+    checkName(name);
+    entries_.push_back(
+        {name, scalar, nullptr, nullptr, std::move(desc), false});
 }
 
 void
@@ -21,7 +65,40 @@ StatGroup::addFormula(const std::string &name, std::function<double()> fn,
                       std::string desc)
 {
     PL_ASSERT(fn != nullptr, "null formula registered as %s", name.c_str());
-    entries_.push_back({name, nullptr, std::move(fn), std::move(desc)});
+    checkName(name);
+    entries_.push_back(
+        {name, nullptr, nullptr, std::move(fn), std::move(desc), false});
+}
+
+bool
+StatGroup::has(const std::string &name) const
+{
+    for (const auto &e : entries_) {
+        if (e.name == name)
+            return true;
+    }
+    return false;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &e : entries_) {
+        if (e.mutable_scalar && !e.dead)
+            e.mutable_scalar->reset();
+    }
+}
+
+void
+StatGroup::noteScalarDestroyed(const Scalar *scalar)
+{
+    for (auto &e : entries_) {
+        if (e.scalar == scalar && !e.dead) {
+            e.dead = true;
+            e.scalar = nullptr;
+            e.mutable_scalar = nullptr;
+        }
+    }
 }
 
 double
@@ -34,18 +111,39 @@ void
 StatGroup::dump(std::ostream &os) const
 {
     for (const auto &e : entries_) {
+        // Component-must-outlive-dump contract (see header): a dead
+        // entry is a bug in the registering component's lifetime.
+        PL_DEBUG_ASSERT(!e.dead,
+                        "statistic '%s.%s' dumped after its owning "
+                        "component was destroyed",
+                        prefix_.c_str(), e.name.c_str());
+        if (e.dead)
+            continue;
         os << std::left << std::setw(40) << (prefix_ + "." + e.name)
            << std::right << std::setw(18) << entryValue(e)
            << "  # " << e.desc << "\n";
     }
 }
 
+std::string
+StatGroup::dumpString() const
+{
+    std::ostringstream os;
+    dump(os);
+    return os.str();
+}
+
 double
 StatGroup::lookup(const std::string &name) const
 {
     for (const auto &e : entries_) {
-        if (e.name == name)
+        if (e.name == name) {
+            PL_ASSERT(!e.dead,
+                      "statistic '%s.%s' read after its owning "
+                      "component was destroyed",
+                      prefix_.c_str(), name.c_str());
             return entryValue(e);
+        }
     }
     panic("no statistic named '%s' in group '%s'", name.c_str(),
           prefix_.c_str());

@@ -5,7 +5,20 @@
  * Components register named scalar statistics with a StatGroup; the
  * group can be dumped as an aligned table.  Only the features the
  * simulator needs are implemented: scalar counters/values, formulas
- * evaluated at dump time, and hierarchical naming via group prefixes.
+ * evaluated at dump time, and hierarchical naming via group prefixes
+ * ("sim.layer3.forward_energy").
+ *
+ * Ownership contract: the group stores *pointers* to scalars owned by
+ * the registering component, so the component must outlive any dump
+ * or resetAll().  Scalars registered through registerScalar() are
+ * lifetime-tracked: destroying the owning component marks the entry
+ * dead, a debug build asserts at the next dump, and a release build
+ * skips the entry instead of reading freed memory.
+ *
+ * Determinism contract: entries dump in registration order and every
+ * wired component updates its counters either serially or from
+ * deterministic values, so a dump is byte-identical at any
+ * PL_THREADS setting (asserted by tests/test_observability.cc).
  */
 
 #ifndef PIPELAYER_COMMON_STATS_HH_
@@ -20,11 +33,22 @@
 namespace pipelayer {
 namespace stats {
 
+class StatGroup;
+
 /** A named scalar statistic (a double-valued accumulator). */
 class Scalar
 {
   public:
     Scalar() = default;
+    ~Scalar();
+
+    /** Copies carry the value but never the registration. */
+    Scalar(const Scalar &other) : value_(other.value_) {}
+    Scalar &operator=(const Scalar &other)
+    {
+        value_ = other.value_;
+        return *this;
+    }
 
     /** Add to the accumulated value. */
     Scalar &operator+=(double v) { value_ += v; return *this; }
@@ -36,22 +60,38 @@ class Scalar
     void reset() { value_ = 0.0; }
 
   private:
+    friend class StatGroup;
+
     double value_ = 0.0;
+    StatGroup *group_ = nullptr; //!< set by registerScalar()
 };
 
 /**
  * A collection of named statistics with a common prefix.
- *
- * Ownership: the group stores *pointers* to scalars owned by the
- * registering component, so the component must outlive any dump.
  */
 class StatGroup
 {
   public:
     /** Create a group with a hierarchical name prefix ("sim.energy"). */
     explicit StatGroup(std::string prefix) : prefix_(std::move(prefix)) {}
+    ~StatGroup();
 
-    /** Register a scalar under @p name with a description. */
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /**
+     * Register a lifetime-tracked, resettable scalar under @p name.
+     * Duplicate names panic (two components claimed the same
+     * statistic); a scalar can be registered with one group at a
+     * time.
+     */
+    void registerScalar(const std::string &name, Scalar *scalar,
+                        std::string desc);
+
+    /**
+     * Register a read-only scalar under @p name with a description.
+     * Not lifetime-tracked or resettable — prefer registerScalar().
+     */
     void addScalar(const std::string &name, const Scalar *scalar,
                    std::string desc);
 
@@ -62,8 +102,20 @@ class StatGroup
     void addFormula(const std::string &name, std::function<double()> fn,
                     std::string desc);
 
+    /** True if a statistic named @p name is registered. */
+    bool has(const std::string &name) const;
+
+    /**
+     * Reset every scalar registered through registerScalar() to zero
+     * (read-only scalars and formulas are untouched).
+     */
+    void resetAll();
+
     /** Write all statistics as "prefix.name  value  # desc" lines. */
     void dump(std::ostream &os) const;
+
+    /** dump() captured into a string (for goldens and diffing). */
+    std::string dumpString() const;
 
     /** Look up a registered statistic's current value by name. */
     double lookup(const std::string &name) const;
@@ -74,13 +126,23 @@ class StatGroup
     const std::string &prefix() const { return prefix_; }
 
   private:
+    friend class Scalar;
+
     struct Entry
     {
         std::string name;
-        const Scalar *scalar; //!< nullptr for formulas
+        const Scalar *scalar;    //!< nullptr for formulas
+        Scalar *mutable_scalar;  //!< non-null for registerScalar()
         std::function<double()> formula;
         std::string desc;
+        bool dead = false; //!< owning component was destroyed
     };
+
+    /** Panic if @p name is already taken. */
+    void checkName(const std::string &name) const;
+
+    /** Called from Scalar::~Scalar() for tracked registrations. */
+    void noteScalarDestroyed(const Scalar *scalar);
 
     double entryValue(const Entry &e) const;
 

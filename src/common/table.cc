@@ -75,4 +75,50 @@ Table::print(std::ostream &os) const
     }
 }
 
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < header_.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            const bool quote =
+                cell.find_first_of(",\"\n") != std::string::npos;
+            if (c > 0)
+                os << ",";
+            if (!quote) {
+                os << cell;
+                continue;
+            }
+            os << '"';
+            for (char ch : cell) {
+                if (ch == '"')
+                    os << '"';
+                os << ch;
+            }
+            os << '"';
+        }
+        os << "\n";
+    };
+    print_cells(header_);
+    for (const auto &row : rows_) {
+        if (!row.empty())
+            print_cells(row);
+    }
+}
+
+json::Value
+Table::toJson() const
+{
+    json::Value rows = json::Value::array();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            continue; // separator
+        json::Value obj = json::Value::object();
+        for (size_t c = 0; c < header_.size(); ++c)
+            obj[header_[c]] = json::Value(c < row.size() ? row[c] : "");
+        rows.push(std::move(obj));
+    }
+    return rows;
+}
+
 } // namespace pipelayer

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
+
 namespace pipelayer {
 
 /**
@@ -40,6 +42,16 @@ class Table
 
     /** Render with aligned columns. */
     void print(std::ostream &os) const;
+
+    /** Render as RFC-4180-ish CSV (cells quoted when needed). */
+    void printCsv(std::ostream &os) const;
+
+    /**
+     * Render as a JSON array of objects, one per data row, keyed by
+     * the header labels.  Separator rows are dropped; cells are kept
+     * as strings (the table holds formatted text, not raw values).
+     */
+    json::Value toJson() const;
 
     size_t rows() const { return rows_.size(); }
 

@@ -1,0 +1,163 @@
+#include "common/trace.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace pipelayer {
+namespace trace {
+
+namespace {
+
+/** Logical cycles -> viewer microseconds (1 cycle = 1 us). */
+constexpr int64_t kUsPerCycle = 1;
+
+} // namespace
+
+TraceRecorder::TraceRecorder(std::string process_name)
+    : process_name_(std::move(process_name))
+{
+}
+
+int64_t
+TraceRecorder::addTrack(const std::string &name)
+{
+    tracks_.push_back(name);
+    open_.emplace_back();
+    return static_cast<int64_t>(tracks_.size()) - 1;
+}
+
+void
+TraceRecorder::begin(int64_t track, const std::string &name,
+                     const std::string &category, int64_t cycle,
+                     int64_t image)
+{
+    PL_ASSERT(track >= 0 && track < trackCount(),
+              "begin() on undeclared track %lld", (long long)track);
+    open_[static_cast<size_t>(track)].push_back(
+        {name, category, track, cycle, image});
+}
+
+void
+TraceRecorder::end(int64_t track, int64_t cycle)
+{
+    PL_ASSERT(track >= 0 && track < trackCount(),
+              "end() on undeclared track %lld", (long long)track);
+    auto &stack = open_[static_cast<size_t>(track)];
+    PL_ASSERT(!stack.empty(), "end() on track %lld with no open slice",
+              (long long)track);
+    const OpenSlice slice = stack.back();
+    stack.pop_back();
+    PL_ASSERT(cycle >= slice.begin_cycle,
+              "slice on track %lld ends (cycle %lld) before it begins "
+              "(cycle %lld)",
+              (long long)track, (long long)cycle,
+              (long long)slice.begin_cycle);
+    TraceEvent event;
+    event.name = slice.name;
+    event.category = slice.category;
+    event.track = slice.track;
+    event.begin_cycle = slice.begin_cycle;
+    event.duration = std::max<int64_t>(1, cycle - slice.begin_cycle);
+    event.image = slice.image;
+    last_cycle_ = std::max(last_cycle_,
+                           event.begin_cycle + event.duration);
+    events_.push_back(std::move(event));
+}
+
+void
+TraceRecorder::complete(int64_t track, const std::string &name,
+                        const std::string &category, int64_t cycle,
+                        int64_t duration, int64_t image)
+{
+    begin(track, name, category, cycle, image);
+    end(track, cycle + duration);
+}
+
+json::Value
+TraceRecorder::toJson() const
+{
+    for (size_t t = 0; t < open_.size(); ++t) {
+        PL_ASSERT(open_[t].empty(),
+                  "trace serialised with %zu open slice(s) on track "
+                  "'%s'",
+                  open_[t].size(), tracks_[t].c_str());
+    }
+
+    json::Value doc = json::Value::object();
+    json::Value events = json::Value::array();
+
+    // Metadata: name the process and order the unit rows so Perfetto
+    // renders them top-to-bottom like the paper's figures.
+    json::Value pname = json::Value::object();
+    pname["name"] = "process_name";
+    pname["ph"] = "M";
+    pname["pid"] = 0;
+    pname["tid"] = 0;
+    pname["args"]["name"] = process_name_;
+    events.push(std::move(pname));
+    for (size_t t = 0; t < tracks_.size(); ++t) {
+        json::Value tname = json::Value::object();
+        tname["name"] = "thread_name";
+        tname["ph"] = "M";
+        tname["pid"] = 0;
+        tname["tid"] = static_cast<int64_t>(t);
+        tname["args"]["name"] = tracks_[t];
+        events.push(std::move(tname));
+        json::Value tsort = json::Value::object();
+        tsort["name"] = "thread_sort_index";
+        tsort["ph"] = "M";
+        tsort["pid"] = 0;
+        tsort["tid"] = static_cast<int64_t>(t);
+        tsort["args"]["sort_index"] = static_cast<int64_t>(t);
+        events.push(std::move(tsort));
+    }
+
+    // Slices, ordered by (begin cycle, track) so the document is
+    // stable no matter the emission order.
+    std::vector<const TraceEvent *> ordered;
+    ordered.reserve(events_.size());
+    for (const TraceEvent &e : events_)
+        ordered.push_back(&e);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const TraceEvent *a, const TraceEvent *b) {
+                         if (a->begin_cycle != b->begin_cycle)
+                             return a->begin_cycle < b->begin_cycle;
+                         return a->track < b->track;
+                     });
+    for (const TraceEvent *e : ordered) {
+        json::Value event = json::Value::object();
+        event["name"] = e->name;
+        event["cat"] = e->category;
+        event["ph"] = "X";
+        event["pid"] = 0;
+        event["tid"] = e->track;
+        event["ts"] = e->begin_cycle * kUsPerCycle;
+        event["dur"] = e->duration * kUsPerCycle;
+        event["args"]["cycle"] = e->begin_cycle;
+        if (e->image >= 0)
+            event["args"]["image"] = e->image;
+        events.push(std::move(event));
+    }
+
+    doc["traceEvents"] = std::move(events);
+    doc["displayTimeUnit"] = "ms";
+    doc["otherData"]["cycle_unit_us"] = kUsPerCycle;
+    return doc;
+}
+
+void
+TraceRecorder::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    toJson().write(os, 1);
+    os << "\n";
+    if (!os)
+        fatal("failed writing trace file '%s'", path.c_str());
+}
+
+} // namespace trace
+} // namespace pipelayer

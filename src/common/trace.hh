@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Per-logical-cycle pipeline event tracing in the Chrome trace-event
+ * format.
+ *
+ * Components emit begin/end (or complete) events keyed by
+ * (track = pipeline unit, image, logical cycle); the recorder
+ * serialises them as a Chrome trace-event JSON document that loads
+ * directly in Perfetto / chrome://tracing, rendering a training batch
+ * as the paper's Fig. 6 timeline: one row per pipeline unit
+ * (A1..AL forward stages, ErrL, A_l2 error units, dW_l derivative
+ * units, Upd), one slice per logical cycle of occupancy.
+ *
+ * Timestamps are logical cycles scaled to microseconds (1 cycle =
+ * 1 us in the viewer); wall-clock time never enters the trace, so
+ * traces are byte-deterministic across runs and thread counts.
+ */
+
+#ifndef PIPELAYER_COMMON_TRACE_HH_
+#define PIPELAYER_COMMON_TRACE_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace pipelayer {
+namespace trace {
+
+/** One recorded slice: [begin_cycle, begin_cycle + duration). */
+struct TraceEvent
+{
+    std::string name;     //!< slice label (e.g. "fwd img3")
+    std::string category; //!< event class ("forward", "error", ...)
+    int64_t track = 0;    //!< pipeline unit row (tid in the viewer)
+    int64_t begin_cycle = 0;
+    int64_t duration = 1; //!< logical cycles
+    int64_t image = -1;   //!< image id, or -1 (batch-level events)
+};
+
+/**
+ * Collects pipeline events and serialises them as Chrome trace-event
+ * JSON.  Tracks must be declared up front with addTrack() so the
+ * viewer orders the rows like the paper's figures (declaration
+ * order = sort index).
+ */
+class TraceRecorder
+{
+  public:
+    explicit TraceRecorder(std::string process_name = "pipelayer");
+
+    /** Declare a unit row; returns its track id. */
+    int64_t addTrack(const std::string &name);
+
+    int64_t trackCount() const
+    {
+        return static_cast<int64_t>(tracks_.size());
+    }
+
+    /**
+     * Open a slice on @p track at @p cycle.  Slices on one track must
+     * be closed in LIFO order (end() closes the most recent open
+     * slice), matching the trace format's B/E nesting rules.
+     */
+    void begin(int64_t track, const std::string &name,
+               const std::string &category, int64_t cycle,
+               int64_t image = -1);
+
+    /** Close the most recent open slice on @p track at @p cycle. */
+    void end(int64_t track, int64_t cycle);
+
+    /** Record a closed slice in one call (duration in cycles). */
+    void complete(int64_t track, const std::string &name,
+                  const std::string &category, int64_t cycle,
+                  int64_t duration = 1, int64_t image = -1);
+
+    /** All closed slices, in completion order. */
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Number of closed slices recorded so far. */
+    int64_t eventCount() const
+    {
+        return static_cast<int64_t>(events_.size());
+    }
+
+    /** Largest cycle covered by any closed slice (0 when empty). */
+    int64_t lastCycle() const { return last_cycle_; }
+
+    /**
+     * Serialise as a Chrome trace-event JSON object:
+     * {"traceEvents": [...], "displayTimeUnit": "ms"} with one
+     * metadata thread_name event per track followed by one "X"
+     * (complete) event per slice.
+     */
+    json::Value toJson() const;
+
+    /** toJson() written to @p path; fatal() if the file can't open. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    struct OpenSlice
+    {
+        std::string name;
+        std::string category;
+        int64_t track;
+        int64_t begin_cycle;
+        int64_t image;
+    };
+
+    std::string process_name_;
+    std::vector<std::string> tracks_;
+    std::vector<std::vector<OpenSlice>> open_; //!< per-track stacks
+    std::vector<TraceEvent> events_;
+    int64_t last_cycle_ = 0;
+};
+
+} // namespace trace
+} // namespace pipelayer
+
+#endif // PIPELAYER_COMMON_TRACE_HH_

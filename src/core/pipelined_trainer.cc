@@ -182,6 +182,59 @@ PipelinedTrainer::depth() const
     return static_cast<int64_t>(stages_.size());
 }
 
+json::Value
+PipelinedBatchResult::toJson() const
+{
+    json::Value v = json::Value::object();
+    v["mean_loss"] = json::Value(mean_loss);
+    v["logical_cycles"] = json::Value(logical_cycles);
+    v["peak_buffer_entries"] = json::Value(peak_buffer_entries);
+    v["forward_ops"] = json::Value(forward_ops);
+    v["error_seeds"] = json::Value(error_seeds);
+    v["backward_ops"] = json::Value(backward_ops);
+    v["commits"] = json::Value(commits);
+    return v;
+}
+
+void
+PipelinedTrainer::addStats(stats::StatGroup &group)
+{
+    group.registerScalar("cycles", &stat_cycles_,
+                         "logical cycles executed (2L+B+1 per batch)");
+    group.registerScalar("batches", &stat_batches_,
+                         "pipelined batches trained");
+    group.registerScalar("forward_ops", &stat_forward_ops_,
+                         "per-cycle stage-forward evaluations");
+    group.registerScalar("error_seeds", &stat_error_seeds_,
+                         "output-error seedings (one per image)");
+    group.registerScalar("backward_ops", &stat_backward_ops_,
+                         "error-backward + derivative pairs");
+    group.registerScalar("commits", &stat_commits_,
+                         "serial phase-2 buffer commits");
+    group.registerScalar("weight_updates", &stat_updates_,
+                         "array stages updated at update cycles");
+}
+
+void
+PipelinedTrainer::setTrace(trace::TraceRecorder *recorder)
+{
+    trace_ = recorder;
+    trace_cycle_base_ = 0;
+    if (!trace_)
+        return;
+    // Row layout mirrors the paper's Fig. 6: forward units top-down,
+    // the error-seed unit, then backward units B_L..B_1 and the
+    // weight-update row.
+    const int64_t depth_l = depth();
+    trace_base_ = trace_->trackCount();
+    for (int64_t s = 0; s < depth_l; ++s)
+        trace_->addTrack("A" + std::to_string(s + 1));
+    trace_->addTrack("Err" + std::to_string(depth_l));
+    for (int64_t l = depth_l; l >= 1; --l)
+        trace_->addTrack("B" + std::to_string(l));
+    trace_->addTrack("Upd");
+}
+
 PipelinedBatchResult
 PipelinedTrainer::trainBatch(const std::vector<Tensor> &inputs,
                              const std::vector<int64_t> &labels,
@@ -391,16 +444,42 @@ PipelinedTrainer::trainBatch(const std::vector<Tensor> &inputs,
         });
 
         // Phase 2: commit in ascending image order — identical buffer
-        // mutation order to the serial schedule.
+        // mutation order to the serial schedule.  Work counters and
+        // trace events are emitted here, never from phase 1, so both
+        // are byte-identical at any thread count.
         for (CycleWork &wk : work) {
             const int64_t i = wk.image;
+            ++result.commits;
+            if (trace_) {
+                const int64_t depth_t = depth_l;
+                int64_t track = trace_base_;
+                const char *cat = "forward";
+                switch (wk.action) {
+                  case Action::Forward:
+                    track += wk.stage;
+                    break;
+                  case Action::Seed:
+                    track += depth_t;
+                    cat = "error_seed";
+                    break;
+                  case Action::Backward:
+                    track += depth_t + 1 + (depth_t - wk.stage);
+                    cat = "backward";
+                    break;
+                }
+                trace_->complete(track, "img" + std::to_string(i), cat,
+                                 trace_cycle_base_ + cycle - 1,
+                                 /*duration=*/1, i);
+            }
             switch (wk.action) {
               case Action::Forward:
+                ++result.forward_ops;
                 d_buf[static_cast<size_t>(wk.stage + 1)][i] =
                     std::move(wk.forward_out);
                 check_capacity(wk.stage + 1);
                 break;
               case Action::Seed:
+                ++result.error_seeds;
                 result.mean_loss += wk.loss;
                 delta_buf[static_cast<size_t>(depth_l - 1)][i] =
                     std::move(wk.delta);
@@ -409,6 +488,7 @@ PipelinedTrainer::trainBatch(const std::vector<Tensor> &inputs,
                 d_buf[static_cast<size_t>(depth_l)].erase(i);
                 break;
               case Action::Backward:
+                ++result.backward_ops;
                 if (wk.stage >= 2) {
                     delta_buf[static_cast<size_t>(wk.stage - 2)][i] =
                         std::move(wk.delta);
@@ -436,6 +516,22 @@ PipelinedTrainer::trainBatch(const std::vector<Tensor> &inputs,
         for (int64_t i = 0; i < params[1]->numel(); ++i)
             params[1]->at(i) -= scale * stage->bias_grad.at(i);
     }
+    if (trace_) {
+        // The update occupies the schedule's final logical cycle, so
+        // the trace spans exactly logical_cycles per batch.
+        trace_->complete(trace_base_ + 2 * depth_l + 1, "update",
+                         "update",
+                         trace_cycle_base_ + total_cycles - 1);
+        trace_cycle_base_ += total_cycles;
+    }
+
+    stat_cycles_ += static_cast<double>(total_cycles);
+    stat_batches_ += 1.0;
+    stat_forward_ops_ += static_cast<double>(result.forward_ops);
+    stat_error_seeds_ += static_cast<double>(result.error_seeds);
+    stat_backward_ops_ += static_cast<double>(result.backward_ops);
+    stat_commits_ += static_cast<double>(result.commits);
+    stat_updates_ += static_cast<double>(depth_l);
 
     result.mean_loss /= static_cast<double>(batch);
     return result;

@@ -26,6 +26,9 @@
 #include <memory>
 #include <vector>
 
+#include "common/json.hh"
+#include "common/stats.hh"
+#include "common/trace.hh"
 #include "nn/network.hh"
 #include "tensor/tensor.hh"
 
@@ -38,6 +41,14 @@ struct PipelinedBatchResult
     double mean_loss = 0.0;
     int64_t logical_cycles = 0;   //!< 2L + B + 1 (Fig. 7b)
     int64_t peak_buffer_entries = 0; //!< max live entries in any buffer
+
+    int64_t forward_ops = 0;    //!< per-cycle stage-forward evaluations
+    int64_t error_seeds = 0;    //!< output-error seedings (one/image)
+    int64_t backward_ops = 0;   //!< error-backward + derivative pairs
+    int64_t commits = 0;        //!< serial phase-2 buffer commits
+
+    /** Machine-readable form of the batch outcome. */
+    json::Value toJson() const;
 };
 
 /**
@@ -70,12 +81,44 @@ class PipelinedTrainer
                                     nn::LossKind loss =
                                         nn::LossKind::Softmax);
 
+    /**
+     * Register the trainer's cumulative work counters (logical
+     * cycles, per-cycle stage work, serial commit counts, batches)
+     * with @p group.  Counters accumulate across trainBatch() calls
+     * and are updated in the serial commit phase, so a dump is
+     * byte-identical at any thread count.  The trainer must outlive
+     * any dump; resetAll() on the group zeroes them.
+     */
+    void addStats(stats::StatGroup &group);
+
+    /**
+     * Attach a per-logical-cycle event trace: each trainBatch() then
+     * emits one slice per (stage unit, image, cycle) — forward rows
+     * A1..AL, the error seed row, backward rows B1..BL and the update
+     * row — appended batch after batch.  Pass nullptr to detach.  The
+     * recorder must outlive trainBatch().
+     */
+    void setTrace(trace::TraceRecorder *recorder);
+
   private:
     struct Stage;
     struct Entry;
 
     nn::Network &net_;
     std::vector<std::unique_ptr<Stage>> stages_;
+
+    // Cumulative work counters (see addStats).
+    stats::Scalar stat_cycles_;
+    stats::Scalar stat_batches_;
+    stats::Scalar stat_forward_ops_;
+    stats::Scalar stat_error_seeds_;
+    stats::Scalar stat_backward_ops_;
+    stats::Scalar stat_commits_;
+    stats::Scalar stat_updates_;
+
+    trace::TraceRecorder *trace_ = nullptr;
+    int64_t trace_base_ = 0;      //!< first declared track
+    int64_t trace_cycle_base_ = 0; //!< cycle offset of the next batch
 };
 
 } // namespace core

@@ -15,7 +15,30 @@ ArrayActivity::operator+=(const ArrayActivity &other)
     input_spikes += other.input_spikes;
     write_pulses += other.write_pulses;
     mvm_ops += other.mvm_ops;
+    if_fires += other.if_fires;
     return *this;
+}
+
+void
+ArrayActivity::addStats(stats::StatGroup &group,
+                        const std::string &prefix) const
+{
+    group.addFormula(
+        prefix + ".input_spikes",
+        [this] { return static_cast<double>(input_spikes); },
+        "word-line input spikes driven");
+    group.addFormula(
+        prefix + ".write_pulses",
+        [this] { return static_cast<double>(write_pulses); },
+        "cell programming pulses applied");
+    group.addFormula(
+        prefix + ".mvm_ops",
+        [this] { return static_cast<double>(mvm_ops); },
+        "matrix-vector operations performed");
+    group.addFormula(
+        prefix + ".if_fires",
+        [this] { return static_cast<double>(if_fires); },
+        "integrate-and-fire output firings");
 }
 
 CrossbarArray::CrossbarArray(const DeviceParams &params,
@@ -171,6 +194,12 @@ CrossbarArray::matVec(const std::vector<SpikeTrain> &inputs)
     });
     last_saturated_ =
         std::any_of(sat.begin(), sat.end(), [](uint8_t s) { return s; });
+    // The IF units fire once per output count unit; out[] is
+    // deterministic at any thread count, so this tally is too.
+    int64_t fires = 0;
+    for (const int64_t count : out)
+        fires += count;
+    activity_.if_fires += fires;
     return out;
 }
 

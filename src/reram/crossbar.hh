@@ -15,9 +15,11 @@
 #define PIPELAYER_RERAM_CROSSBAR_HH_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/stats.hh"
 #include "reram/params.hh"
 #include "reram/spike.hh"
 
@@ -30,8 +32,16 @@ struct ArrayActivity
     int64_t input_spikes = 0;  //!< word-line spikes driven
     int64_t write_pulses = 0;  //!< programming pulses applied
     int64_t mvm_ops = 0;       //!< matrix-vector operations performed
+    int64_t if_fires = 0;      //!< integrate-and-fire output firings
 
     ArrayActivity &operator+=(const ArrayActivity &other);
+
+    /**
+     * Register the four counters as "<prefix>.<name>" formulas over
+     * this activity record.  The record must outlive any dump.
+     */
+    void addStats(stats::StatGroup &group,
+                  const std::string &prefix) const;
 };
 
 /**
@@ -88,6 +98,16 @@ class CrossbarArray
 
     /** Activity counters for the energy model. */
     const ArrayActivity &activity() const { return activity_; }
+
+    /**
+     * Register this array's activity counters with @p group under
+     * "<prefix>.*".  The array must outlive any dump of the group.
+     */
+    void addStats(stats::StatGroup &group,
+                  const std::string &prefix) const
+    {
+        activity_.addStats(group, prefix);
+    }
 
     /** True if any IF counter saturated during the last matVec. */
     bool lastSaturated() const { return last_saturated_; }

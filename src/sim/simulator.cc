@@ -32,6 +32,77 @@ errorWindows(const workloads::LayerSpec &spec)
 
 } // namespace
 
+SimConfig
+SimConfig::training(int64_t batch, int64_t images)
+{
+    SimConfig c;
+    c.phase = Phase::Training;
+    c.batch_size = batch;
+    c.num_images = images;
+    c.validate();
+    return c;
+}
+
+SimConfig
+SimConfig::testing(int64_t images)
+{
+    SimConfig c;
+    c.phase = Phase::Testing;
+    c.num_images = images;
+    c.validate();
+    return c;
+}
+
+void
+SimConfig::validate() const
+{
+    if (batch_size <= 0) {
+        throw ConfigError("SimConfig: batch_size must be positive, got " +
+                          std::to_string(batch_size));
+    }
+    if (num_images <= 0) {
+        throw ConfigError("SimConfig: num_images must be positive, got " +
+                          std::to_string(num_images));
+    }
+    if (phase == Phase::Training && num_images % batch_size != 0) {
+        throw ConfigError(
+            "SimConfig: training needs batch_size (" +
+            std::to_string(batch_size) + ") to divide num_images (" +
+            std::to_string(num_images) +
+            "): the schedule separates full batches with update cycles");
+    }
+}
+
+json::Value
+EnergyBreakdown::toJson() const
+{
+    json::Value v = json::Value::object();
+    v["forward_compute_j"] = json::Value(forward_compute);
+    v["backward_compute_j"] = json::Value(backward_compute);
+    v["derivative_compute_j"] = json::Value(derivative_compute);
+    v["weight_update_j"] = json::Value(weight_update);
+    v["buffer_traffic_j"] = json::Value(buffer_traffic);
+    v["controller_j"] = json::Value(controller);
+    v["total_j"] = json::Value(total());
+    return v;
+}
+
+json::Value
+LayerCost::toJson() const
+{
+    json::Value v = json::Value::object();
+    v["label"] = json::Value(label);
+    v["g"] = json::Value(g);
+    v["steps_per_cycle"] = json::Value(steps_per_cycle);
+    v["arrays"] = json::Value(arrays);
+    v["forward_latency_s"] = json::Value(forward_latency);
+    v["training_latency_s"] = json::Value(training_latency);
+    v["forward_energy_j"] = json::Value(forward_energy);
+    v["backward_energy_j"] = json::Value(backward_energy);
+    v["derivative_energy_j"] = json::Value(derivative_energy);
+    return v;
+}
+
 void
 SimReport::print(std::ostream &os) const
 {
@@ -69,9 +140,8 @@ SimReport::print(std::ostream &os) const
 }
 
 void
-SimReport::dumpStats(std::ostream &os) const
+SimReport::addStats(stats::StatGroup &group) const
 {
-    stats::StatGroup group("sim." + network);
     auto value = [](double v) {
         return [v]() { return v; };
     };
@@ -119,7 +189,86 @@ SimReport::dumpStats(std::ostream &os) const
                      "computational efficiency");
     group.addFormula("gops_per_w", value(gops_per_w),
                      "power efficiency");
+    group.addFormula("buffer_violations",
+                     value(static_cast<double>(buffer_violations)),
+                     "buffer overwrite/eviction violations");
+    group.addFormula("structural_hazards",
+                     value(static_cast<double>(structural_hazards)),
+                     "structural hazards detected");
+    for (size_t i = 0; i < per_layer.size(); ++i) {
+        const LayerCost &c = per_layer[i];
+        const std::string p = "layer" + std::to_string(i) + ".";
+        group.addFormula(p + "g", value(static_cast<double>(c.g)),
+                         "replication factor of " + c.label);
+        group.addFormula(p + "arrays",
+                         value(static_cast<double>(c.arrays)),
+                         "forward + backward arrays");
+        group.addFormula(p + "forward_latency_s",
+                         value(c.forward_latency),
+                         "seconds per logical cycle, forward");
+        group.addFormula(p + "training_latency_s",
+                         value(c.training_latency),
+                         "seconds per logical cycle, training");
+        group.addFormula(p + "forward_energy_j",
+                         value(c.forward_energy),
+                         "forward-compute joules per image");
+        group.addFormula(p + "backward_energy_j",
+                         value(c.backward_energy),
+                         "error-backward joules per image");
+        group.addFormula(p + "derivative_energy_j",
+                         value(c.derivative_energy),
+                         "derivative joules per image");
+    }
+}
+
+void
+SimReport::dumpStats(std::ostream &os) const
+{
+    stats::StatGroup group("sim." + network);
+    addStats(group);
     group.dump(os);
+}
+
+json::Value
+SimReport::toJson() const
+{
+    json::Value v = json::Value::object();
+    v["network"] = json::Value(network);
+
+    json::Value cfg = json::Value::object();
+    cfg["phase"] = json::Value(
+        config.phase == Phase::Training ? "training" : "testing");
+    cfg["pipelined"] = json::Value(config.pipelined);
+    cfg["batch_size"] = json::Value(config.batch_size);
+    cfg["num_images"] = json::Value(config.num_images);
+    v["config"] = std::move(cfg);
+
+    v["logical_cycles"] = json::Value(logical_cycles);
+    v["cycle_time_s"] = json::Value(cycle_time);
+    v["total_time_s"] = json::Value(total_time);
+    v["time_per_image_s"] = json::Value(time_per_image);
+    v["throughput_img_s"] = json::Value(throughput);
+
+    v["energy"] = energy.toJson();
+    v["energy_per_image_j"] = json::Value(energy_per_image);
+
+    v["area_mm2"] = json::Value(area_mm2);
+    v["morphable_arrays"] = json::Value(morphable_arrays);
+    v["memory_buffer_entries"] = json::Value(memory_buffer_entries);
+
+    v["ops_per_image"] = json::Value(ops_per_image);
+    v["gops_per_s"] = json::Value(gops_per_s);
+    v["gops_per_s_per_mm2"] = json::Value(gops_per_s_per_mm2);
+    v["gops_per_w"] = json::Value(gops_per_w);
+
+    v["buffer_violations"] = json::Value(buffer_violations);
+    v["structural_hazards"] = json::Value(structural_hazards);
+
+    json::Value layers = json::Value::array();
+    for (const LayerCost &c : per_layer)
+        layers.push(c.toJson());
+    v["per_layer"] = std::move(layers);
+    return v;
 }
 
 Simulator::Simulator(const workloads::NetworkSpec &spec,
@@ -256,6 +405,7 @@ Simulator::cycleTime(const arch::NetworkMapping &mapping,
 SimReport
 Simulator::run(const SimConfig &config) const
 {
+    config.validate();
     const bool training = config.phase == Phase::Training;
     const arch::NetworkMapping map = mapping(config);
 

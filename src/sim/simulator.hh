@@ -20,6 +20,8 @@
 #include "arch/granularity.hh"
 #include "arch/mapping.hh"
 #include "arch/pipeline.hh"
+#include "common/json.hh"
+#include "common/stats.hh"
 #include "reram/params.hh"
 #include "workloads/layer_spec.hh"
 
@@ -36,6 +38,20 @@ struct SimConfig
     bool pipelined = true;
     int64_t batch_size = 64;
     int64_t num_images = 256;
+
+    /** A training run of @p images images in batches of @p batch. */
+    static SimConfig training(int64_t batch, int64_t images);
+
+    /** A testing (forward-only) run of @p images images. */
+    static SimConfig testing(int64_t images);
+
+    /**
+     * Check the configuration, throwing ConfigError (not asserting)
+     * on bad values: batch_size and num_images must be positive, and
+     * a training run needs batch_size to divide num_images — the
+     * paper's schedule separates full batches with an update cycle.
+     */
+    void validate() const;
 };
 
 /** Energy breakdown in joules. */
@@ -53,6 +69,9 @@ struct EnergyBreakdown
         return forward_compute + backward_compute + derivative_compute +
                weight_update + buffer_traffic + controller;
     }
+
+    /** Machine-readable form (one member per component + total). */
+    json::Value toJson() const;
 };
 
 /** Per-stage cost breakdown (one entry per array layer). */
@@ -67,6 +86,9 @@ struct LayerCost
     double forward_energy = 0.0;   //!< J per image
     double backward_energy = 0.0;  //!< J per image (training)
     double derivative_energy = 0.0; //!< J per image (training)
+
+    /** Machine-readable form. */
+    json::Value toJson() const;
 };
 
 /** Simulation outcome. */
@@ -103,11 +125,27 @@ struct SimReport
     void print(std::ostream &os) const;
 
     /**
+     * Register every metric with @p group, including the per-layer
+     * breakdown under hierarchical names ("layer3.forward_energy_j").
+     * Values are copied at registration, so the group does not need
+     * this report to stay alive.
+     */
+    void addStats(stats::StatGroup &group) const;
+
+    /**
      * Dump every metric in the gem5-style stats format
      * ("sim.<network>.<name>  value  # description"), for
-     * machine-readable post-processing.
+     * machine-readable post-processing.  Equivalent to addStats() on
+     * a fresh group named "sim.<network>" followed by dump().
      */
     void dumpStats(std::ostream &os) const;
+
+    /**
+     * Machine-readable form of the whole report: run configuration,
+     * timing, energy breakdown, area/efficiency and the per-layer
+     * cost array (schema documented in docs/observability.md).
+     */
+    json::Value toJson() const;
 };
 
 /**
@@ -125,7 +163,11 @@ class Simulator
               const reram::DeviceParams &params,
               const arch::GranularityConfig &granularity);
 
-    /** Run one simulation. */
+    /**
+     * Run one simulation.  This is the canonical entry point: the
+     * configuration is validated first (throws ConfigError on bad
+     * values, see SimConfig::validate()).
+     */
     SimReport run(const SimConfig &config) const;
 
     /** The mapping the simulator would use for @p config. */

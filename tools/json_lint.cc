@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Validate machine-readable output files (BENCH_*.json envelopes and
+ * Chrome trace-event files) using the in-tree JSON parser — the CI
+ * smoke-bench step runs this over every emitted artifact, so a
+ * malformed writer fails the build without any external tooling.
+ *
+ * Usage: json_lint FILE...
+ *
+ * Each file must parse as JSON.  Files whose top-level object has a
+ * "traceEvents" member are additionally checked as Chrome traces
+ * (every event carries name/ph/ts/pid/tid and non-negative
+ * timestamps); files with a "bench" member are checked as bench
+ * envelopes (bench/threads/result members present).
+ *
+ * Exit code: 0 if every file validates, 1 otherwise.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/json.hh"
+
+namespace {
+
+using pipelayer::json::Value;
+
+bool
+checkTrace(const std::string &path, const Value &doc)
+{
+    const Value *events = doc.find("traceEvents");
+    if (events->size() == 0) {
+        std::cerr << path << ": trace has no events\n";
+        return false;
+    }
+    for (size_t i = 0; i < events->size(); ++i) {
+        const Value &e = events->at(i);
+        for (const char *key : {"name", "ph", "pid", "tid"}) {
+            if (!e.find(key)) {
+                std::cerr << path << ": event " << i << " lacks '"
+                          << key << "'\n";
+                return false;
+            }
+        }
+        const std::string ph = e.at("ph").asString();
+        if (ph == "X") {
+            if (!e.find("ts") || !e.find("dur") ||
+                e.at("ts").asNumber() < 0 ||
+                e.at("dur").asNumber() <= 0) {
+                std::cerr << path << ": event " << i
+                          << " has a bad ts/dur\n";
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+checkEnvelope(const std::string &path, const Value &doc)
+{
+    for (const char *key : {"bench", "threads", "result"}) {
+        if (!doc.find(key)) {
+            std::cerr << path << ": bench envelope lacks '" << key
+                      << "'\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+lintFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << path << ": cannot open\n";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    Value doc;
+    try {
+        doc = pipelayer::json::parse(buf.str());
+    } catch (const pipelayer::json::ParseError &err) {
+        std::cerr << path << ": " << err.what() << "\n";
+        return false;
+    }
+
+    if (doc.find("traceEvents")) {
+        if (!checkTrace(path, doc))
+            return false;
+        std::cout << path << ": OK (chrome trace, "
+                  << doc.at("traceEvents").size() << " events)\n";
+        return true;
+    }
+    if (doc.find("bench")) {
+        if (!checkEnvelope(path, doc))
+            return false;
+        std::cout << path << ": OK (bench envelope '"
+                  << doc.at("bench").asString() << "')\n";
+        return true;
+    }
+    std::cout << path << ": OK (json)\n";
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: json_lint FILE...\n";
+        return 1;
+    }
+    bool ok = true;
+    for (int i = 1; i < argc; ++i)
+        ok = lintFile(argv[i]) && ok;
+    return ok ? 0 : 1;
+}

@@ -15,3 +15,7 @@ for b in build/bench/*; do
     echo "==================================================================="
     "$b"
 done 2>&1 | tee bench_output.txt
+
+# Every table/figure bench also wrote a BENCH_<name>.json envelope
+# (and bench_fig6_timeline a Chrome trace); validate them all.
+./build/tools/json_lint BENCH_*.json
