@@ -1,12 +1,14 @@
 #include "bench/bench_util.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/prof.hh"
 #include "common/units.hh"
 #include "workloads/model_zoo.hh"
 
@@ -101,13 +103,23 @@ Runner::Runner(std::string name, int argc, const char *const *argv,
 {
     setLogLevel(LogLevel::Warn);
 
-    std::vector<std::string> known = {"json", "csv", "threads", "help"};
+    std::vector<std::string> known = {"json",   "csv",     "threads",
+                                      "repeat", "profile", "help"};
     known.insert(known.end(), extra_.begin(), extra_.end());
     args_.rejectUnknown(known);
 
     csv_ = args_.flag("csv");
     help_ = args_.flag("help");
     json_path_ = args_.str("json", "BENCH_" + name_ + ".json");
+    profile_path_ = args_.str("profile", "");
+    if (!profile_path_.empty())
+        prof::setEnabled(true);
+
+    repeat_ = args_.integer("repeat", 1);
+    if (repeat_ < 1) {
+        throw ConfigError("--repeat must be >= 1, got " +
+                          std::to_string(repeat_));
+    }
 
     const int64_t threads = args_.integer("threads", 0);
     if (threads > 0)
@@ -115,12 +127,23 @@ Runner::Runner(std::string name, int argc, const char *const *argv,
 
     if (help_) {
         std::cout << "usage: bench_" << name_
-                  << " [--json=PATH] [--csv] [--threads=N]";
+                  << " [--json=PATH] [--csv] [--threads=N]"
+                  << " [--repeat=N] [--profile=PATH]";
         for (const auto &f : extra_)
             std::cout << " [--" << f << "=...]";
-        std::cout << "\n\nwrites a machine-readable JSON envelope to "
-                  << "--json (default BENCH_" << name_
-                  << ".json); see docs/observability.md\n";
+        std::cout
+            << "\n\nwrites a machine-readable JSON envelope to "
+            << "--json (default BENCH_" << name_
+            << ".json); see docs/observability.md\n"
+            << "  --repeat=N       run the bench body N times and "
+               "report per-run wall\n"
+            << "                   times (min/median) in the "
+               "envelope's \"timing\" member\n"
+            << "  --profile=PATH   enable the host-side profiler "
+               "(also via PL_PROFILE=1),\n"
+            << "                   write the profile report to PATH "
+               "and embed it in the\n"
+            << "                   envelope's \"profile\" member\n";
     }
 }
 
@@ -142,6 +165,12 @@ Runner::print(const Table &table) const
         table.print(std::cout);
 }
 
+void
+Runner::setWallTimes(std::vector<double> wall_s)
+{
+    wall_s_ = std::move(wall_s);
+}
+
 int
 Runner::finish()
 {
@@ -149,6 +178,44 @@ Runner::finish()
     envelope["bench"] = json::Value(name_);
     envelope["threads"] = json::Value(threadCount());
     envelope["result"] = std::move(result_);
+
+    // Wall-clock timing over the --repeat runs.  Informational only:
+    // tools/bench_compare never gates on the "timing" member, because
+    // wall time is machine- and load-dependent.
+    {
+        std::vector<double> sorted = wall_s_;
+        std::sort(sorted.begin(), sorted.end());
+        json::Value timing = json::Value::object();
+        timing["repeats"] =
+            json::Value(static_cast<int64_t>(wall_s_.size()));
+        json::Value runs = json::Value::array();
+        for (double w : wall_s_)
+            runs.push(json::Value(w));
+        timing["wall_s"] = std::move(runs);
+        timing["min_wall_s"] =
+            json::Value(sorted.empty() ? 0.0 : sorted.front());
+        timing["median_wall_s"] = json::Value(
+            sorted.empty() ? 0.0 : sorted[sorted.size() / 2]);
+        envelope["timing"] = std::move(timing);
+    }
+
+    if (prof::enabled()) {
+        const json::Value profile = prof::snapshot().toJson();
+        envelope["profile"] = profile;
+        if (!profile_path_.empty()) {
+            std::ofstream pout(profile_path_);
+            if (pout) {
+                profile.write(pout, /*indent=*/1);
+                pout << "\n";
+            }
+            if (!pout) {
+                std::cerr << "bench_" << name_ << ": cannot write "
+                          << profile_path_ << "\n";
+                return 1;
+            }
+            std::cout << "wrote " << profile_path_ << "\n";
+        }
+    }
 
     std::ofstream out(json_path_);
     if (!out) {
@@ -176,9 +243,23 @@ Runner::main(const std::string &name, int argc, const char *const *argv,
         Runner runner(name, argc, argv, extra);
         if (runner.help_)
             return 0;
-        const int rc = body(runner);
-        if (rc != 0)
-            return rc;
+        // Each repetition re-runs the full bench body; the last run's
+        // result() lands in the envelope (re-assigned keys are
+        // deterministic, so every run produces the same result).
+        std::vector<double> wall_s;
+        wall_s.reserve(static_cast<size_t>(runner.repeat()));
+        for (int64_t i = 0; i < runner.repeat(); ++i) {
+            if (i > 0)
+                runner.result_ = json::Value::object();
+            const auto t0 = std::chrono::steady_clock::now();
+            const int rc = body(runner);
+            const auto t1 = std::chrono::steady_clock::now();
+            if (rc != 0)
+                return rc;
+            wall_s.push_back(
+                std::chrono::duration<double>(t1 - t0).count());
+        }
+        runner.setWallTimes(std::move(wall_s));
         return runner.finish();
     } catch (const ConfigError &err) {
         std::cerr << "bench_" << name << ": " << err.what() << "\n";

@@ -74,13 +74,20 @@ json::Value toJson(const std::vector<EvalRow> &rows);
  *   --json=PATH    machine-readable output (default BENCH_<name>.json)
  *   --csv          print tables as CSV instead of aligned text
  *   --threads=N    worker thread count (else PL_THREADS / hardware)
+ *   --repeat=N     run the bench body N times; the envelope's
+ *                  "timing" member reports per-run wall times plus
+ *                  min/median, so committed baselines are less noisy
+ *   --profile=PATH enable the host-side profiler (common/prof.hh),
+ *                  write the profile report to PATH, and embed it as
+ *                  the envelope's "profile" member
  *   --help         usage
  *
  * plus any bench-specific flags declared at construction — and the
  * same exit codes: 0 on success, 1 on a configuration error
  * (ConfigError) or unwritable output.  Every run writes a JSON
- * envelope {"bench", "threads", "result"} whose "result" member the
- * bench fills via result() (schema in docs/observability.md).
+ * envelope {"bench", "threads", "result", "timing"[, "profile"]}
+ * whose "result" member the bench fills via result() (schema in
+ * docs/observability.md).
  *
  * @code
  *   int main(int argc, char **argv)
@@ -111,6 +118,9 @@ class Runner
     const ArgParser &args() const { return args_; }
     bool csv() const { return csv_; }
 
+    /** Requested bench-body repetitions (--repeat, >= 1). */
+    int64_t repeat() const { return repeat_; }
+
     /**
      * The --batch/--images evaluation volume (paper defaults).  Only
      * meaningful when "batch"/"images" were declared in @p extra.
@@ -123,13 +133,17 @@ class Runner
     /** The "result" member of the JSON envelope — fill me. */
     json::Value &result() { return result_; }
 
+    /** Per-repetition wall times recorded by main() (seconds). */
+    void setWallTimes(std::vector<double> wall_s);
+
     /** Write the JSON envelope; returns the process exit code. */
     int finish();
 
     /**
-     * Run @p body with a Runner, then finish().  ConfigError is
-     * caught and reported as exit code 1; --help short-circuits to
-     * exit code 0.  This is the whole main() of a bench.
+     * Run @p body with a Runner --repeat times (timing each run),
+     * then finish().  ConfigError is caught and reported as exit
+     * code 1; --help short-circuits to exit code 0.  This is the
+     * whole main() of a bench.
      */
     static int main(const std::string &name, int argc,
                     const char *const *argv,
@@ -142,7 +156,10 @@ class Runner
     std::vector<std::string> extra_;
     bool csv_ = false;
     bool help_ = false;
+    int64_t repeat_ = 1;
     std::string json_path_;
+    std::string profile_path_;
+    std::vector<double> wall_s_;
     json::Value result_ = json::Value::object();
 };
 

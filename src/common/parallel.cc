@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "common/prof.hh"
 
 namespace pipelayer {
 
@@ -113,12 +114,14 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::ensureWorkers(int64_t n)
 {
-    while (static_cast<int64_t>(workers_.size()) < n)
-        workers_.emplace_back([this] { workerLoop(); });
+    while (static_cast<int64_t>(workers_.size()) < n) {
+        const int64_t slot = static_cast<int64_t>(workers_.size()) + 1;
+        workers_.emplace_back([this, slot] { workerLoop(slot); });
+    }
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(int64_t slot)
 {
     std::unique_lock<std::mutex> lk(mu_);
     for (;;) {
@@ -130,10 +133,18 @@ ThreadPool::workerLoop()
         while (job_ && next_chunk_ < job_chunks_) {
             const int64_t chunk = next_chunk_++;
             const auto *fn = job_;
+            const uint64_t posted_ns = job_posted_ns_;
             lk.unlock();
+            const bool profiling = prof::enabled() && posted_ns != 0;
+            const uint64_t t0 = profiling ? prof::detail::nowNs() : 0;
             {
                 RegionGuard guard;
                 (*fn)(chunk);
+            }
+            if (profiling) {
+                const uint64_t t1 = prof::detail::nowNs();
+                prof::notePoolChunk(slot, t1 - t0,
+                                    t0 > posted_ns ? t0 - posted_ns : 0);
             }
             lk.lock();
             if (++done_chunks_ == job_chunks_)
@@ -167,20 +178,31 @@ ThreadPool::run(int64_t chunks, const std::function<void(int64_t)> &fn)
             fn(c);
         return;
     }
+    const bool profiling = prof::enabled();
     ensureWorkers(std::min(threadCount() - 1, chunks - 1));
     job_ = &fn;
     job_chunks_ = chunks;
     next_chunk_ = 0;
     done_chunks_ = 0;
+    job_posted_ns_ = profiling ? prof::detail::nowNs() : 0;
+    if (profiling)
+        prof::notePoolJob();
     work_cv_.notify_all();
 
     // The caller works too, then waits for stragglers.
     while (next_chunk_ < job_chunks_) {
         const int64_t chunk = next_chunk_++;
+        const uint64_t posted_ns = job_posted_ns_;
         lk.unlock();
+        const uint64_t t0 = profiling ? prof::detail::nowNs() : 0;
         {
             RegionGuard guard;
             fn(chunk);
+        }
+        if (profiling) {
+            const uint64_t t1 = prof::detail::nowNs();
+            prof::notePoolChunk(/*slot=*/0, t1 - t0,
+                                t0 > posted_ns ? t0 - posted_ns : 0);
         }
         lk.lock();
         ++done_chunks_;

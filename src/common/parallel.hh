@@ -83,7 +83,9 @@ class ThreadPool
     /** Grow the pool to @p n workers (under mu_). */
     void ensureWorkers(int64_t n);
 
-    void workerLoop();
+    /** @p slot is this worker's prof pool slot (worker i = slot i+1;
+     *  slot 0 is the calling thread). */
+    void workerLoop(int64_t slot);
 
     mutable std::mutex mu_;
     std::condition_variable work_cv_; //!< signals workers: job posted
@@ -96,6 +98,7 @@ class ThreadPool
     int64_t job_chunks_ = 0;
     int64_t next_chunk_ = 0;
     int64_t done_chunks_ = 0;
+    uint64_t job_posted_ns_ = 0; //!< prof: when run() posted the job
     bool shutdown_ = false;
 };
 

@@ -84,8 +84,23 @@ void
 StatGroup::resetAll()
 {
     for (auto &e : entries_) {
-        if (e.mutable_scalar && !e.dead)
+        // Resetting a group whose components already died is a
+        // lifetime bug worth flagging — but only in debug builds;
+        // release builds skip the dead entry (there is nothing left
+        // to reset) instead of aborting a running process.
+        PL_DEBUG_ASSERT(!e.dead,
+                        "statistic '%s.%s' reset after its owning "
+                        "component was destroyed",
+                        prefix_.c_str(), e.name.c_str());
+        if (e.dead)
+            continue;
+        if (e.mutable_scalar)
             e.mutable_scalar->reset();
+        // Formula-backed entries carry cached evaluations (see
+        // addFormula); a reset starts a new measurement interval, so
+        // the cache must not survive it.
+        e.cache_valid = false;
+        e.cached = 0.0;
     }
 }
 
@@ -102,9 +117,15 @@ StatGroup::noteScalarDestroyed(const Scalar *scalar)
 }
 
 double
-StatGroup::entryValue(const Entry &e) const
+StatGroup::entryValue(const Entry &e, bool fresh) const
 {
-    return e.scalar ? e.scalar->value() : e.formula();
+    if (e.scalar)
+        return e.scalar->value();
+    if (fresh || !e.cache_valid) {
+        e.cached = e.formula();
+        e.cache_valid = true;
+    }
+    return e.cached;
 }
 
 void
@@ -120,7 +141,8 @@ StatGroup::dump(std::ostream &os) const
         if (e.dead)
             continue;
         os << std::left << std::setw(40) << (prefix_ + "." + e.name)
-           << std::right << std::setw(18) << entryValue(e)
+           << std::right << std::setw(18)
+           << entryValue(e, /*fresh=*/true)
            << "  # " << e.desc << "\n";
     }
 }
@@ -142,7 +164,7 @@ StatGroup::lookup(const std::string &name) const
                       "statistic '%s.%s' read after its owning "
                       "component was destroyed",
                       prefix_.c_str(), name.c_str());
-            return entryValue(e);
+            return entryValue(e, /*fresh=*/false);
         }
     }
     panic("no statistic named '%s' in group '%s'", name.c_str(),

@@ -98,6 +98,11 @@ class StatGroup
     /**
      * Register a formula: a callable evaluated at dump time
      * (e.g. derived ratios like energy/op).
+     *
+     * Evaluation caching: dump() always evaluates the callable fresh
+     * (and refreshes the cache); lookup() reuses the cached value
+     * when one exists, so repeated lookups between dumps see one
+     * consistent evaluation.  resetAll() clears the cache.
      */
     void addFormula(const std::string &name, std::function<double()> fn,
                     std::string desc);
@@ -107,7 +112,10 @@ class StatGroup
 
     /**
      * Reset every scalar registered through registerScalar() to zero
-     * (read-only scalars and formulas are untouched).
+     * and invalidate every formula's cached evaluation (read-only
+     * scalars are untouched).  Dead entries — whose owning component
+     * was destroyed — are skipped; like dump(), resetting past a dead
+     * registration trips PL_DEBUG_ASSERT in debug builds only.
      */
     void resetAll();
 
@@ -136,6 +144,11 @@ class StatGroup
         std::function<double()> formula;
         std::string desc;
         bool dead = false; //!< owning component was destroyed
+
+        // Formula evaluation cache (see addFormula); cleared by
+        // resetAll(), refreshed by dump().
+        mutable bool cache_valid = false;
+        mutable double cached = 0.0;
     };
 
     /** Panic if @p name is already taken. */
@@ -144,7 +157,9 @@ class StatGroup
     /** Called from Scalar::~Scalar() for tracked registrations. */
     void noteScalarDestroyed(const Scalar *scalar);
 
-    double entryValue(const Entry &e) const;
+    /** @p fresh forces formula re-evaluation (dump); lookup reuses
+     *  the cache when valid. */
+    double entryValue(const Entry &e, bool fresh) const;
 
     std::string prefix_;
     std::vector<Entry> entries_;

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/prof.hh"
 #include "nn/layers.hh"
 #include "nn/loss.hh"
 #include "tensor/ops.hh"
@@ -350,6 +351,10 @@ PipelinedTrainer::trainBatch(const std::vector<Tensor> &inputs,
                 work.push_back({i, Action::Backward, l, {}, 0.0, {}});
         }
 
+        PL_PROF_SCOPE("trainer.cycle");
+        {
+        // Phase 1: the parallel per-image stage compute of this cycle.
+        PL_PROF_SCOPE("trainer.cycle_compute");
         parallel_for(0, static_cast<int64_t>(work.size()), /*grain=*/1,
                      [&](int64_t w0, int64_t w1) {
         for (int64_t widx = w0; widx < w1; ++widx) {
@@ -442,11 +447,13 @@ PipelinedTrainer::trainBatch(const std::vector<Tensor> &inputs,
             }
         }
         });
+        }
 
         // Phase 2: commit in ascending image order — identical buffer
         // mutation order to the serial schedule.  Work counters and
         // trace events are emitted here, never from phase 1, so both
         // are byte-identical at any thread count.
+        PL_PROF_SCOPE("trainer.cycle_commit");
         for (CycleWork &wk : work) {
             const int64_t i = wk.image;
             ++result.commits;

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/prof.hh"
 
 namespace pipelayer {
 namespace reram {
@@ -136,6 +137,7 @@ CrossbarArray::programBlock(const std::vector<std::vector<int64_t>> &codes)
 std::vector<int64_t>
 CrossbarArray::matVec(const std::vector<SpikeTrain> &inputs)
 {
+    PL_PROF_SCOPE("reram.crossbar_matvec");
     PL_ASSERT(static_cast<int64_t>(inputs.size()) <= rows(),
               "more input trains (%zu) than word lines (%lld)",
               inputs.size(), (long long)rows());
@@ -209,8 +211,11 @@ CrossbarArray::matVecCodes(const std::vector<int64_t> &codes)
     const SpikeDriver driver(params_.data_bits);
     std::vector<SpikeTrain> trains;
     trains.reserve(codes.size());
-    for (int64_t code : codes)
-        trains.push_back(driver.encode(code));
+    {
+        PL_PROF_SCOPE("reram.spike_encode");
+        for (int64_t code : codes)
+            trains.push_back(driver.encode(code));
+    }
     return matVec(trains);
 }
 

@@ -4,6 +4,7 @@
 #include <iomanip>
 
 #include "common/logging.hh"
+#include "common/prof.hh"
 #include "common/stats.hh"
 #include "common/units.hh"
 
@@ -268,6 +269,12 @@ SimReport::toJson() const
     for (const LayerCost &c : per_layer)
         layers.push(c.toJson());
     v["per_layer"] = std::move(layers);
+
+    // Host-side profile of the producing process, only when profiling
+    // is on — the documented schema (pinned by the golden test) is
+    // the profile-off shape.
+    if (prof::enabled())
+        v["profile"] = prof::snapshot().toJson();
     return v;
 }
 
@@ -405,6 +412,7 @@ Simulator::cycleTime(const arch::NetworkMapping &mapping,
 SimReport
 Simulator::run(const SimConfig &config) const
 {
+    PL_PROF_SCOPE("sim.run");
     config.validate();
     const bool training = config.phase == Phase::Training;
     const arch::NetworkMapping map = mapping(config);

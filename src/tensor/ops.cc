@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/prof.hh"
 
 namespace pipelayer {
 namespace ops {
@@ -26,6 +27,7 @@ Tensor
 conv2d(const Tensor &input, const Tensor &kernel, const Tensor &bias,
        int64_t stride, int64_t pad)
 {
+    PL_PROF_SCOPE("tensor.conv2d_fwd");
     PL_ASSERT(input.rank() == 3, "conv2d input must be (C, H, W)");
     PL_ASSERT(kernel.rank() == 4, "conv2d kernel must be (Co, Ci, Kh, Kw)");
     PL_ASSERT(stride >= 1 && pad >= 0, "bad stride/pad");
@@ -121,6 +123,9 @@ Tensor
 conv2dBackwardInput(const Tensor &delta_out, const Tensor &kernel,
                     int64_t pad)
 {
+    // Note: the "full" convolution below re-enters conv2d, so one
+    // backward-input call also counts one tensor.conv2d_fwd site hit.
+    PL_PROF_SCOPE("tensor.conv2d_bwd_input");
     PL_ASSERT(delta_out.rank() == 3 && kernel.rank() == 4,
               "bad ranks in conv2dBackwardInput");
     const int64_t kh = kernel.dim(2), kw = kernel.dim(3);
@@ -147,6 +152,7 @@ Tensor
 conv2dBackwardKernel(const Tensor &input, const Tensor &delta_out,
                      int64_t kh, int64_t kw, int64_t pad)
 {
+    PL_PROF_SCOPE("tensor.conv2d_bwd_kernel");
     PL_ASSERT(input.rank() == 3 && delta_out.rank() == 3,
               "bad ranks in conv2dBackwardKernel");
     const Tensor padded = zeroPad(input, pad);
@@ -291,6 +297,7 @@ avgPoolBackward(const Tensor &delta_out, int64_t k,
 Tensor
 matVec(const Tensor &weight, const Tensor &x)
 {
+    PL_PROF_SCOPE("tensor.matvec");
     PL_ASSERT(weight.rank() == 2 && x.rank() == 1, "matVec needs (n,m), (m)");
     const int64_t n = weight.dim(0), m = weight.dim(1);
     PL_ASSERT(x.dim(0) == m, "matVec inner-dim mismatch");
@@ -313,6 +320,7 @@ matVec(const Tensor &weight, const Tensor &x)
 Tensor
 matVecT(const Tensor &weight, const Tensor &y)
 {
+    PL_PROF_SCOPE("tensor.matvect");
     PL_ASSERT(weight.rank() == 2 && y.rank() == 1, "matVecT needs (n,m), (n)");
     const int64_t n = weight.dim(0), m = weight.dim(1);
     PL_ASSERT(y.dim(0) == n, "matVecT inner-dim mismatch");
@@ -337,6 +345,7 @@ matVecT(const Tensor &weight, const Tensor &y)
 Tensor
 outer(const Tensor &d, const Tensor &delta)
 {
+    PL_PROF_SCOPE("tensor.outer");
     PL_ASSERT(d.rank() == 1 && delta.rank() == 1, "outer needs vectors");
     const int64_t m = d.dim(0), n = delta.dim(0);
     Tensor out({n, m});

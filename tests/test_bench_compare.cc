@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests of the perf-regression comparator behind tools/bench_compare
+ * (tools/bench_compare_lib.hh): watched-metric selection, result
+ * flattening, threshold semantics and — most importantly — the exit
+ * codes CI gates on: 0 pass/improvement, 1 regression, 2 bad input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.hh"
+#include "tools/bench_compare_lib.hh"
+
+namespace pipelayer {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------
+// Watched-metric selection + flattening
+// ---------------------------------------------------------------------
+
+TEST(BenchCompare, WatchedMetricsAreModelOutputsOnly)
+{
+    EXPECT_TRUE(benchcmp::isWatchedMetric("pl_time_s"));
+    EXPECT_TRUE(benchcmp::isWatchedMetric("gpu_energy_j"));
+    EXPECT_TRUE(benchcmp::isWatchedMetric("logical_cycles"));
+    // Ratios, areas and counts are not gated: a speedup going *up*
+    // must never read as a time regression.
+    EXPECT_FALSE(benchcmp::isWatchedMetric("speedup"));
+    EXPECT_FALSE(benchcmp::isWatchedMetric("pl_area_mm2"));
+    EXPECT_FALSE(benchcmp::isWatchedMetric("rows"));
+    EXPECT_FALSE(benchcmp::isWatchedMetric("s"));
+    EXPECT_FALSE(benchcmp::isWatchedMetric(""));
+}
+
+TEST(BenchCompare, FlattenWalksObjectsAndArrays)
+{
+    const json::Value doc = json::parse(
+        "{\"a\": 1, \"rows\": [{\"t_s\": 2.5}, {\"t_s\": 3.5}],"
+        " \"nested\": {\"deep\": {\"e_j\": 7}}, \"skip\": \"str\"}");
+    std::vector<std::pair<std::string, double>> flat;
+    benchcmp::flattenNumbers(doc, "", &flat);
+    ASSERT_EQ(flat.size(), 4u);
+    EXPECT_EQ(flat[0].first, "a");
+    EXPECT_EQ(flat[1].first, "rows[0].t_s");
+    EXPECT_DOUBLE_EQ(flat[1].second, 2.5);
+    EXPECT_EQ(flat[2].first, "rows[1].t_s");
+    EXPECT_EQ(flat[3].first, "nested.deep.e_j");
+    EXPECT_DOUBLE_EQ(flat[3].second, 7.0);
+}
+
+// ---------------------------------------------------------------------
+// Envelope comparison + exit codes
+// ---------------------------------------------------------------------
+
+json::Value
+envelope(const std::string &bench, double time_s, double energy_j,
+         double speedup)
+{
+    json::Value v = json::Value::object();
+    v["bench"] = json::Value(bench);
+    v["threads"] = json::Value(int64_t{2});
+    json::Value result = json::Value::object();
+    result["pl_time_s"] = json::Value(time_s);
+    result["pl_energy_j"] = json::Value(energy_j);
+    result["speedup"] = json::Value(speedup);
+    v["result"] = std::move(result);
+    return v;
+}
+
+/** Fresh per-test scratch directory under the gtest temp dir. */
+fs::path
+scratchDir(const std::string &name)
+{
+    const fs::path dir = fs::path(::testing::TempDir()) / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+std::string
+writeFile(const fs::path &path, const json::Value &doc)
+{
+    std::ofstream out(path);
+    doc.write(out, 1);
+    out << "\n";
+    return path.string();
+}
+
+int
+runCompare(const std::string &base, const std::string &cur,
+           double threshold)
+{
+    std::ostringstream os, err;
+    return benchcmp::run(base, cur, threshold, os, err);
+}
+
+TEST(BenchCompare, IdenticalEnvelopesPass)
+{
+    const fs::path dir = scratchDir("bc_identical");
+    const auto e = envelope("fig15", 1.0, 2.0, 10.0);
+    const std::string base = writeFile(dir / "base.json", e);
+    const std::string cur = writeFile(dir / "cur.json", e);
+    EXPECT_EQ(runCompare(base, cur, 2.0), benchcmp::kPass);
+}
+
+TEST(BenchCompare, ImprovementPasses)
+{
+    const fs::path dir = scratchDir("bc_improve");
+    const std::string base =
+        writeFile(dir / "base.json", envelope("fig15", 1.0, 2.0, 10.0));
+    const std::string cur =
+        writeFile(dir / "cur.json", envelope("fig15", 0.25, 0.5, 40.0));
+    EXPECT_EQ(runCompare(base, cur, 2.0), benchcmp::kPass);
+}
+
+TEST(BenchCompare, RegressionBeyondThresholdFails)
+{
+    const fs::path dir = scratchDir("bc_regress");
+    const std::string base =
+        writeFile(dir / "base.json", envelope("fig15", 1.0, 2.0, 10.0));
+    // A doctored 3x-slower time must trip the 2x gate.
+    const std::string cur =
+        writeFile(dir / "cur.json", envelope("fig15", 3.0, 2.0, 10.0));
+    EXPECT_EQ(runCompare(base, cur, 2.0), benchcmp::kRegression);
+}
+
+TEST(BenchCompare, WithinThresholdPasses)
+{
+    const fs::path dir = scratchDir("bc_within");
+    const std::string base =
+        writeFile(dir / "base.json", envelope("fig15", 1.0, 2.0, 10.0));
+    const std::string cur =
+        writeFile(dir / "cur.json", envelope("fig15", 1.5, 2.5, 10.0));
+    EXPECT_EQ(runCompare(base, cur, 2.0), benchcmp::kPass);
+}
+
+TEST(BenchCompare, UnwatchedMetricChangesAreIgnored)
+{
+    const fs::path dir = scratchDir("bc_unwatched");
+    const std::string base =
+        writeFile(dir / "base.json", envelope("fig15", 1.0, 2.0, 10.0));
+    // speedup collapsing 100x is not a watched metric (no _s/_j
+    // suffix), so only the time/energy pair is gated.
+    const std::string cur =
+        writeFile(dir / "cur.json", envelope("fig15", 1.0, 2.0, 0.1));
+    EXPECT_EQ(runCompare(base, cur, 2.0), benchcmp::kPass);
+}
+
+TEST(BenchCompare, MissingWatchedMetricIsAnError)
+{
+    const fs::path dir = scratchDir("bc_missing");
+    const std::string base =
+        writeFile(dir / "base.json", envelope("fig15", 1.0, 2.0, 10.0));
+    json::Value cur_env = envelope("fig15", 1.0, 2.0, 10.0);
+    json::Value result = json::Value::object();
+    result["pl_time_s"] = json::Value(1.0); // pl_energy_j dropped
+    cur_env["result"] = std::move(result);
+    const std::string cur = writeFile(dir / "cur.json", cur_env);
+    EXPECT_EQ(runCompare(base, cur, 2.0), benchcmp::kError);
+}
+
+TEST(BenchCompare, BenchNameMismatchIsAnError)
+{
+    const fs::path dir = scratchDir("bc_mismatch");
+    const std::string base =
+        writeFile(dir / "base.json", envelope("fig15", 1.0, 2.0, 10.0));
+    const std::string cur =
+        writeFile(dir / "cur.json", envelope("fig16", 1.0, 2.0, 10.0));
+    EXPECT_EQ(runCompare(base, cur, 2.0), benchcmp::kError);
+}
+
+TEST(BenchCompare, UnreadableFileIsAnError)
+{
+    const fs::path dir = scratchDir("bc_unreadable");
+    const std::string base =
+        writeFile(dir / "base.json", envelope("fig15", 1.0, 2.0, 10.0));
+    EXPECT_EQ(runCompare(base, (dir / "absent.json").string(), 2.0),
+              benchcmp::kError);
+}
+
+TEST(BenchCompare, ZeroBaselineOnlyPassesWhenStillZero)
+{
+    benchcmp::MetricDelta same{"m_s", 0.0, 0.0};
+    EXPECT_FALSE(same.regressed(2.0));
+    benchcmp::MetricDelta grew{"m_s", 0.0, 0.001};
+    EXPECT_TRUE(grew.regressed(2.0));
+}
+
+// ---------------------------------------------------------------------
+// Directory mode + argument validation
+// ---------------------------------------------------------------------
+
+TEST(BenchCompare, DirectoryModeComparesMatchingBaselines)
+{
+    const fs::path base = scratchDir("bc_dir_base");
+    const fs::path cur = scratchDir("bc_dir_cur");
+    writeFile(base / "BENCH_a.json", envelope("a", 1.0, 2.0, 10.0));
+    writeFile(base / "BENCH_b.json", envelope("b", 4.0, 8.0, 10.0));
+    writeFile(cur / "BENCH_a.json", envelope("a", 1.1, 2.1, 10.0));
+    writeFile(cur / "BENCH_b.json", envelope("b", 4.0, 8.0, 10.0));
+    // Non-envelope files in the current dir are ignored.
+    writeFile(cur / "PROFILE_a.json", json::Value::object());
+    EXPECT_EQ(runCompare(base.string(), cur.string(), 2.0),
+              benchcmp::kPass);
+
+    // One regressed file fails the whole directory.
+    writeFile(cur / "BENCH_b.json", envelope("b", 40.0, 8.0, 10.0));
+    EXPECT_EQ(runCompare(base.string(), cur.string(), 2.0),
+              benchcmp::kRegression);
+}
+
+TEST(BenchCompare, DirectoryModeRequiresEveryCounterpart)
+{
+    const fs::path base = scratchDir("bc_dir_missing_base");
+    const fs::path cur = scratchDir("bc_dir_missing_cur");
+    writeFile(base / "BENCH_a.json", envelope("a", 1.0, 2.0, 10.0));
+    writeFile(base / "BENCH_b.json", envelope("b", 4.0, 8.0, 10.0));
+    writeFile(cur / "BENCH_a.json", envelope("a", 1.0, 2.0, 10.0));
+    EXPECT_EQ(runCompare(base.string(), cur.string(), 2.0),
+              benchcmp::kError);
+}
+
+TEST(BenchCompare, MixedFileAndDirectoryIsAnError)
+{
+    const fs::path dir = scratchDir("bc_mixed");
+    const std::string file =
+        writeFile(dir / "BENCH_a.json", envelope("a", 1.0, 2.0, 10.0));
+    EXPECT_EQ(runCompare(dir.string(), file, 2.0), benchcmp::kError);
+}
+
+TEST(BenchCompare, ThresholdBelowOneIsAnError)
+{
+    const fs::path dir = scratchDir("bc_threshold");
+    const auto e = envelope("a", 1.0, 2.0, 10.0);
+    const std::string base = writeFile(dir / "base.json", e);
+    const std::string cur = writeFile(dir / "cur.json", e);
+    EXPECT_EQ(runCompare(base, cur, 0.5), benchcmp::kError);
+}
+
+} // namespace
+} // namespace pipelayer

@@ -240,6 +240,68 @@ TEST(StatGroup, RegisterResetAndDump)
     EXPECT_DOUBLE_EQ(group.lookup("sum"), 0.0);
 }
 
+TEST(StatGroup, FormulaLookupsAreCachedUntilDumpOrReset)
+{
+    stats::StatGroup group("unit");
+    stats::Scalar a;
+    group.registerScalar("a", &a, "input");
+    int evals = 0;
+    group.addFormula(
+        "twice_a", [&] { ++evals; return 2.0 * a.value(); }, "2a");
+
+    a += 3.0;
+    EXPECT_DOUBLE_EQ(group.lookup("twice_a"), 6.0);
+    EXPECT_EQ(evals, 1);
+    // Repeated lookups between dumps reuse one evaluation.
+    EXPECT_DOUBLE_EQ(group.lookup("twice_a"), 6.0);
+    EXPECT_EQ(evals, 1);
+
+    // dump() always evaluates fresh — a formula can never drift from
+    // its inputs in dumped output — and refreshes the cache.
+    a += 1.0;
+    group.dumpString();
+    EXPECT_EQ(evals, 2);
+    EXPECT_DOUBLE_EQ(group.lookup("twice_a"), 8.0);
+    EXPECT_EQ(evals, 2);
+
+    // resetAll() starts a new measurement interval: scalars zeroed
+    // and formula caches invalidated (the PR 3 resetAll bugfix).
+    group.resetAll();
+    EXPECT_DOUBLE_EQ(group.lookup("twice_a"), 0.0);
+    EXPECT_EQ(evals, 3);
+}
+
+#ifdef NDEBUG
+TEST(StatGroup, ResetAllSkipsDeadEntriesInRelease)
+{
+    // Release builds must skip a dead registration (the owning
+    // component is gone) while still resetting the live ones — the
+    // old behaviour asserted even with NDEBUG.
+    stats::StatGroup group("unit");
+    stats::Scalar live;
+    group.registerScalar("live", &live, "survives");
+    {
+        stats::Scalar temp;
+        group.registerScalar("gone", &temp, "dies early");
+        temp += 7.0;
+    }
+    live += 5.0;
+    group.resetAll();
+    EXPECT_DOUBLE_EQ(live.value(), 0.0);
+}
+#else
+TEST(StatGroupDeathTest, ResetAllAssertsOnDeadEntryInDebug)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    stats::StatGroup group("unit");
+    {
+        stats::Scalar temp;
+        group.registerScalar("gone", &temp, "dies early");
+    }
+    EXPECT_DEATH(group.resetAll(), "reset after its owning");
+}
+#endif
+
 TEST(StatGroupDeathTest, NameCollisionPanics)
 {
     ::testing::FLAGS_gtest_death_test_style = "threadsafe";

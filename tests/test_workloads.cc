@@ -181,7 +181,8 @@ TEST(ModelZoo, MnistNetworksMatchTable3Reconstruction)
     EXPECT_EQ(mnistC().pipelineDepth(), 4);
     EXPECT_EQ(mnistO().pipelineDepth(), 4); // conv, conv, ip, ip
     // Mnist-0 first layer: conv5x20 on 28x28 (paper Table 3).
-    const auto &first = mnistO().layers[0];
+    const auto spec = mnistO();
+    const auto &first = spec.layers[0];
     EXPECT_EQ(first.kernel, 5);
     EXPECT_EQ(first.out_c, 20);
     EXPECT_EQ(first.out_h, 24);

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Compare bench envelopes against committed baselines and fail on
+ * perf regressions — the CI gate behind bench/baselines/.
+ *
+ * Usage: bench_compare BASELINE CURRENT [--threshold=X]
+ *
+ * BASELINE and CURRENT are either two BENCH_*.json envelope files or
+ * two directories (every BENCH_*.json baseline needs a same-named
+ * counterpart).  Only deterministic model metrics under "result" are
+ * gated — names ending "_s"/"_j" and "logical_cycles"; lower is
+ * better — so the gate never trips on wall-clock noise.  A current
+ * value above threshold * baseline (default 2.0) is a regression.
+ *
+ * Exit code: 0 pass (including improvements), 1 regression,
+ * 2 bad input (unreadable file, name mismatch, missing metric).
+ */
+
+#include <iostream>
+#include <string>
+
+#include "common/args.hh"
+#include "tools/bench_compare_lib.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipelayer;
+
+    const ArgParser args(argc, argv);
+    if (args.flag("help") || args.positionalCount() != 2) {
+        std::cerr << "usage: bench_compare BASELINE CURRENT"
+                  << " [--threshold=X]\n"
+                  << "  BASELINE/CURRENT: envelope files or"
+                  << " directories of BENCH_*.json\n"
+                  << "  --threshold=X: fail when a watched metric"
+                  << " exceeds X * baseline (default 2.0)\n";
+        return args.flag("help") ? 0 : benchcmp::kError;
+    }
+    args.rejectUnknown({"threshold", "help"});
+
+    return benchcmp::run(args.positional(0), args.positional(1),
+                         args.number("threshold", 2.0), std::cout,
+                         std::cerr);
+}

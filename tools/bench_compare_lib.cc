@@ -1,0 +1,275 @@
+#include "tools/bench_compare_lib.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace pipelayer {
+namespace benchcmp {
+
+namespace fs = std::filesystem;
+
+double
+MetricDelta::ratio() const
+{
+    if (baseline == 0.0) {
+        return current == 0.0 ? 1.0
+                              : std::numeric_limits<double>::infinity();
+    }
+    return current / baseline;
+}
+
+bool
+MetricDelta::regressed(double threshold) const
+{
+    if (baseline == 0.0)
+        return current > 0.0;
+    return current > threshold * baseline;
+}
+
+int
+CompareResult::exitCode(double threshold) const
+{
+    if (!errors.empty())
+        return kError;
+    for (const auto &d : deltas) {
+        if (d.regressed(threshold))
+            return kRegression;
+    }
+    return kPass;
+}
+
+bool
+isWatchedMetric(const std::string &leaf)
+{
+    if (leaf == "logical_cycles")
+        return true;
+    if (leaf.size() < 2)
+        return false;
+    const std::string tail = leaf.substr(leaf.size() - 2);
+    return tail == "_s" || tail == "_j";
+}
+
+void
+flattenNumbers(const json::Value &v, const std::string &prefix,
+               std::vector<std::pair<std::string, double>> *out)
+{
+    switch (v.kind()) {
+      case json::Value::Kind::Number:
+        out->emplace_back(prefix, v.asNumber());
+        break;
+      case json::Value::Kind::Array:
+        for (size_t i = 0; i < v.size(); ++i) {
+            flattenNumbers(v.at(i),
+                           prefix + "[" + std::to_string(i) + "]",
+                           out);
+        }
+        break;
+      case json::Value::Kind::Object:
+        for (const auto &[key, member] : v.members()) {
+            flattenNumbers(member,
+                           prefix.empty() ? key : prefix + "." + key,
+                           out);
+        }
+        break;
+      default:
+        break; // null/bool/string carry no metrics
+    }
+}
+
+namespace {
+
+/** Final path component with any array index stripped:
+ *  "rows[3].pl_time_s" -> "pl_time_s", "wall_s[0]" -> "wall_s". */
+std::string
+leafOf(const std::string &path)
+{
+    const size_t dot = path.rfind('.');
+    std::string leaf =
+        dot == std::string::npos ? path : path.substr(dot + 1);
+    const size_t bracket = leaf.find('[');
+    if (bracket != std::string::npos)
+        leaf.resize(bracket);
+    return leaf;
+}
+
+} // namespace
+
+CompareResult
+compareEnvelopes(const json::Value &baseline, const json::Value &current)
+{
+    CompareResult res;
+
+    const json::Value *base_name = baseline.find("bench");
+    const json::Value *cur_name = current.find("bench");
+    if (!base_name || !base_name->isString()) {
+        res.errors.push_back("baseline envelope lacks a 'bench' name");
+        return res;
+    }
+    res.bench = base_name->asString();
+    if (!cur_name || !cur_name->isString() ||
+        cur_name->asString() != res.bench) {
+        res.errors.push_back(
+            "bench name mismatch: baseline '" + res.bench +
+            "' vs current '" +
+            (cur_name && cur_name->isString() ? cur_name->asString()
+                                              : "<missing>") +
+            "'");
+        return res;
+    }
+
+    const json::Value *base_result = baseline.find("result");
+    const json::Value *cur_result = current.find("result");
+    if (!base_result || !cur_result) {
+        res.errors.push_back("envelope lacks a 'result' member");
+        return res;
+    }
+
+    std::vector<std::pair<std::string, double>> base_flat, cur_flat;
+    flattenNumbers(*base_result, "", &base_flat);
+    flattenNumbers(*cur_result, "", &cur_flat);
+
+    for (const auto &[path, base_value] : base_flat) {
+        if (!isWatchedMetric(leafOf(path)))
+            continue;
+        const auto it = std::find_if(
+            cur_flat.begin(), cur_flat.end(),
+            [&path = path](const auto &p) { return p.first == path; });
+        if (it == cur_flat.end()) {
+            res.errors.push_back("watched metric '" + path +
+                                 "' missing from current result");
+            continue;
+        }
+        res.deltas.push_back({path, base_value, it->second});
+    }
+    return res;
+}
+
+namespace {
+
+bool
+loadEnvelope(const std::string &path, json::Value *out,
+             std::ostream &err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        err << "bench_compare: cannot open " << path << "\n";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+        *out = json::parse(buf.str());
+    } catch (const json::ParseError &perr) {
+        err << "bench_compare: " << path << ": " << perr.what()
+            << "\n";
+        return false;
+    }
+    return true;
+}
+
+/** Compare one baseline/current file pair; returns its exit code. */
+int
+comparePair(const std::string &base_path, const std::string &cur_path,
+            double threshold, std::ostream &os, std::ostream &err)
+{
+    json::Value base, cur;
+    if (!loadEnvelope(base_path, &base, err) ||
+        !loadEnvelope(cur_path, &cur, err))
+        return kError;
+
+    const CompareResult res = compareEnvelopes(base, cur);
+    for (const auto &e : res.errors)
+        err << "bench_compare: " << base_path << ": " << e << "\n";
+
+    os << res.bench << " (" << res.deltas.size()
+       << " watched metrics, threshold " << threshold << "x):\n";
+    for (const auto &d : res.deltas) {
+        const char *verdict = d.regressed(threshold) ? "REGRESSED"
+                              : d.improved()         ? "improved"
+                                                     : "ok";
+        os << "  " << std::left << std::setw(44) << d.path
+           << std::right << "  " << json::Value::formatNumber(d.baseline)
+           << " -> " << json::Value::formatNumber(d.current) << "  ("
+           << std::setprecision(3) << d.ratio() << "x, " << verdict
+           << ")\n";
+    }
+    return res.exitCode(threshold);
+}
+
+} // namespace
+
+int
+run(const std::string &baseline_path, const std::string &current_path,
+    double threshold, std::ostream &os, std::ostream &err)
+{
+    if (threshold < 1.0) {
+        err << "bench_compare: --threshold must be >= 1.0, got "
+            << threshold << "\n";
+        return kError;
+    }
+
+    const bool base_is_dir = fs::is_directory(baseline_path);
+    const bool cur_is_dir = fs::is_directory(current_path);
+    if (base_is_dir != cur_is_dir) {
+        err << "bench_compare: " << baseline_path << " and "
+            << current_path
+            << " must both be files or both be directories\n";
+        return kError;
+    }
+
+    const auto summarize = [&os](int code) {
+        os << (code == kPass ? "bench_compare: PASS\n"
+               : code == kRegression
+                   ? "bench_compare: REGRESSION detected\n"
+                   : "bench_compare: ERROR\n");
+        return code;
+    };
+
+    if (!base_is_dir) {
+        return summarize(comparePair(baseline_path, current_path,
+                                     threshold, os, err));
+    }
+
+    // Directory mode: every BENCH_*.json baseline must have a
+    // same-named counterpart in the current directory.
+    std::vector<std::string> names;
+    for (const auto &entry : fs::directory_iterator(baseline_path)) {
+        const std::string name = entry.path().filename().string();
+        if (entry.is_regular_file() &&
+            name.rfind("BENCH_", 0) == 0 &&
+            name.size() > 5 &&
+            name.substr(name.size() - 5) == ".json")
+            names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    if (names.empty()) {
+        err << "bench_compare: no BENCH_*.json baselines in "
+            << baseline_path << "\n";
+        return kError;
+    }
+
+    int worst = kPass;
+    for (const auto &name : names) {
+        const std::string base_file =
+            (fs::path(baseline_path) / name).string();
+        const std::string cur_file =
+            (fs::path(current_path) / name).string();
+        if (!fs::is_regular_file(cur_file)) {
+            err << "bench_compare: baseline " << name
+                << " has no counterpart in " << current_path << "\n";
+            worst = std::max(worst, static_cast<int>(kError));
+            continue;
+        }
+        worst = std::max(
+            worst, comparePair(base_file, cur_file, threshold, os, err));
+    }
+    return summarize(worst);
+}
+
+} // namespace benchcmp
+} // namespace pipelayer

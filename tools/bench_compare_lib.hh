@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Perf-regression comparison between bench envelopes (the
+ * BENCH_<name>.json files written by bench::Runner) — the library
+ * behind tools/bench_compare, factored out so the unit tests can
+ * drive the comparison and assert exit codes without spawning
+ * processes.
+ *
+ * What is gated: only the envelope's "result" subtree, and within it
+ * only *watched* metrics — names ending in "_s" (modelled seconds) or
+ * "_j" (modelled joules), plus "logical_cycles".  These are all
+ * deterministic outputs of the analytical model, so a change means
+ * the model changed, not that the CI machine was busy.  The "timing"
+ * (wall clock) and "profile" members are never gated: they vary
+ * run-to-run and machine-to-machine and would make the gate flaky.
+ *
+ * Lower is better for every watched metric.  A current value above
+ * threshold * baseline is a regression; at or below baseline is an
+ * improvement; in between passes.
+ */
+
+#ifndef PIPELAYER_TOOLS_BENCH_COMPARE_LIB_HH_
+#define PIPELAYER_TOOLS_BENCH_COMPARE_LIB_HH_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace pipelayer {
+namespace benchcmp {
+
+/** Exit codes of the bench_compare tool (and of run()). */
+enum ExitCode {
+    kPass = 0,       //!< all watched metrics within threshold
+    kRegression = 1, //!< at least one watched metric regressed
+    kError = 2,      //!< bad input: missing file/metric, name mismatch
+};
+
+/** One watched metric's baseline/current pair. */
+struct MetricDelta
+{
+    std::string path; //!< flattened result path ("rows[3].pl_time_s")
+    double baseline = 0.0;
+    double current = 0.0;
+
+    /** current / baseline (infinity when baseline is zero). */
+    double ratio() const;
+    /** current > threshold * baseline (lower is better). */
+    bool regressed(double threshold) const;
+    /** current < baseline. */
+    bool improved() const { return current < baseline; }
+};
+
+/** The outcome of comparing one envelope pair. */
+struct CompareResult
+{
+    std::string bench;               //!< baseline envelope's name
+    std::vector<MetricDelta> deltas; //!< watched metrics, in order
+    std::vector<std::string> errors; //!< missing metrics, mismatches
+
+    /** Worst exit code implied by errors/deltas at @p threshold. */
+    int exitCode(double threshold) const;
+};
+
+/**
+ * True when @p leaf names a watched metric: ends in "_s" or "_j",
+ * or equals "logical_cycles".  @p leaf is the final path component
+ * (no dots; array indices already stripped).
+ */
+bool isWatchedMetric(const std::string &leaf);
+
+/**
+ * Flatten every numeric leaf of @p v into dotted paths appended to
+ * @p out ("rows[3].pl_time_s").  Non-numeric leaves are skipped.
+ */
+void flattenNumbers(const json::Value &v, const std::string &prefix,
+                    std::vector<std::pair<std::string, double>> *out);
+
+/**
+ * Compare two parsed envelopes.  Records an error when the bench
+ * names differ, when either lacks a "result" member, or when a
+ * watched baseline metric is absent from @p current.  Watched metrics
+ * new in @p current are ignored (adding metrics is not a regression).
+ */
+CompareResult compareEnvelopes(const json::Value &baseline,
+                               const json::Value &current);
+
+/**
+ * The whole tool: @p baseline_path and @p current_path are either two
+ * envelope files or two directories (every BENCH_*.json in the
+ * baseline directory must have a same-named counterpart in the
+ * current one).  Prints a per-metric report to @p os, problems to
+ * @p err, and returns the process exit code.
+ */
+int run(const std::string &baseline_path,
+        const std::string &current_path, double threshold,
+        std::ostream &os, std::ostream &err);
+
+} // namespace benchcmp
+} // namespace pipelayer
+
+#endif // PIPELAYER_TOOLS_BENCH_COMPARE_LIB_HH_

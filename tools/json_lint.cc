@@ -11,7 +11,11 @@
  * "traceEvents" member are additionally checked as Chrome traces
  * (every event carries name/ph/ts/pid/tid and non-negative
  * timestamps); files with a "bench" member are checked as bench
- * envelopes (bench/threads/result members present).
+ * envelopes (bench/threads/result members present, well-formed
+ * "timing"/"profile" members when present); files with a
+ * "profile_version" member are checked as profiler reports
+ * (common/prof.hh schema: per-site counters whose histogram counts
+ * sum to the call count, plus a pool-utilization section).
  *
  * Exit code: 0 if every file validates, 1 otherwise.
  */
@@ -59,6 +63,62 @@ checkTrace(const std::string &path, const Value &doc)
 }
 
 bool
+checkProfile(const std::string &path, const Value &doc)
+{
+    const Value *sites = doc.find("sites");
+    if (!sites || !sites->isArray()) {
+        std::cerr << path << ": profile lacks a 'sites' array\n";
+        return false;
+    }
+    for (size_t i = 0; i < sites->size(); ++i) {
+        const Value &s = sites->at(i);
+        for (const char *key :
+             {"name", "calls", "total_ns", "min_ns", "max_ns", "hist"}) {
+            if (!s.find(key)) {
+                std::cerr << path << ": profile site " << i
+                          << " lacks '" << key << "'\n";
+                return false;
+            }
+        }
+        const Value &hist = s.at("hist");
+        int64_t hist_total = 0;
+        for (size_t b = 0; b < hist.size(); ++b) {
+            const Value &pair = hist.at(b);
+            if (!pair.isArray() || pair.size() != 2) {
+                std::cerr << path << ": profile site '"
+                          << s.at("name").asString()
+                          << "' hist entry " << b
+                          << " is not a [bucket, count] pair\n";
+                return false;
+            }
+            hist_total += pair.at(1).asInt();
+        }
+        if (hist_total != s.at("calls").asInt()) {
+            std::cerr << path << ": profile site '"
+                      << s.at("name").asString()
+                      << "' hist counts sum to " << hist_total
+                      << " but calls is " << s.at("calls").asInt()
+                      << "\n";
+            return false;
+        }
+    }
+    const Value *pool = doc.find("pool");
+    if (!pool || !pool->isObject()) {
+        std::cerr << path << ": profile lacks a 'pool' object\n";
+        return false;
+    }
+    for (const char *key :
+         {"jobs", "chunks", "queue_wait_ns", "workers"}) {
+        if (!pool->find(key)) {
+            std::cerr << path << ": profile pool lacks '" << key
+                      << "'\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
 checkEnvelope(const std::string &path, const Value &doc)
 {
     for (const char *key : {"bench", "threads", "result"}) {
@@ -67,6 +127,28 @@ checkEnvelope(const std::string &path, const Value &doc)
                       << "'\n";
             return false;
         }
+    }
+    if (const Value *timing = doc.find("timing")) {
+        for (const char *key :
+             {"repeats", "wall_s", "min_wall_s", "median_wall_s"}) {
+            if (!timing->find(key)) {
+                std::cerr << path << ": envelope timing lacks '"
+                          << key << "'\n";
+                return false;
+            }
+        }
+        if (timing->at("wall_s").size() !=
+            static_cast<size_t>(timing->at("repeats").asInt())) {
+            std::cerr << path << ": envelope timing has "
+                      << timing->at("wall_s").size()
+                      << " wall_s entries for "
+                      << timing->at("repeats").asInt() << " repeats\n";
+            return false;
+        }
+    }
+    if (const Value *profile = doc.find("profile")) {
+        if (!checkProfile(path, *profile))
+            return false;
     }
     return true;
 }
@@ -102,6 +184,13 @@ lintFile(const std::string &path)
             return false;
         std::cout << path << ": OK (bench envelope '"
                   << doc.at("bench").asString() << "')\n";
+        return true;
+    }
+    if (doc.find("profile_version")) {
+        if (!checkProfile(path, doc))
+            return false;
+        std::cout << path << ": OK (profile report, "
+                  << doc.at("sites").size() << " sites)\n";
         return true;
     }
     std::cout << path << ": OK (json)\n";

@@ -10,12 +10,27 @@ cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
+    name=$(basename "$b")
     echo "==================================================================="
     echo "== $b"
     echo "==================================================================="
-    "$b"
+    # Profile every Runner-based bench so the PROFILE_<name>.json
+    # reports land next to the envelopes (the profiler is off by
+    # default; --profile turns it on for this process only).  The
+    # bench_micro_* binaries are google-benchmark harnesses and don't
+    # take the shared Runner flags.
+    case "$name" in
+        bench_micro_*) "$b" ;;
+        *) "$b" --profile="PROFILE_${name#bench_}.json" ;;
+    esac
 done 2>&1 | tee bench_output.txt
 
 # Every table/figure bench also wrote a BENCH_<name>.json envelope
-# (and bench_fig6_timeline a Chrome trace); validate them all.
-./build/tools/json_lint BENCH_*.json
+# (and bench_fig6_timeline a Chrome trace) plus a PROFILE_<name>.json
+# profiler report; validate them all, along with the committed
+# perf baselines.
+./build/tools/json_lint BENCH_*.json PROFILE_*.json bench/baselines/BENCH_*.json
+
+# Gate on the committed baselines: deterministic model metrics may
+# not regress past 2x (see tools/bench_compare --help).
+./build/tools/bench_compare bench/baselines . --threshold=2.0
