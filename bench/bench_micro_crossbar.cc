@@ -1,17 +1,34 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the ReRAM functional model and
- * the pipeline scheduler.
+ * Microbenchmarks of the ReRAM functional model and the pipeline
+ * scheduler.
+ *
+ * Built on the shared bench runner: the envelope's "kernels" array
+ * carries per-kernel giga-MACs/s ("gflops"), the deterministic
+ * inner-iteration count of the fast path (`inner_iters`, gated by
+ * tools/bench_compare), and the measured speedup over an in-bench
+ * pulse-walk reference that replays the pre-collapse per-bit-plane
+ * IntegrateFire walk.  The 128x128 data_bits=16 row is the acceptance
+ * benchmark for the bit-plane-collapsed crossbar MVM: run with
+ * --threads=1 and read `speedup_vs_reference`.
+ *
+ * The scheduler row reports `logical_cycles` — a deterministic model
+ * output gated against the committed baseline like the figure benches.
  */
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "arch/granularity.hh"
 #include "arch/mapping.hh"
 #include "arch/pipeline.hh"
 #include "bench/bench_threads.hh"
+#include "bench/bench_util.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "common/table.hh"
 #include "reram/array_group.hh"
 #include "reram/crossbar.hh"
 #include "workloads/model_zoo.hh"
@@ -20,111 +37,208 @@ namespace {
 
 using namespace pipelayer;
 
-void
-BM_CrossbarMatVec(benchmark::State &state)
+/** One kernel's measurements; ref_ns == 0 means "no reference". */
+struct KernelRow
 {
-    const reram::DeviceParams params;
-    reram::CrossbarArray array(params);
-    Rng rng(1);
-    for (int64_t r = 0; r < params.array_rows; ++r)
-        for (int64_t c = 0; c < params.array_cols; ++c)
-            array.programCell(r, c,
-                              static_cast<int64_t>(rng.uniformInt(16)));
-    std::vector<int64_t> codes(static_cast<size_t>(params.array_rows));
-    for (auto &code : codes)
-        code = static_cast<int64_t>(rng.uniformInt(65536));
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(array.matVecCodes(codes));
-    }
-    state.SetItemsProcessed(state.iterations() * params.array_rows *
-                            params.array_cols);
-}
-BENCHMARK(BM_CrossbarMatVec);
+    std::string name;
+    int64_t inner_iters = 0; //!< innermost-loop iterations per call
+    double flops = 0.0;      //!< MAC-equivalent ops per call
+    double ns = 0.0;         //!< ns per call, fast path
+    double ref_ns = 0.0;     //!< ns per call, pulse-walk reference
+};
 
-/**
- * Crossbar matVec at an explicit thread count (one worker per
- * bit-line range); the speedup counter compares against the
- * PL_THREADS=1 serial fallback.  A 512x512 subarray gives each
- * worker enough bit lines to amortise dispatch.
- */
-void
-BM_CrossbarMatVecThreads(benchmark::State &state)
+json::Value
+toJson(const KernelRow &row)
 {
-    const int64_t threads = state.range(0);
+    json::Value v = json::Value::object();
+    v["name"] = json::Value(row.name);
+    v["inner_iters"] = json::Value(row.inner_iters);
+    v["flops"] = json::Value(row.flops);
+    v["ns_per_call"] = json::Value(row.ns);
+    v["gflops"] = json::Value(row.ns > 0.0 ? row.flops / row.ns : 0.0);
+    if (row.ref_ns > 0.0) {
+        v["ref_ns_per_call"] = json::Value(row.ref_ns);
+        v["speedup_vs_reference"] = json::Value(row.ref_ns / row.ns);
+    }
+    return v;
+}
+
+/** A programmed array plus the random input codes that drive it. */
+struct MatVecSetup
+{
     reram::DeviceParams params;
-    params.array_rows = 512;
-    params.array_cols = 512;
-    reram::CrossbarArray array(params);
-    Rng rng(4);
-    for (int64_t r = 0; r < params.array_rows; ++r)
-        for (int64_t c = 0; c < params.array_cols; ++c)
-            array.programCell(r, c,
-                              static_cast<int64_t>(rng.uniformInt(16)));
-    std::vector<int64_t> codes(static_cast<size_t>(params.array_rows));
-    for (auto &code : codes)
-        code = static_cast<int64_t>(rng.uniformInt(65536));
-    auto kernel = [&] {
-        benchmark::DoNotOptimize(array.matVecCodes(codes));
-    };
-    setThreadCount(threads);
-    for (auto _ : state)
-        kernel();
-    setThreadCount(1);
-    state.counters["speedup_vs_serial"] =
-        bench::speedupVsSerial(threads, kernel);
-    state.SetItemsProcessed(state.iterations() * params.array_rows *
-                            params.array_cols);
-}
-BENCHMARK(BM_CrossbarMatVecThreads)->Arg(1)->Arg(2)->Arg(4);
+    reram::CrossbarArray array;
+    std::vector<int64_t> codes;
+    std::vector<int64_t> grid; //!< row-major conductance snapshot
 
-void
-BM_ArrayGroupMatVec(benchmark::State &state)
-{
-    const int64_t n = state.range(0);
-    const reram::DeviceParams params;
-    Rng rng(2);
-    const Tensor w = Tensor::randn({n, n}, rng);
-    reram::ArrayGroup group(params, w);
-    Tensor x({n});
-    for (int64_t i = 0; i < n; ++i)
-        x(i) = static_cast<float>(rng.uniform());
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(group.matVec(x));
+    MatVecSetup(int64_t rows, int64_t cols, uint64_t seed)
+        : params(makeParams(rows, cols)), array(params)
+    {
+        Rng rng(seed);
+        for (int64_t r = 0; r < rows; ++r)
+            for (int64_t c = 0; c < cols; ++c)
+                array.programCell(
+                    r, c, static_cast<int64_t>(rng.uniformInt(16)));
+        codes.resize(static_cast<size_t>(rows));
+        for (auto &code : codes)
+            code = static_cast<int64_t>(rng.uniformInt(
+                uint64_t{1} << params.data_bits));
+        grid.resize(static_cast<size_t>(rows * cols));
+        for (int64_t r = 0; r < rows; ++r)
+            for (int64_t c = 0; c < cols; ++c)
+                grid[static_cast<size_t>(r * cols + c)] =
+                    array.cell(r, c);
     }
-}
-BENCHMARK(BM_ArrayGroupMatVec)->Arg(64)->Arg(256);
 
-void
-BM_ArrayGroupProgram(benchmark::State &state)
+    static reram::DeviceParams makeParams(int64_t rows, int64_t cols)
+    {
+        reram::DeviceParams p;
+        p.array_rows = rows;
+        p.array_cols = cols;
+        return p;
+    }
+
+    /**
+     * The pre-collapse MVM: walk the data_bits bit planes LSB first,
+     * and for every row spiking in a plane integrate that plane's
+     * weighted charge into each column's IF counter — exactly the
+     * per-pulse loop CrossbarArray::matVec ran before the bit-plane
+     * collapse, on a snapshot of the same conductances.
+     */
+    int64_t pulseWalk() const
+    {
+        const int64_t cols = params.array_cols;
+        std::vector<reram::IntegrateFire> ifs(
+            static_cast<size_t>(cols),
+            reram::IntegrateFire(params.counter_bits));
+        for (int t = 0; t < params.data_bits; ++t) {
+            const int64_t weight = int64_t{1} << t;
+            for (size_t r = 0; r < codes.size(); ++r) {
+                if (((codes[r] >> t) & 1) == 0)
+                    continue;
+                const int64_t *row =
+                    grid.data() + static_cast<int64_t>(r) * cols;
+                for (int64_t c = 0; c < cols; ++c) {
+                    if (row[c] != 0)
+                        ifs[static_cast<size_t>(c)].integrate(
+                            weight * row[c]);
+                }
+            }
+        }
+        int64_t sum = 0;
+        for (const auto &fire : ifs)
+            sum += fire.count();
+        return sum;
+    }
+};
+
+KernelRow
+measureKernel(const std::string &name, int64_t inner_iters, double flops,
+              const std::function<void()> &fast,
+              const std::function<void()> &ref)
 {
-    const reram::DeviceParams params;
-    Rng rng(3);
-    const Tensor w = Tensor::randn({128, 128}, rng);
-    for (auto _ : state) {
+    KernelRow row;
+    row.name = name;
+    row.inner_iters = inner_iters;
+    row.flops = flops;
+    row.ns = bench::measureNs(threadCount(), fast);
+    if (ref)
+        row.ref_ns = bench::measureNs(1, ref);
+    return row;
+}
+
+int
+run(bench::Runner &runner)
+{
+    std::vector<KernelRow> rows;
+
+    {
+        // Acceptance shape: default 128x128 array at data_bits=16.
+        MatVecSetup s(128, 128, 1);
+        rows.push_back(measureKernel(
+            "crossbar_matvec_128x128_db16", 128 * 128,
+            static_cast<double>(128 * 128),
+            [&] { s.array.matVecCodes(s.codes); },
+            [&] { s.pulseWalk(); }));
+    }
+    {
+        // Large subarray: enough bit lines per worker to parallelise.
+        MatVecSetup s(512, 512, 4);
+        rows.push_back(measureKernel(
+            "crossbar_matvec_512x512_db16", 512 * 512,
+            static_cast<double>(512 * 512),
+            [&] { s.array.matVecCodes(s.codes); }, nullptr));
+    }
+    {
+        const reram::DeviceParams params;
+        Rng rng(2);
+        const Tensor w = Tensor::randn({256, 256}, rng);
         reram::ArrayGroup group(params, w);
-        benchmark::DoNotOptimize(group.arrayCount());
+        Tensor x({256});
+        for (int64_t i = 0; i < x.numel(); ++i)
+            x(i) = static_cast<float>(rng.uniform());
+        rows.push_back(measureKernel(
+            "arraygroup_matvec_256", 256 * 256,
+            static_cast<double>(2 * 256 * 256),
+            [&] { group.matVec(x); }, nullptr));
     }
-}
-BENCHMARK(BM_ArrayGroupProgram);
 
-void
-BM_ScheduleVggTraining(benchmark::State &state)
-{
-    const auto spec = workloads::vggE();
-    const reram::DeviceParams params;
-    const auto g = arch::GranularityConfig::balanced(spec);
-    const arch::NetworkMapping map(spec, g, params, true, 64);
-    arch::ScheduleConfig config;
-    config.pipelined = true;
-    config.training = true;
-    config.batch_size = 64;
-    config.num_images = state.range(0);
-    for (auto _ : state) {
-        arch::PipelineScheduler scheduler(map, config);
-        benchmark::DoNotOptimize(scheduler.run().total_cycles);
+    Table table({"kernel", "inner_iters", "ns/call", "GMAC/s",
+                 "ref ns/call", "speedup vs ref"});
+    json::Value kernels = json::Value::array();
+    for (const auto &row : rows) {
+        table.addRow(
+            {row.name, std::to_string(row.inner_iters),
+             Table::num(row.ns, 0),
+             Table::num(row.ns > 0.0 ? row.flops / row.ns : 0.0),
+             row.ref_ns > 0.0 ? Table::num(row.ref_ns, 0) : "-",
+             row.ref_ns > 0.0 ? Table::num(row.ref_ns / row.ns) + "x"
+                              : "-"});
+        kernels.push(toJson(row));
     }
-    state.SetItemsProcessed(state.iterations() * state.range(0));
+    runner.print(table);
+    runner.result()["kernels"] = std::move(kernels);
+
+    // Pipeline scheduler: logical_cycles is a deterministic model
+    // output, so it is a watched metric like the figure benches'.
+    {
+        const auto spec = workloads::vggE();
+        const reram::DeviceParams params;
+        const auto g = arch::GranularityConfig::balanced(spec);
+        const arch::NetworkMapping map(spec, g, params, true, 64);
+        arch::ScheduleConfig config;
+        config.pipelined = true;
+        config.training = true;
+        config.batch_size = 64;
+        config.num_images = 256;
+
+        arch::PipelineScheduler once(map, config);
+        const int64_t cycles = once.run().total_cycles;
+        const double ns = bench::measureNs(threadCount(), [&] {
+            arch::PipelineScheduler scheduler(map, config);
+            scheduler.run();
+        });
+
+        Table sched({"schedule", "images", "logical_cycles", "ns/run"});
+        sched.addRow({"vggE training", "256", std::to_string(cycles),
+                      Table::num(ns, 0)});
+        runner.print(sched);
+
+        json::Value v = json::Value::object();
+        v["network"] = json::Value("vggE");
+        v["images"] = json::Value(static_cast<int64_t>(256));
+        v["logical_cycles"] = json::Value(cycles);
+        v["ns_per_run"] = json::Value(ns);
+        runner.result()["scheduler"] = std::move(v);
+    }
+    return 0;
 }
-BENCHMARK(BM_ScheduleVggTraining)->Arg(256)->Arg(1024);
 
 } // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pipelayer::bench::Runner::main("micro_crossbar", argc, argv,
+                                          {}, run);
+}

@@ -1,150 +1,158 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the tensor primitives that
- * dominate the functional substrate: convolution, im2col, matrix
- * products and pooling.
+ * Microbenchmarks of the tensor primitives that dominate the
+ * functional substrate: convolution, im2col, matrix products.
+ *
+ * Built on the shared bench runner, so the output is the standard
+ * JSON envelope with a "kernels" array — one row per kernel with the
+ * measured GFLOP/s, the deterministic inner-iteration count of the
+ * fast path (`inner_iters`, gated by tools/bench_compare like any
+ * `_s`/`_j` metric: an algorithmic blow-up fails CI even though wall
+ * clock is never gated), and the measured speedup over the serial
+ * naive `ops::reference` kernels.
+ *
+ * The conv2d forward row on the 32->32 channel 28x28 shape is the
+ * acceptance benchmark for the GEMM-ified compute path: run with
+ * --threads=1 and read `speedup_vs_reference`.
  */
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "bench/bench_threads.hh"
+#include "bench/bench_util.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "common/table.hh"
 #include "tensor/ops.hh"
+#include "tensor/ops_reference.hh"
 #include "tensor/tensor.hh"
 
 namespace {
 
 using namespace pipelayer;
 
-void
-BM_Conv2d(benchmark::State &state)
+/** One kernel's measurements; ref_ns == 0 means "no reference". */
+struct KernelRow
 {
-    const int64_t channels = state.range(0);
-    Rng rng(1);
-    const Tensor in = Tensor::randn({channels, 28, 28}, rng);
-    const Tensor k = Tensor::randn({8, channels, 3, 3}, rng);
-    const Tensor b = Tensor::randn({8}, rng);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(ops::conv2d(in, k, b, 1, 1));
+    std::string name;
+    int64_t inner_iters = 0; //!< innermost-loop iterations per call
+    double flops = 0.0;      //!< floating-point ops per call
+    double ns = 0.0;         //!< ns per call, fast path
+    double ref_ns = 0.0;     //!< ns per call, ops::reference path
+};
+
+json::Value
+toJson(const KernelRow &row)
+{
+    json::Value v = json::Value::object();
+    v["name"] = json::Value(row.name);
+    v["inner_iters"] = json::Value(row.inner_iters);
+    v["flops"] = json::Value(row.flops);
+    v["ns_per_call"] = json::Value(row.ns);
+    v["gflops"] = json::Value(row.ns > 0.0 ? row.flops / row.ns : 0.0);
+    if (row.ref_ns > 0.0) {
+        v["ref_ns_per_call"] = json::Value(row.ref_ns);
+        v["speedup_vs_reference"] = json::Value(row.ref_ns / row.ns);
     }
-    state.SetItemsProcessed(state.iterations() * 8 * 28 * 28 *
-                            channels * 9);
+    return v;
 }
-BENCHMARK(BM_Conv2d)->Arg(1)->Arg(8)->Arg(32);
 
 /**
- * conv2d at an explicit thread count; the speedup counter compares
- * against the PL_THREADS=1 serial fallback (acceptance target: >= 2x
- * at 4 threads on a 4-core host).
+ * Measure @p fast at the configured thread count and @p ref (when
+ * non-null) serially — the reference kernels are single-threaded by
+ * construction, so timing them at one thread is what they cost.
  */
-void
-BM_Conv2dThreads(benchmark::State &state)
+KernelRow
+measureKernel(const std::string &name, int64_t inner_iters, double flops,
+              const std::function<void()> &fast,
+              const std::function<void()> &ref)
 {
-    const int64_t threads = state.range(0);
+    KernelRow row;
+    row.name = name;
+    row.inner_iters = inner_iters;
+    row.flops = flops;
+    row.ns = bench::measureNs(threadCount(), fast);
+    if (ref)
+        row.ref_ns = bench::measureNs(1, ref);
+    return row;
+}
+
+int
+run(bench::Runner &runner)
+{
     Rng rng(1);
-    const Tensor in = Tensor::randn({32, 28, 28}, rng);
-    const Tensor k = Tensor::randn({32, 32, 3, 3}, rng);
-    const Tensor b = Tensor::randn({32}, rng);
-    auto kernel = [&] {
-        benchmark::DoNotOptimize(ops::conv2d(in, k, b, 1, 1));
-    };
-    setThreadCount(threads);
-    for (auto _ : state)
-        kernel();
-    setThreadCount(1);
-    state.counters["speedup_vs_serial"] =
-        bench::speedupVsSerial(threads, kernel);
-    state.SetItemsProcessed(state.iterations() * 32 * 28 * 28 * 32 * 9);
-}
-BENCHMARK(BM_Conv2dThreads)->Arg(1)->Arg(2)->Arg(4);
+    std::vector<KernelRow> rows;
 
-void
-BM_ConvBackwardKernelThreads(benchmark::State &state)
-{
-    const int64_t threads = state.range(0);
-    Rng rng(6);
-    const Tensor in = Tensor::randn({32, 16, 16}, rng);
-    const Tensor delta = Tensor::randn({32, 14, 14}, rng);
-    auto kernel = [&] {
-        benchmark::DoNotOptimize(
-            ops::conv2dBackwardKernel(in, delta, 3, 3));
-    };
-    setThreadCount(threads);
-    for (auto _ : state)
-        kernel();
-    setThreadCount(1);
-    state.counters["speedup_vs_serial"] =
-        bench::speedupVsSerial(threads, kernel);
-}
-BENCHMARK(BM_ConvBackwardKernelThreads)->Arg(1)->Arg(2)->Arg(4);
-
-void
-BM_MatVecThreads(benchmark::State &state)
-{
-    const int64_t threads = state.range(0);
-    Rng rng(7);
-    const Tensor w = Tensor::randn({1024, 1024}, rng);
-    const Tensor x = Tensor::randn({1024}, rng);
-    auto kernel = [&] { benchmark::DoNotOptimize(ops::matVec(w, x)); };
-    setThreadCount(threads);
-    for (auto _ : state)
-        kernel();
-    setThreadCount(1);
-    state.counters["speedup_vs_serial"] =
-        bench::speedupVsSerial(threads, kernel);
-    state.SetItemsProcessed(state.iterations() * 1024 * 1024);
-}
-BENCHMARK(BM_MatVecThreads)->Arg(1)->Arg(2)->Arg(4);
-
-void
-BM_Im2col(benchmark::State &state)
-{
-    Rng rng(2);
-    const Tensor in = Tensor::randn({state.range(0), 28, 28}, rng);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(ops::im2col(in, 3, 3, 1, 1));
+    {
+        // Acceptance shape for the GEMM-ified forward convolution.
+        const Tensor in = Tensor::randn({32, 28, 28}, rng);
+        const Tensor k = Tensor::randn({32, 32, 3, 3}, rng);
+        const Tensor b = Tensor::randn({32}, rng);
+        const int64_t macs = 32 * 28 * 28 * 32 * 9;
+        rows.push_back(measureKernel(
+            "conv2d_fwd_32x32_28x28", macs, 2.0 * macs,
+            [&] { ops::conv2d(in, k, b, 1, 1); },
+            [&] { ops::reference::conv2d(in, k, b, 1, 1); }));
+        rows.push_back(measureKernel(
+            "im2col_32ch_28x28", 32 * 9 * 28 * 28, 0.0,
+            [&] { ops::im2col(in, 3, 3, 1, 1); },
+            [&] { ops::reference::im2col(in, 3, 3, 1, 1); }));
     }
-}
-BENCHMARK(BM_Im2col)->Arg(1)->Arg(16);
 
-void
-BM_MatVec(benchmark::State &state)
-{
-    const int64_t n = state.range(0);
-    Rng rng(3);
-    const Tensor w = Tensor::randn({n, n}, rng);
-    const Tensor x = Tensor::randn({n}, rng);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(ops::matVec(w, x));
+    {
+        const Tensor in = Tensor::randn({32, 16, 16}, rng);
+        const Tensor delta = Tensor::randn({32, 14, 14}, rng);
+        const int64_t macs = 32 * 32 * 9 * 14 * 14;
+        rows.push_back(measureKernel(
+            "conv2d_bwd_kernel_32x32_14x14", macs, 2.0 * macs,
+            [&] { ops::conv2dBackwardKernel(in, delta, 3, 3); },
+            [&] { ops::reference::conv2dBackwardKernel(in, delta, 3, 3); }));
     }
-    state.SetItemsProcessed(state.iterations() * n * n);
-}
-BENCHMARK(BM_MatVec)->Arg(128)->Arg(512)->Arg(1024);
 
-void
-BM_MaxPool(benchmark::State &state)
-{
-    Rng rng(4);
-    const Tensor in = Tensor::randn({32, 28, 28}, rng);
-    Tensor indices;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(ops::maxPool(in, 2, &indices));
+    {
+        const Tensor w = Tensor::randn({1024, 1024}, rng);
+        const Tensor x = Tensor::randn({1024}, rng);
+        const Tensor y = Tensor::randn({1024}, rng);
+        const int64_t macs = 1024 * 1024;
+        rows.push_back(measureKernel(
+            "matvec_1024", macs, 2.0 * macs,
+            [&] { ops::matVec(w, x); },
+            [&] { ops::reference::matVec(w, x); }));
+        rows.push_back(measureKernel(
+            "matvect_1024", macs, 2.0 * macs,
+            [&] { ops::matVecT(w, y); },
+            [&] { ops::reference::matVecT(w, y); }));
+        rows.push_back(measureKernel(
+            "outer_1024", macs, static_cast<double>(macs),
+            [&] { ops::outer(x, y); },
+            [&] { ops::reference::outer(x, y); }));
     }
-}
-BENCHMARK(BM_MaxPool);
 
-void
-BM_ConvBackwardKernel(benchmark::State &state)
-{
-    Rng rng(5);
-    const Tensor in = Tensor::randn({8, 16, 16}, rng);
-    const Tensor delta = Tensor::randn({8, 14, 14}, rng);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            ops::conv2dBackwardKernel(in, delta, 3, 3));
+    Table table({"kernel", "inner_iters", "ns/call", "GFLOP/s",
+                 "ref ns/call", "speedup vs ref"});
+    json::Value kernels = json::Value::array();
+    for (const auto &row : rows) {
+        table.addRow(
+            {row.name, std::to_string(row.inner_iters),
+             Table::num(row.ns, 0),
+             Table::num(row.ns > 0.0 ? row.flops / row.ns : 0.0),
+             row.ref_ns > 0.0 ? Table::num(row.ref_ns, 0) : "-",
+             row.ref_ns > 0.0 ? Table::num(row.ref_ns / row.ns) + "x"
+                              : "-"});
+        kernels.push(toJson(row));
     }
+    runner.print(table);
+    runner.result()["kernels"] = std::move(kernels);
+    return 0;
 }
-BENCHMARK(BM_ConvBackwardKernel);
 
 } // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pipelayer::bench::Runner::main("micro_tensor", argc, argv, {},
+                                          run);
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/arena.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/prof.hh"
@@ -214,6 +215,9 @@ PipelinedTrainer::addStats(stats::StatGroup &group)
                          "serial phase-2 buffer commits");
     group.registerScalar("weight_updates", &stat_updates_,
                          "array stages updated at update cycles");
+    // Scratch high-water mark: stabilises after the first batch when
+    // the steady-state per-cycle loop is heap-allocation free.
+    arena::addStats(group, "arena");
 }
 
 void
@@ -305,6 +309,28 @@ PipelinedTrainer::trainBatch(const std::vector<Tensor> &inputs,
         return delta;
     };
 
+    // Each in-flight image performs exactly one action per cycle
+    // (forward, error seed, or backward pair), and no two images
+    // touch the same stage — the paper's inter-layer parallelism.
+    // Phase 1 computes every action's tensors concurrently (the
+    // buffers are only *read*); phase 2 commits buffer writes and
+    // frees serially in ascending image order, which preserves
+    // the read-before-write same-cycle semantics (§3.3) and keeps
+    // results bit-identical to the serial schedule.
+    enum class Action { Forward, Seed, Backward };
+    struct CycleWork
+    {
+        int64_t image = 0;
+        Action action = Action::Forward;
+        int64_t stage = 0; //!< s for Forward, 1-based l for Backward
+        Entry forward_out; //!< Forward result
+        double loss = 0.0; //!< Seed loss
+        Tensor delta;      //!< Seed / Backward error output
+    };
+    // Hoisted out of the cycle loop: clear() keeps the capacity, so
+    // steady-state cycles reuse the same allocation.
+    std::vector<CycleWork> work;
+
     for (int64_t cycle = 1; cycle <= total_cycles; ++cycle) {
         // ---- image entry: d_0 staged at t0 = i (cycle i, i.e. the
         // write lands before the image's first compute cycle) -------
@@ -316,25 +342,7 @@ PipelinedTrainer::trainBatch(const std::vector<Tensor> &inputs,
             check_capacity(0);
         }
 
-        // Each in-flight image performs exactly one action this cycle
-        // (forward, error seed, or backward pair), and no two images
-        // touch the same stage — the paper's inter-layer parallelism.
-        // Phase 1 computes every action's tensors concurrently (the
-        // buffers are only *read*); phase 2 commits buffer writes and
-        // frees serially in ascending image order, which preserves
-        // the read-before-write same-cycle semantics (§3.3) and keeps
-        // results bit-identical to the serial schedule.
-        enum class Action { Forward, Seed, Backward };
-        struct CycleWork
-        {
-            int64_t image = 0;
-            Action action = Action::Forward;
-            int64_t stage = 0; //!< s for Forward, 1-based l for Backward
-            Entry forward_out; //!< Forward result
-            double loss = 0.0; //!< Seed loss
-            Tensor delta;      //!< Seed / Backward error output
-        };
-        std::vector<CycleWork> work;
+        work.clear();
         for (int64_t i = std::max<int64_t>(0, cycle - 2 * depth_l - 2);
              i < batch && i < cycle; ++i) {
             const int64_t t0 = i;

@@ -1,8 +1,10 @@
 #include "reram/crossbar.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
+#include "common/arena.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/prof.hh"
@@ -91,6 +93,13 @@ CrossbarArray::programCell(int64_t row, int64_t col, int64_t code)
     PL_ASSERT(code >= 0 && code <= params_.maxCellCode(),
               "code %lld exceeds %d-bit cell", (long long)code,
               params_.cell_bits);
+    programCellUnchecked(row, col, code);
+}
+
+void
+CrossbarArray::programCellUnchecked(int64_t row, int64_t col,
+                                    int64_t code)
+{
     const auto idx = static_cast<size_t>(row * cols() + col);
     if (has_variation_) {
         if (stuck_[idx] >= 0) {
@@ -125,98 +134,131 @@ CrossbarArray::programBlock(const std::vector<std::vector<int64_t>> &codes)
 {
     PL_ASSERT(static_cast<int64_t>(codes.size()) <= rows(),
               "block taller than array");
+    const int64_t max_code = params_.maxCellCode();
     for (size_t r = 0; r < codes.size(); ++r) {
-        PL_ASSERT(static_cast<int64_t>(codes[r].size()) <= cols(),
+        const std::vector<int64_t> &row = codes[r];
+        PL_ASSERT(static_cast<int64_t>(row.size()) <= cols(),
                   "block wider than array");
-        for (size_t c = 0; c < codes[r].size(); ++c)
-            programCell(static_cast<int64_t>(r), static_cast<int64_t>(c),
-                        codes[r][c]);
+        // One range check per block row instead of two asserts per
+        // cell (PL_ASSERT stays live in release builds): the min/max
+        // scan vectorises, and with row/column bounds implied by the
+        // block asserts above, the write loop runs assert-free while
+        // applying stuck cells and write noise exactly as programCell
+        // would (same cells, same RNG draw order).
+        int64_t lo = 0, hi = 0;
+        for (int64_t v : row) {
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+        PL_ASSERT(lo >= 0 && hi <= max_code,
+                  "block row %zu holds a code outside [0, %lld]", r,
+                  (long long)max_code);
+        for (size_t c = 0; c < row.size(); ++c)
+            programCellUnchecked(static_cast<int64_t>(r),
+                                 static_cast<int64_t>(c), row[c]);
     }
 }
 
 std::vector<int64_t>
-CrossbarArray::matVec(const std::vector<SpikeTrain> &inputs)
+CrossbarArray::matVecWeighted(const int64_t *row_weight,
+                              int64_t rows_used, int64_t spikes)
 {
     PL_PROF_SCOPE("reram.crossbar_matvec");
-    PL_ASSERT(static_cast<int64_t>(inputs.size()) <= rows(),
-              "more input trains (%zu) than word lines (%lld)",
-              inputs.size(), (long long)rows());
-
-    // Gather the spiking (time slot, word line) pairs in LSBF order,
-    // as the hardware would walk them; slot t injects charge
-    // input_bit * 2^t * conductance into each bit line.
-    struct Pulse
-    {
-        int64_t row;
-        int64_t weight;
-    };
-    int max_bits = 0;
-    for (const auto &train : inputs)
-        max_bits = std::max(max_bits, train.bits());
-    std::vector<Pulse> pulses;
-    for (int t = 0; t < max_bits; ++t) {
-        const int64_t weight = int64_t{1} << t;
-        for (size_t r = 0; r < inputs.size(); ++r) {
-            if (t >= inputs[r].bits() ||
-                !inputs[r].slots[static_cast<size_t>(t)]) {
-                continue;
-            }
-            pulses.push_back({static_cast<int64_t>(r), weight});
-        }
-    }
-    activity_.input_spikes += static_cast<int64_t>(pulses.size());
+    activity_.input_spikes += spikes;
     ++activity_.mvm_ops;
 
-    // Bit lines integrate independently: workers own disjoint column
-    // ranges, each with private integrate-and-fire units fed in the
-    // same pulse order as the serial walk, so counts and saturation
-    // behaviour are bit-identical at any thread count.
+    // Collapsed bit-plane walk.  The LSBF pulse schedule injects only
+    // non-negative charges (weight 2^t x conductance) and the IF
+    // counter is a saturating adder, so the final count is
+    // min(Σ_r weight[r]·g[r][c], max_count) and the saturation flag is
+    // (Σ > max_count) — independent of pulse order.  One pass over the
+    // cells with each word line's *total* weight therefore reproduces
+    // the per-pulse emulation bit-for-bit at ~data_bits x fewer inner
+    // iterations.  Integer sums are order-independent, so the parallel
+    // row-major accumulation below is exact at any thread count; the
+    // raw totals cannot overflow int64 for any valid configuration
+    // (rows x 2^data_bits x maxCellCode < 2^62).
     const int64_t n_cols = cols();
-    std::vector<int64_t> out(static_cast<size_t>(n_cols));
-    std::vector<uint8_t> sat(static_cast<size_t>(n_cols), 0);
+    std::vector<int64_t> out(static_cast<size_t>(n_cols), 0);
+    int64_t *out_p = out.data();
     const int64_t *cell_p = cells_.data();
     parallel_for(0, n_cols, /*grain=*/16, [&](int64_t c0, int64_t c1) {
-        std::vector<IntegrateFire> ifs(
-            static_cast<size_t>(c1 - c0),
-            IntegrateFire(params_.counter_bits));
-        for (const Pulse &pulse : pulses) {
-            const int64_t *cell_row = cell_p + pulse.row * n_cols;
-            for (int64_t c = c0; c < c1; ++c) {
-                const int64_t g = cell_row[c];
-                if (g != 0)
-                    ifs[static_cast<size_t>(c - c0)].integrate(
-                        pulse.weight * g);
-            }
-        }
-        for (int64_t c = c0; c < c1; ++c) {
-            const auto &fire = ifs[static_cast<size_t>(c - c0)];
-            out[static_cast<size_t>(c)] = fire.count();
-            sat[static_cast<size_t>(c)] = fire.saturated() ? 1 : 0;
+        for (int64_t r = 0; r < rows_used; ++r) {
+            const int64_t rw = row_weight[r];
+            if (rw == 0)
+                continue;
+            const int64_t *cell_row = cell_p + r * n_cols;
+            for (int64_t c = c0; c < c1; ++c)
+                out_p[c] += rw * cell_row[c];
         }
     });
-    last_saturated_ =
-        std::any_of(sat.begin(), sat.end(), [](uint8_t s) { return s; });
-    // The IF units fire once per output count unit; out[] is
-    // deterministic at any thread count, so this tally is too.
+
+    // Serial epilogue: clamp to the counter capacity and tally the IF
+    // firings (one per output count unit), exactly as the saturating
+    // counters would have left them.
+    const int64_t max_count =
+        (int64_t{1} << params_.counter_bits) - 1;
+    bool any_sat = false;
     int64_t fires = 0;
-    for (const int64_t count : out)
-        fires += count;
+    for (int64_t c = 0; c < n_cols; ++c) {
+        if (out_p[c] > max_count) {
+            out_p[c] = max_count;
+            any_sat = true;
+        }
+        fires += out_p[c];
+    }
+    last_saturated_ = any_sat;
     activity_.if_fires += fires;
     return out;
 }
 
 std::vector<int64_t>
+CrossbarArray::matVec(const std::vector<SpikeTrain> &inputs)
+{
+    PL_ASSERT(static_cast<int64_t>(inputs.size()) <= rows(),
+              "more input trains (%zu) than word lines (%lld)",
+              inputs.size(), (long long)rows());
+    const auto used = static_cast<int64_t>(inputs.size());
+    // Arena scratch on the calling thread (never inside the parallel
+    // pass): one total spike weight per driven word line.
+    arena::ScopedBuf<int64_t> weights(static_cast<size_t>(used));
+    int64_t spikes = 0;
+    for (int64_t r = 0; r < used; ++r) {
+        weights[static_cast<size_t>(r)] =
+            inputs[static_cast<size_t>(r)].value();
+        spikes += inputs[static_cast<size_t>(r)].spikeCount();
+    }
+    return matVecWeighted(weights.data(), used, spikes);
+}
+
+std::vector<int64_t>
 CrossbarArray::matVecCodes(const std::vector<int64_t> &codes)
 {
-    const SpikeDriver driver(params_.data_bits);
-    std::vector<SpikeTrain> trains;
-    trains.reserve(codes.size());
+    PL_ASSERT(params_.data_bits >= 1 && params_.data_bits <= 32,
+              "unsupported spike resolution %d", params_.data_bits);
+    PL_ASSERT(static_cast<int64_t>(codes.size()) <= rows(),
+              "more input codes (%zu) than word lines (%lld)",
+              codes.size(), (long long)rows());
+    const auto used = static_cast<int64_t>(codes.size());
+    arena::ScopedBuf<int64_t> weights(static_cast<size_t>(used));
+    int64_t spikes = 0;
     {
+        // The LSBF encoding is weighted-binary, so a code's total
+        // word-line weight is the code itself and its spike count is
+        // its popcount — no SpikeTrain is materialised (the driver's
+        // memo table serves callers that do need trains).
         PL_PROF_SCOPE("reram.spike_encode");
-        for (int64_t code : codes)
-            trains.push_back(driver.encode(code));
+        const int64_t limit = int64_t{1} << params_.data_bits;
+        for (int64_t r = 0; r < used; ++r) {
+            const int64_t code = codes[static_cast<size_t>(r)];
+            PL_ASSERT(code >= 0 && code < limit,
+                      "code %lld out of %d-bit range", (long long)code,
+                      params_.data_bits);
+            weights[static_cast<size_t>(r)] = code;
+            spikes += std::popcount(static_cast<uint64_t>(code));
+        }
     }
-    return matVec(trains);
+    return matVecWeighted(weights.data(), used, spikes);
 }
 
 } // namespace reram

@@ -116,6 +116,20 @@ class CrossbarArray
     int64_t stuckCellCount() const;
 
   private:
+    /**
+     * Collapsed bit-plane MVM core shared by matVec and matVecCodes:
+     * one O(rows x cols) pass over the cells given each word line's
+     * total spike weight (Σ 2^t over its spiking slots — i.e. the
+     * encoded value).  @p spikes is the pre-counted number of input
+     * spikes for the activity tally.
+     */
+    std::vector<int64_t> matVecWeighted(const int64_t *row_weight,
+                                        int64_t rows_used,
+                                        int64_t spikes);
+
+    /** programCell minus the per-cell asserts (bounds pre-validated). */
+    void programCellUnchecked(int64_t row, int64_t col, int64_t code);
+
     DeviceParams params_;
     std::vector<int64_t> cells_; //!< row-major conductance codes
     /** Per-cell stuck code, or -1 if the cell programs normally. */

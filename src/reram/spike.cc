@@ -1,9 +1,40 @@
 #include "reram/spike.hh"
 
+#include <mutex>
+
 #include "common/logging.hh"
 
 namespace pipelayer {
 namespace reram {
+
+namespace {
+
+/**
+ * Shared memo tables, one per resolution <= kMemoBits, built lazily
+ * and exactly once (thread-safe).  Entry @c code of the table for
+ * @c bits is encode(code) — at most ~2^13 small trains in total, and
+ * only for resolutions actually used.
+ */
+const std::vector<SpikeTrain> &
+tableFor(int bits)
+{
+    static std::once_flag flags[SpikeDriver::kMemoBits];
+    static std::vector<SpikeTrain> tables[SpikeDriver::kMemoBits];
+    std::vector<SpikeTrain> &table = tables[bits - 1];
+    std::call_once(flags[bits - 1], [&table, bits] {
+        const int64_t n = int64_t{1} << bits;
+        table.resize(static_cast<size_t>(n));
+        for (int64_t code = 0; code < n; ++code) {
+            SpikeTrain &train = table[static_cast<size_t>(code)];
+            train.slots.resize(static_cast<size_t>(bits));
+            for (int t = 0; t < bits; ++t)
+                train.slots[static_cast<size_t>(t)] = (code >> t) & 1;
+        }
+    });
+    return table;
+}
+
+} // namespace
 
 int64_t
 SpikeTrain::spikeCount() const
@@ -29,6 +60,8 @@ SpikeDriver::SpikeDriver(int bits) : bits_(bits)
 {
     PL_ASSERT(bits >= 1 && bits <= 32, "unsupported spike resolution %d",
               bits);
+    if (bits <= kMemoBits)
+        table_ = &tableFor(bits);
 }
 
 SpikeTrain
@@ -36,11 +69,21 @@ SpikeDriver::encode(int64_t code) const
 {
     PL_ASSERT(code >= 0 && code < (int64_t{1} << bits_),
               "code %lld out of %d-bit range", (long long)code, bits_);
+    if (table_)
+        return (*table_)[static_cast<size_t>(code)];
     SpikeTrain train;
     train.slots.resize(static_cast<size_t>(bits_));
     for (int t = 0; t < bits_; ++t)
         train.slots[static_cast<size_t>(t)] = (code >> t) & 1;
     return train;
+}
+
+const SpikeTrain *
+SpikeDriver::memoized(int64_t code) const
+{
+    PL_ASSERT(code >= 0 && code < (int64_t{1} << bits_),
+              "code %lld out of %d-bit range", (long long)code, bits_);
+    return table_ ? &(*table_)[static_cast<size_t>(code)] : nullptr;
 }
 
 IntegrateFire::IntegrateFire(int counter_bits)

@@ -46,6 +46,14 @@ struct SpikeTrain
 class SpikeDriver
 {
   public:
+    /**
+     * Largest resolution whose full 2^bits code table is precomputed.
+     * Tables are shared across drivers and built once per resolution,
+     * so encode() at or below this width is a table copy with no
+     * per-bit work; wider resolutions encode on the fly.
+     */
+    static constexpr int kMemoBits = 12;
+
     /** @param bits input resolution N (time slots per value). */
     explicit SpikeDriver(int bits);
 
@@ -55,11 +63,20 @@ class SpikeDriver
      */
     SpikeTrain encode(int64_t code) const;
 
+    /**
+     * Borrow the memoized train for @p code without copying, or
+     * nullptr when bits > kMemoBits (fall back to encode()).  The
+     * reference lives for the whole process.
+     */
+    const SpikeTrain *memoized(int64_t code) const;
+
     /** Decode is exact: encode(code).value() == code. */
     int bits() const { return bits_; }
 
   private:
     int bits_;
+    /** Shared per-resolution code table, or nullptr above kMemoBits. */
+    const std::vector<SpikeTrain> *table_ = nullptr;
 };
 
 /**

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared GEMM/GEMV kernel core behind every tensor hot path.
+ *
+ * The functional substrate's compute cost concentrates in four loop
+ * nests — convolution forward (via im2col), the convolution kernel
+ * gradient, and the matrix-vector products of inner-product layers.
+ * This layer gives them one cache-blocked, SIMD-friendly inner loop
+ * each, instead of four hand-rolled nests, while preserving the exact
+ * floating-point results of the original naive loops.
+ *
+ * ## Accumulation-order contract
+ *
+ * Every kernel documents — and tests/test_gemm.cc enforces — a fixed
+ * accumulation recipe, chosen to be *bit-identical* to the naive
+ * reference loops in ops::reference:
+ *
+ *  - Each output element owns exactly one accumulator; no partial
+ *    sums are ever combined across loop chunks or threads.
+ *  - Products are evaluated in float (operands are float, so the
+ *    multiply rounds to float) and then added into the accumulator
+ *    in strictly ascending reduction-index order.
+ *  - gemmNT / gemmNN / gemv accumulate in double and round once on
+ *    store; gevm accumulates in float (matching the historical
+ *    matVecT loop).  ger has no reduction.
+ *
+ * Register blocking (4 outputs at a time) and parallel_for chunking
+ * only distribute *independent outputs*; the per-output reduction
+ * order never changes, so results are bit-identical at any PL_THREADS
+ * and to the serial reference.
+ *
+ * Signed zero: a kernel that multiplies explicit zero padding (e.g.
+ * conv2d via im2col) adds `w * 0.0f = ±0.0f` terms the branch-skipping
+ * reference never evaluates.  Under IEEE-754 round-to-nearest,
+ * `x + (±0.0) == x` for every x except x == -0.0 — which the double
+ * accumulators can only hold if a *bias* is exactly -0.0f.  Bit
+ * identity therefore holds for all inputs except a -0.0 bias with an
+ * all-zero reduction, which no caller produces.
+ *
+ * None of these kernels allocate; callers provide outputs and any
+ * packing scratch comes from the caller's workspace arena.
+ */
+
+#ifndef PIPELAYER_TENSOR_GEMM_HH_
+#define PIPELAYER_TENSOR_GEMM_HH_
+
+#include <cstdint>
+
+namespace pipelayer {
+namespace gemm {
+
+/**
+ * C = A · Bᵀ + bias:
+ *   C[i*ldc + j] = bias[i] + Σ_k A[i*lda + k] * B[j*ldb + k]
+ * with k ascending into one double accumulator per output.
+ * Both operands stream contiguously (the im2col-friendly form).
+ *
+ * @param bias per-row-i addend, or nullptr for none.  Parallel over
+ *        columns j; outputs are disjoint per chunk.
+ */
+void gemmNT(int64_t m, int64_t n, int64_t k, const float *a,
+            int64_t lda, const float *b, int64_t ldb, const float *bias,
+            float *c, int64_t ldc);
+
+/**
+ * C = A · B:
+ *   C[i*ldc + j] = Σ_p A[i*lda + p] * B[p*ldb + j]
+ * with p ascending into one double accumulator per output (held in a
+ * per-chunk stack tile).  Parallel over (row, column-tile) pairs.
+ */
+void gemmNN(int64_t m, int64_t n, int64_t k, const float *a,
+            int64_t lda, const float *b, int64_t ldb, float *c,
+            int64_t ldc);
+
+/**
+ * y = W x:  y[i] = Σ_j W[i*ldw + j] * x[j], j ascending into one
+ * double accumulator per row.  Parallel over rows.
+ */
+void gemv(int64_t m, int64_t n, const float *w, int64_t ldw,
+          const float *x, float *y);
+
+/**
+ * y += Wᵀ x:  y[j] += W[i*ldw + j] * x[i] for i ascending, float
+ * accumulation directly in y (y must be initialised by the caller).
+ * Parallel over columns; every y[j] sees rows in ascending order.
+ */
+void gevm(int64_t m, int64_t n, const float *w, int64_t ldw,
+          const float *x, float *y);
+
+/** Rank-1 outer product: C[i*ldc + j] = x[i] * y[j].  No reduction. */
+void ger(int64_t m, int64_t n, const float *x, const float *y, float *c,
+         int64_t ldc);
+
+} // namespace gemm
+} // namespace pipelayer
+
+#endif // PIPELAYER_TENSOR_GEMM_HH_

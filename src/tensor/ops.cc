@@ -1,10 +1,13 @@
 #include "tensor/ops.hh"
 
 #include <algorithm>
+#include <cstring>
 
+#include "common/arena.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/prof.hh"
+#include "tensor/gemm.hh"
 
 namespace pipelayer {
 namespace ops {
@@ -19,6 +22,57 @@ convExtent(int64_t in, int64_t k, int64_t stride, int64_t pad)
     PL_ASSERT(padded >= k, "kernel %lld larger than padded input %lld",
               (long long)k, (long long)padded);
     return (padded - k) / stride + 1;
+}
+
+/**
+ * Pack convolution windows of a (c, h, w) cube into @p col, one
+ * window per row, columns in (ci, ky, kx) order — the add order of
+ * the naive convolution loop, so a GEMM over these rows reduces in
+ * exactly the naive sequence.  Padding positions are materialised as
+ * 0.0f (adding w * ±0.0f to an accumulator is exact; see gemm.hh).
+ *
+ * @p col must hold ho*wo*c*kh*kw floats, allocated by the caller
+ * (arena scratch on the calling thread — chunk bodies only write).
+ */
+void
+im2colPack(const float *in_p, int64_t c, int64_t h, int64_t w,
+           int64_t kh, int64_t kw, int64_t stride, int64_t pad,
+           int64_t ho, int64_t wo, float *col)
+{
+    PL_PROF_SCOPE("tensor.im2col");
+    const int64_t patch = c * kh * kw;
+    parallel_for(0, ho * wo, /*grain=*/8, [&](int64_t r0, int64_t r1) {
+        for (int64_t row = r0; row < r1; ++row) {
+            const int64_t oy = row / wo;
+            const int64_t ox = row % wo;
+            float *dst = col + row * patch;
+            for (int64_t cc = 0; cc < c; ++cc) {
+                const float *in_c = in_p + cc * h * w;
+                for (int64_t ky = 0; ky < kh; ++ky) {
+                    const int64_t iy = oy * stride + ky - pad;
+                    if (iy < 0 || iy >= h) {
+                        std::fill(dst, dst + kw, 0.0f);
+                        dst += kw;
+                        continue;
+                    }
+                    const float *in_row = in_c + iy * w;
+                    const int64_t x0 = ox * stride - pad;
+                    if (x0 >= 0 && x0 + kw <= w) {
+                        std::memcpy(dst, in_row + x0,
+                                    static_cast<size_t>(kw) *
+                                        sizeof(float));
+                        dst += kw;
+                    } else {
+                        for (int64_t kx = 0; kx < kw; ++kx) {
+                            const int64_t ix = x0 + kx;
+                            *dst++ = (ix >= 0 && ix < w) ? in_row[ix]
+                                                         : 0.0f;
+                        }
+                    }
+                }
+            }
+        }
+    });
 }
 
 } // namespace
@@ -46,42 +100,19 @@ conv2d(const Tensor &input, const Tensor &kernel, const Tensor &bias,
     const int64_t wo = convExtent(w, kw, stride, pad);
     Tensor out({co, ho, wo});
 
-    // Hot loop: raw pointers avoid per-element bounds checks.  The
-    // flattened (oc, oy) output rows are independent, so workers own
-    // disjoint row ranges and results match the serial loop exactly.
-    const float *in_p = input.data();
-    const float *k_p = kernel.data();
-    float *out_p = out.data();
-    parallel_for(0, co * ho, /*grain=*/4, [&](int64_t row0, int64_t row1) {
-        for (int64_t row = row0; row < row1; ++row) {
-            const int64_t oc = row / ho;
-            const int64_t oy = row % ho;
-            const float b = has_bias ? bias.at(oc) : 0.0f;
-            const float *k_oc = k_p + oc * ci * kh * kw;
-            for (int64_t ox = 0; ox < wo; ++ox) {
-                double acc = b;
-                for (int64_t icn = 0; icn < ci; ++icn) {
-                    const float *in_c = in_p + icn * h * w;
-                    const float *k_c = k_oc + icn * kh * kw;
-                    for (int64_t ky = 0; ky < kh; ++ky) {
-                        const int64_t iy = oy * stride + ky - pad;
-                        if (iy < 0 || iy >= h)
-                            continue;
-                        const float *in_row = in_c + iy * w;
-                        const float *k_row = k_c + ky * kw;
-                        for (int64_t kx = 0; kx < kw; ++kx) {
-                            const int64_t ix = ox * stride + kx - pad;
-                            if (ix < 0 || ix >= w)
-                                continue;
-                            acc += k_row[kx] * in_row[ix];
-                        }
-                    }
-                }
-                out_p[(oc * ho + oy) * wo + ox] =
-                    static_cast<float>(acc);
-            }
-        }
-    });
+    // im2col + GEMM: each output pixel is a dot product of one kernel
+    // row against one packed window row, reduced in the same (ci, ky,
+    // kx) order as the direct loops — bit-identical, but with branch-
+    // free contiguous inner loops (the arena panel is reused scratch,
+    // so steady state allocates nothing).
+    const int64_t patch = ci * kh * kw;
+    const int64_t rows = ho * wo;
+    arena::ScopedBuf<float> col(static_cast<size_t>(rows * patch));
+    im2colPack(input.data(), ci, h, w, kh, kw, stride, pad, ho, wo,
+               col.data());
+    gemm::gemmNT(co, rows, patch, kernel.data(), patch, col.data(),
+                 patch, has_bias ? bias.data() : nullptr, out.data(),
+                 rows);
     return out;
 }
 
@@ -123,8 +154,9 @@ Tensor
 conv2dBackwardInput(const Tensor &delta_out, const Tensor &kernel,
                     int64_t pad)
 {
-    // Note: the "full" convolution below re-enters conv2d, so one
-    // backward-input call also counts one tensor.conv2d_fwd site hit.
+    // Note: the "full" convolution below re-enters conv2d (now the
+    // im2col+GEMM path), so one backward-input call also counts one
+    // tensor.conv2d_fwd and one tensor.im2col site hit.
     PL_PROF_SCOPE("tensor.conv2d_bwd_input");
     PL_ASSERT(delta_out.rank() == 3 && kernel.rank() == 4,
               "bad ranks in conv2dBackwardInput");
@@ -155,43 +187,26 @@ conv2dBackwardKernel(const Tensor &input, const Tensor &delta_out,
     PL_PROF_SCOPE("tensor.conv2d_bwd_kernel");
     PL_ASSERT(input.rank() == 3 && delta_out.rank() == 3,
               "bad ranks in conv2dBackwardKernel");
-    const Tensor padded = zeroPad(input, pad);
-    const int64_t ci = padded.dim(0);
-    const int64_t h = padded.dim(1), w = padded.dim(2);
+    const int64_t ci = input.dim(0);
+    const int64_t h = input.dim(1) + 2 * pad;
+    const int64_t w = input.dim(2) + 2 * pad;
     const int64_t co = delta_out.dim(0);
     const int64_t ho = delta_out.dim(1), wo = delta_out.dim(2);
     PL_ASSERT(ho == h - kh + 1 && wo == w - kw + 1,
               "delta shape inconsistent with stride-1 convolution");
 
+    // grad[oc, (ci,ky,kx)] = Σ_(oy,ox) delta[oc, (oy,ox)] * window
+    // matrix — a plain GEMM against the same im2col panel as forward
+    // (stride 1), reducing over output pixels in ascending (oy, ox)
+    // exactly like the direct tap loops.
     Tensor grad({co, ci, kh, kw});
-    const float *pad_p = padded.data();
-    const float *d_p = delta_out.data();
-    float *g_p = grad.data();
-    // Each flattened (oc, icn) pair owns its kh*kw gradient taps, so
-    // chunks write disjoint output ranges.
-    parallel_for(0, co * ci, /*grain=*/1,
-                 [&](int64_t pair0, int64_t pair1) {
-        for (int64_t pair = pair0; pair < pair1; ++pair) {
-            const int64_t oc = pair / ci;
-            const int64_t icn = pair % ci;
-            const float *d_oc = d_p + oc * ho * wo;
-            const float *pad_c = pad_p + icn * h * w;
-            for (int64_t ky = 0; ky < kh; ++ky) {
-                for (int64_t kx = 0; kx < kw; ++kx) {
-                    double acc = 0.0;
-                    for (int64_t oy = 0; oy < ho; ++oy) {
-                        const float *pad_row =
-                            pad_c + (oy + ky) * w + kx;
-                        const float *d_row = d_oc + oy * wo;
-                        for (int64_t ox = 0; ox < wo; ++ox)
-                            acc += pad_row[ox] * d_row[ox];
-                    }
-                    g_p[((oc * ci + icn) * kh + ky) * kw + kx] =
-                        static_cast<float>(acc);
-                }
-            }
-        }
-    });
+    const int64_t patch = ci * kh * kw;
+    const int64_t rows = ho * wo;
+    arena::ScopedBuf<float> col(static_cast<size_t>(rows * patch));
+    im2colPack(input.data(), ci, input.dim(1), input.dim(2), kh, kw,
+               /*stride=*/1, pad, ho, wo, col.data());
+    gemm::gemmNN(co, patch, rows, delta_out.data(), rows, col.data(),
+                 patch, grad.data(), patch);
     return grad;
 }
 
@@ -302,18 +317,7 @@ matVec(const Tensor &weight, const Tensor &x)
     const int64_t n = weight.dim(0), m = weight.dim(1);
     PL_ASSERT(x.dim(0) == m, "matVec inner-dim mismatch");
     Tensor out({n});
-    const float *w_p = weight.data();
-    const float *x_p = x.data();
-    float *out_p = out.data();
-    parallel_for(0, n, /*grain=*/16, [&](int64_t i0, int64_t i1) {
-        for (int64_t i = i0; i < i1; ++i) {
-            const float *row = w_p + i * m;
-            double acc = 0.0;
-            for (int64_t j = 0; j < m; ++j)
-                acc += row[j] * x_p[j];
-            out_p[i] = static_cast<float>(acc);
-        }
-    });
+    gemm::gemv(n, m, weight.data(), m, x.data(), out.data());
     return out;
 }
 
@@ -324,21 +328,8 @@ matVecT(const Tensor &weight, const Tensor &y)
     PL_ASSERT(weight.rank() == 2 && y.rank() == 1, "matVecT needs (n,m), (n)");
     const int64_t n = weight.dim(0), m = weight.dim(1);
     PL_ASSERT(y.dim(0) == n, "matVecT inner-dim mismatch");
-    Tensor out({m});
-    const float *w_p = weight.data();
-    const float *y_p = y.data();
-    float *out_p = out.data();
-    // Workers own disjoint column ranges; each out[j] accumulates
-    // over rows in ascending order, exactly like the serial loop, so
-    // no chunk shares an accumulator and the result is bit-identical.
-    parallel_for(0, m, /*grain=*/64, [&](int64_t j0, int64_t j1) {
-        for (int64_t i = 0; i < n; ++i) {
-            const float yi = y_p[i];
-            const float *row = w_p + i * m;
-            for (int64_t j = j0; j < j1; ++j)
-                out_p[j] += row[j] * yi;
-        }
-    });
+    Tensor out({m}); // zero-initialised: gevm accumulates into it
+    gemm::gevm(n, m, weight.data(), m, y.data(), out.data());
     return out;
 }
 
@@ -349,17 +340,7 @@ outer(const Tensor &d, const Tensor &delta)
     PL_ASSERT(d.rank() == 1 && delta.rank() == 1, "outer needs vectors");
     const int64_t m = d.dim(0), n = delta.dim(0);
     Tensor out({n, m});
-    const float *d_p = d.data();
-    const float *delta_p = delta.data();
-    float *out_p = out.data();
-    parallel_for(0, n, /*grain=*/16, [&](int64_t i0, int64_t i1) {
-        for (int64_t i = i0; i < i1; ++i) {
-            const float di = delta_p[i];
-            float *row = out_p + i * m;
-            for (int64_t j = 0; j < m; ++j)
-                row[j] = di * d_p[j];
-        }
-    });
+    gemm::ger(n, m, delta.data(), d.data(), out.data(), m);
     return out;
 }
 
@@ -368,22 +349,12 @@ im2col(const Tensor &input, int64_t kh, int64_t kw, int64_t stride,
        int64_t pad)
 {
     PL_ASSERT(input.rank() == 3, "im2col expects (C, H, W)");
-    const Tensor padded = zeroPad(input, pad);
-    const int64_t c = padded.dim(0), h = padded.dim(1), w = padded.dim(2);
-    const int64_t ho = convExtent(h, kh, stride, 0);
-    const int64_t wo = convExtent(w, kw, stride, 0);
+    const int64_t c = input.dim(0), h = input.dim(1), w = input.dim(2);
+    const int64_t ho = convExtent(h, kh, stride, pad);
+    const int64_t wo = convExtent(w, kw, stride, pad);
     Tensor out({ho * wo, c * kh * kw});
-    for (int64_t oy = 0; oy < ho; ++oy) {
-        for (int64_t ox = 0; ox < wo; ++ox) {
-            const int64_t row = oy * wo + ox;
-            int64_t col = 0;
-            for (int64_t cc = 0; cc < c; ++cc)
-                for (int64_t ky = 0; ky < kh; ++ky)
-                    for (int64_t kx = 0; kx < kw; ++kx)
-                        out(row, col++) =
-                            padded(cc, oy * stride + ky, ox * stride + kx);
-        }
-    }
+    im2colPack(input.data(), c, h, w, kh, kw, stride, pad, ho, wo,
+               out.data());
     return out;
 }
 

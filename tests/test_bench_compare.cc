@@ -30,11 +30,16 @@ TEST(BenchCompare, WatchedMetricsAreModelOutputsOnly)
     EXPECT_TRUE(benchcmp::isWatchedMetric("pl_time_s"));
     EXPECT_TRUE(benchcmp::isWatchedMetric("gpu_energy_j"));
     EXPECT_TRUE(benchcmp::isWatchedMetric("logical_cycles"));
+    // Deterministic iteration counts (the microbenches' per-kernel
+    // work size) are gated: an algorithmic blow-up is a regression
+    // even though wall clock is never watched.
+    EXPECT_TRUE(benchcmp::isWatchedMetric("inner_iters"));
     // Ratios, areas and counts are not gated: a speedup going *up*
     // must never read as a time regression.
     EXPECT_FALSE(benchcmp::isWatchedMetric("speedup"));
     EXPECT_FALSE(benchcmp::isWatchedMetric("pl_area_mm2"));
     EXPECT_FALSE(benchcmp::isWatchedMetric("rows"));
+    EXPECT_FALSE(benchcmp::isWatchedMetric("iters"));
     EXPECT_FALSE(benchcmp::isWatchedMetric("s"));
     EXPECT_FALSE(benchcmp::isWatchedMetric(""));
 }

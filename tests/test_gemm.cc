@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Property/fuzz tests for the GEMM-backed fast kernels (PR: GEMM-ified
+ * compute kernels + bit-plane-collapsed crossbar MVM).
+ *
+ * The fast paths in ops.cc / CrossbarArray promise *bit-identical*
+ * results to the naive loops they replaced — not merely close ones —
+ * so every comparison here is exact (float bit patterns, integer
+ * equality), over randomized shapes, strides and pads, at 1 and 4
+ * worker threads.  The naive loops survive as ops::reference and as a
+ * local pulse-walk crossbar model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/arena.hh"
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "reram/crossbar.hh"
+#include "reram/spike.hh"
+#include "tensor/ops.hh"
+#include "tensor/ops_reference.hh"
+
+namespace pipelayer {
+namespace {
+
+Tensor
+randomTensor(const Shape &shape, Rng &rng)
+{
+    Tensor t(shape);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t.at(i) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return t;
+}
+
+/** Exact equality: same shape and the same float bit patterns. */
+void
+expectBitIdentical(const Tensor &fast, const Tensor &ref,
+                   const char *what)
+{
+    ASSERT_EQ(fast.shape(), ref.shape()) << what;
+    ASSERT_EQ(0, std::memcmp(fast.data(), ref.data(),
+                             static_cast<size_t>(fast.numel()) *
+                                 sizeof(float)))
+        << what << ": fast path diverged from the naive reference";
+}
+
+/** Run @p body at 1 and 4 worker threads. */
+template <typename Fn>
+void
+atThreadCounts(Fn &&body)
+{
+    const int64_t saved = threadCount();
+    for (int64_t threads : {int64_t{1}, int64_t{4}}) {
+        setThreadCount(threads);
+        body(threads);
+    }
+    setThreadCount(saved);
+}
+
+TEST(GemmFuzz, Conv2dForwardMatchesReferenceBitExact)
+{
+    Rng rng(0xC04Fu);
+    atThreadCounts([&](int64_t threads) {
+        for (int iter = 0; iter < 24; ++iter) {
+            const int64_t ci = 1 + static_cast<int64_t>(rng.uniformInt(4));
+            const int64_t co = 1 + static_cast<int64_t>(rng.uniformInt(5));
+            const int64_t kh = 1 + static_cast<int64_t>(rng.uniformInt(3));
+            const int64_t kw = 1 + static_cast<int64_t>(rng.uniformInt(3));
+            const int64_t pad = static_cast<int64_t>(rng.uniformInt(3));
+            const int64_t stride =
+                1 + static_cast<int64_t>(rng.uniformInt(3));
+            // Input large enough for the padded kernel.
+            const int64_t h =
+                kh + static_cast<int64_t>(rng.uniformInt(9));
+            const int64_t w =
+                kw + static_cast<int64_t>(rng.uniformInt(9));
+            const Tensor input = randomTensor({ci, h, w}, rng);
+            const Tensor kernel = randomTensor({co, ci, kh, kw}, rng);
+            const bool has_bias = rng.uniform() < 0.5;
+            const Tensor bias =
+                has_bias ? randomTensor({co}, rng) : Tensor();
+
+            const Tensor fast =
+                ops::conv2d(input, kernel, bias, stride, pad);
+            const Tensor ref =
+                ops::reference::conv2d(input, kernel, bias, stride, pad);
+            SCOPED_TRACE("threads=" + std::to_string(threads) +
+                         " iter=" + std::to_string(iter));
+            expectBitIdentical(fast, ref, "conv2d");
+        }
+    });
+}
+
+TEST(GemmFuzz, Conv2dBackwardKernelMatchesReferenceBitExact)
+{
+    Rng rng(0xBDADu);
+    atThreadCounts([&](int64_t threads) {
+        for (int iter = 0; iter < 20; ++iter) {
+            const int64_t ci = 1 + static_cast<int64_t>(rng.uniformInt(4));
+            const int64_t co = 1 + static_cast<int64_t>(rng.uniformInt(4));
+            const int64_t kh = 1 + static_cast<int64_t>(rng.uniformInt(3));
+            const int64_t kw = 1 + static_cast<int64_t>(rng.uniformInt(3));
+            const int64_t pad = static_cast<int64_t>(rng.uniformInt(3));
+            const int64_t h =
+                kh + static_cast<int64_t>(rng.uniformInt(8));
+            const int64_t w =
+                kw + static_cast<int64_t>(rng.uniformInt(8));
+            const int64_t ho = h + 2 * pad - kh + 1;
+            const int64_t wo = w + 2 * pad - kw + 1;
+            const Tensor input = randomTensor({ci, h, w}, rng);
+            const Tensor delta = randomTensor({co, ho, wo}, rng);
+
+            const Tensor fast =
+                ops::conv2dBackwardKernel(input, delta, kh, kw, pad);
+            const Tensor ref = ops::reference::conv2dBackwardKernel(
+                input, delta, kh, kw, pad);
+            SCOPED_TRACE("threads=" + std::to_string(threads) +
+                         " iter=" + std::to_string(iter));
+            expectBitIdentical(fast, ref, "conv2dBackwardKernel");
+        }
+    });
+}
+
+TEST(GemmFuzz, Conv2dBackwardInputMatchesReferenceBitExact)
+{
+    Rng rng(0xB1Du);
+    atThreadCounts([&](int64_t threads) {
+        for (int iter = 0; iter < 16; ++iter) {
+            const int64_t ci = 1 + static_cast<int64_t>(rng.uniformInt(3));
+            const int64_t co = 1 + static_cast<int64_t>(rng.uniformInt(4));
+            // Square kernels: padding requires kh == kw.
+            const int64_t k = 1 + static_cast<int64_t>(rng.uniformInt(3));
+            const int64_t pad = static_cast<int64_t>(rng.uniformInt(2));
+            const int64_t h = k + static_cast<int64_t>(rng.uniformInt(8));
+            const int64_t w = k + static_cast<int64_t>(rng.uniformInt(8));
+            const int64_t ho = h + 2 * pad - k + 1;
+            const int64_t wo = w + 2 * pad - k + 1;
+            const Tensor kernel = randomTensor({co, ci, k, k}, rng);
+            const Tensor delta = randomTensor({co, ho, wo}, rng);
+
+            const Tensor fast =
+                ops::conv2dBackwardInput(delta, kernel, pad);
+            const Tensor ref =
+                ops::reference::conv2dBackwardInput(delta, kernel, pad);
+            SCOPED_TRACE("threads=" + std::to_string(threads) +
+                         " iter=" + std::to_string(iter));
+            expectBitIdentical(fast, ref, "conv2dBackwardInput");
+        }
+    });
+}
+
+TEST(GemmFuzz, MatVecFamilyMatchesReferenceBitExact)
+{
+    Rng rng(0x3A7u);
+    atThreadCounts([&](int64_t threads) {
+        for (int iter = 0; iter < 24; ++iter) {
+            // Sizes straddling every unroll/grain boundary (1, the
+            // 4-row unroll, the 16/64 parallel grains).
+            const int64_t n =
+                1 + static_cast<int64_t>(rng.uniformInt(130));
+            const int64_t m =
+                1 + static_cast<int64_t>(rng.uniformInt(130));
+            const Tensor weight = randomTensor({n, m}, rng);
+            const Tensor x = randomTensor({m}, rng);
+            const Tensor y = randomTensor({n}, rng);
+            SCOPED_TRACE("threads=" + std::to_string(threads) +
+                         " iter=" + std::to_string(iter));
+            expectBitIdentical(ops::matVec(weight, x),
+                               ops::reference::matVec(weight, x),
+                               "matVec");
+            expectBitIdentical(ops::matVecT(weight, y),
+                               ops::reference::matVecT(weight, y),
+                               "matVecT");
+            expectBitIdentical(ops::outer(x, y),
+                               ops::reference::outer(x, y), "outer");
+        }
+    });
+}
+
+TEST(GemmFuzz, Im2colMatchesReferenceBitExact)
+{
+    Rng rng(0x12C07u);
+    atThreadCounts([&](int64_t threads) {
+        for (int iter = 0; iter < 16; ++iter) {
+            const int64_t c = 1 + static_cast<int64_t>(rng.uniformInt(4));
+            const int64_t kh = 1 + static_cast<int64_t>(rng.uniformInt(3));
+            const int64_t kw = 1 + static_cast<int64_t>(rng.uniformInt(3));
+            const int64_t pad = static_cast<int64_t>(rng.uniformInt(3));
+            const int64_t stride =
+                1 + static_cast<int64_t>(rng.uniformInt(3));
+            const int64_t h = kh + static_cast<int64_t>(rng.uniformInt(9));
+            const int64_t w = kw + static_cast<int64_t>(rng.uniformInt(9));
+            const Tensor input = randomTensor({c, h, w}, rng);
+            SCOPED_TRACE("threads=" + std::to_string(threads) +
+                         " iter=" + std::to_string(iter));
+            expectBitIdentical(
+                ops::im2col(input, kh, kw, stride, pad),
+                ops::reference::im2col(input, kh, kw, stride, pad),
+                "im2col");
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Crossbar: collapsed bit-plane pass vs the per-pulse emulation
+// ---------------------------------------------------------------------
+
+/**
+ * The original pulse-by-pulse LSBF walk, preserved as the semantic
+ * reference: slot t of train r injects charge 2^t * g[r][c] into each
+ * bit line's saturating integrate-and-fire counter.
+ */
+struct PulseWalkResult
+{
+    std::vector<int64_t> counts;
+    bool saturated = false;
+    int64_t input_spikes = 0;
+};
+
+PulseWalkResult
+pulseWalk(const reram::CrossbarArray &array,
+          const std::vector<reram::SpikeTrain> &inputs, int counter_bits)
+{
+    PulseWalkResult res;
+    int max_bits = 0;
+    for (const auto &train : inputs)
+        max_bits = std::max(max_bits, train.bits());
+    std::vector<reram::IntegrateFire> ifs(
+        static_cast<size_t>(array.cols()),
+        reram::IntegrateFire(counter_bits));
+    for (int t = 0; t < max_bits; ++t) {
+        const int64_t weight = int64_t{1} << t;
+        for (size_t r = 0; r < inputs.size(); ++r) {
+            if (t >= inputs[r].bits() ||
+                !inputs[r].slots[static_cast<size_t>(t)])
+                continue;
+            ++res.input_spikes;
+            for (int64_t c = 0; c < array.cols(); ++c) {
+                const int64_t g =
+                    array.cell(static_cast<int64_t>(r), c);
+                if (g != 0)
+                    ifs[static_cast<size_t>(c)].integrate(weight * g);
+            }
+        }
+    }
+    for (const auto &fire : ifs) {
+        res.counts.push_back(fire.count());
+        res.saturated = res.saturated || fire.saturated();
+    }
+    return res;
+}
+
+TEST(CrossbarCollapse, MatchesPulseWalkIncludingSaturation)
+{
+    Rng rng(0xC0BAu);
+    atThreadCounts([&](int64_t threads) {
+        for (int iter = 0; iter < 12; ++iter) {
+            reram::DeviceParams params;
+            params.array_rows =
+                4 + static_cast<int64_t>(rng.uniformInt(29));
+            params.array_cols =
+                4 + static_cast<int64_t>(rng.uniformInt(29));
+            params.data_bits =
+                1 + static_cast<int>(rng.uniformInt(12));
+            // Narrow counters on odd iterations force saturation.
+            params.counter_bits =
+                (iter % 2 == 0)
+                    ? 48
+                    : 4 + static_cast<int>(rng.uniformInt(8));
+            reram::CrossbarArray array(params);
+            for (int64_t r = 0; r < array.rows(); ++r)
+                for (int64_t c = 0; c < array.cols(); ++c)
+                    array.programCell(
+                        r, c,
+                        static_cast<int64_t>(rng.uniformInt(
+                            static_cast<uint64_t>(params.maxCellCode()) +
+                            1)));
+
+            const reram::SpikeDriver driver(params.data_bits);
+            std::vector<reram::SpikeTrain> trains;
+            std::vector<int64_t> codes;
+            for (int64_t r = 0; r < array.rows(); ++r) {
+                codes.push_back(static_cast<int64_t>(rng.uniformInt(
+                    uint64_t{1} << params.data_bits)));
+                trains.push_back(driver.encode(codes.back()));
+            }
+
+            const PulseWalkResult ref =
+                pulseWalk(array, trains, params.counter_bits);
+            const auto before = array.activity();
+            const std::vector<int64_t> fast = array.matVec(trains);
+            const auto after = array.activity();
+
+            SCOPED_TRACE("threads=" + std::to_string(threads) +
+                         " iter=" + std::to_string(iter));
+            EXPECT_EQ(fast, ref.counts);
+            EXPECT_EQ(array.lastSaturated(), ref.saturated);
+            EXPECT_EQ(after.input_spikes - before.input_spikes,
+                      ref.input_spikes);
+            EXPECT_EQ(after.mvm_ops - before.mvm_ops, 1);
+            int64_t fires = 0;
+            for (int64_t count : ref.counts)
+                fires += count;
+            EXPECT_EQ(after.if_fires - before.if_fires, fires);
+
+            // matVecCodes must be indistinguishable from encoding the
+            // codes and driving matVec (counts and activity).
+            const std::vector<int64_t> via_codes =
+                array.matVecCodes(codes);
+            const auto after_codes = array.activity();
+            EXPECT_EQ(via_codes, ref.counts);
+            EXPECT_EQ(after_codes.input_spikes - after.input_spikes,
+                      ref.input_spikes);
+        }
+    });
+}
+
+TEST(SpikeDriverMemo, MemoizedTablesMatchOnTheFlyEncoding)
+{
+    for (int bits : {1, 4, reram::SpikeDriver::kMemoBits}) {
+        const reram::SpikeDriver driver(bits);
+        for (int64_t code = 0; code < (int64_t{1} << bits); ++code) {
+            const reram::SpikeTrain train = driver.encode(code);
+            EXPECT_EQ(train.value(), code);
+            EXPECT_EQ(train.bits(), bits);
+            const reram::SpikeTrain *memo = driver.memoized(code);
+            ASSERT_NE(memo, nullptr);
+            EXPECT_EQ(memo->slots, train.slots);
+        }
+    }
+    // Above the memo limit: no table, encode still exact.
+    const reram::SpikeDriver wide(16);
+    EXPECT_EQ(wide.memoized(12345), nullptr);
+    EXPECT_EQ(wide.encode(12345).value(), 12345);
+}
+
+// ---------------------------------------------------------------------
+// Workspace arena
+// ---------------------------------------------------------------------
+
+TEST(Arena, AlignmentLifoRewindAndPeak)
+{
+    arena::Arena &a = arena::local();
+    const size_t used0 = a.used();
+    {
+        arena::ScopedBuf<float> buf(100);
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) %
+                      arena::kAlign,
+                  0u);
+        EXPECT_GE(a.used(), used0 + 100 * sizeof(float));
+        {
+            arena::ScopedBuf<int64_t> nested(7, /*zeroed=*/true);
+            for (size_t i = 0; i < nested.size(); ++i)
+                EXPECT_EQ(nested[i], 0);
+            EXPECT_EQ(reinterpret_cast<uintptr_t>(nested.data()) %
+                          arena::kAlign,
+                      0u);
+        }
+        EXPECT_GE(a.peak(), a.used());
+    }
+    // Fully rewound: the scratch is reusable, not leaked.
+    EXPECT_EQ(a.used(), used0);
+}
+
+TEST(Arena, SteadyStatePeakStabilises)
+{
+    // The first pass through a working set grows the arena; repeating
+    // the identical workload must not move the high-water mark — the
+    // "zero steady-state allocation" property the trainer stat
+    // (arena.bytes_peak) makes observable.
+    Rng rng(0x5EEDu);
+    const Tensor input = randomTensor({4, 16, 16}, rng);
+    const Tensor kernel = randomTensor({6, 4, 3, 3}, rng);
+    const Tensor bias = randomTensor({6}, rng);
+    const Tensor delta = randomTensor({6, 16, 16}, rng);
+
+    auto workload = [&] {
+        (void)ops::conv2d(input, kernel, bias, 1, 1);
+        (void)ops::conv2dBackwardKernel(input, delta, 3, 3, 1);
+    };
+    workload();
+    const size_t peak_after_first = arena::peakBytes();
+    for (int i = 0; i < 3; ++i)
+        workload();
+    EXPECT_EQ(arena::peakBytes(), peak_after_first);
+    EXPECT_GT(peak_after_first, 0u);
+}
+
+} // namespace
+} // namespace pipelayer

@@ -297,10 +297,10 @@ TEST_F(ProfTest, CallCountsAreIdenticalAcrossThreadCounts)
     // code review.
     for (const char *site :
          {"tensor.conv2d_fwd", "tensor.conv2d_bwd_input",
-          "tensor.conv2d_bwd_kernel", "tensor.matvec", "tensor.matvect",
-          "tensor.outer", "reram.crossbar_matvec", "reram.spike_encode",
-          "trainer.cycle", "trainer.cycle_compute",
-          "trainer.cycle_commit", "sim.run"}) {
+          "tensor.conv2d_bwd_kernel", "tensor.im2col", "tensor.matvec",
+          "tensor.matvect", "tensor.outer", "reram.crossbar_matvec",
+          "reram.spike_encode", "trainer.cycle",
+          "trainer.cycle_compute", "trainer.cycle_commit", "sim.run"}) {
         const auto it = serial.find(site);
         ASSERT_NE(it, serial.end()) << site;
         EXPECT_GT(it->second, 0u) << site;

@@ -48,10 +48,12 @@ isWatchedMetric(const std::string &leaf)
 {
     if (leaf == "logical_cycles")
         return true;
-    if (leaf.size() < 2)
-        return false;
-    const std::string tail = leaf.substr(leaf.size() - 2);
-    return tail == "_s" || tail == "_j";
+    const auto endsWith = [&leaf](const std::string &suffix) {
+        return leaf.size() >= suffix.size() &&
+               leaf.compare(leaf.size() - suffix.size(), suffix.size(),
+                            suffix) == 0;
+    };
+    return endsWith("_s") || endsWith("_j") || endsWith("_iters");
 }
 
 void

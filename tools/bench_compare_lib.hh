@@ -7,10 +7,12 @@
  * processes.
  *
  * What is gated: only the envelope's "result" subtree, and within it
- * only *watched* metrics — names ending in "_s" (modelled seconds) or
- * "_j" (modelled joules), plus "logical_cycles".  These are all
- * deterministic outputs of the analytical model, so a change means
- * the model changed, not that the CI machine was busy.  The "timing"
+ * only *watched* metrics — names ending in "_s" (modelled seconds),
+ * "_j" (modelled joules) or "_iters" (deterministic iteration
+ * counts, e.g. the microbenches' per-kernel `inner_iters`), plus
+ * "logical_cycles".  These are all deterministic outputs of the
+ * analytical model or of the kernel shapes, so a change means the
+ * code changed, not that the CI machine was busy.  The "timing"
  * (wall clock) and "profile" members are never gated: they vary
  * run-to-run and machine-to-machine and would make the gate flaky.
  *
@@ -65,9 +67,9 @@ struct CompareResult
 };
 
 /**
- * True when @p leaf names a watched metric: ends in "_s" or "_j",
- * or equals "logical_cycles".  @p leaf is the final path component
- * (no dots; array indices already stripped).
+ * True when @p leaf names a watched metric: ends in "_s", "_j" or
+ * "_iters", or equals "logical_cycles".  @p leaf is the final path
+ * component (no dots; array indices already stripped).
  */
 bool isWatchedMetric(const std::string &leaf);
 

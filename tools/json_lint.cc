@@ -12,7 +12,8 @@
  * (every event carries name/ph/ts/pid/tid and non-negative
  * timestamps); files with a "bench" member are checked as bench
  * envelopes (bench/threads/result members present, well-formed
- * "timing"/"profile" members when present); files with a
+ * "timing"/"profile" members when present, and well-formed
+ * microbench "kernels" rows when the result carries them); files with a
  * "profile_version" member are checked as profiler reports
  * (common/prof.hh schema: per-site counters whose histogram counts
  * sum to the call count, plus a pool-utilization section).
@@ -118,6 +119,49 @@ checkProfile(const std::string &path, const Value &doc)
     return true;
 }
 
+/**
+ * The microbenches' per-kernel rows: every entry must carry a name,
+ * a positive deterministic iteration count, a positive measured
+ * ns/call and a non-negative GFLOP/s; when a reference was timed,
+ * both its ns/call and the derived speedup must be present.
+ */
+bool
+checkKernels(const std::string &path, const Value &kernels)
+{
+    if (!kernels.isArray() || kernels.size() == 0) {
+        std::cerr << path
+                  << ": result 'kernels' is not a non-empty array\n";
+        return false;
+    }
+    for (size_t i = 0; i < kernels.size(); ++i) {
+        const Value &k = kernels.at(i);
+        for (const char *key :
+             {"name", "inner_iters", "ns_per_call", "gflops"}) {
+            if (!k.find(key)) {
+                std::cerr << path << ": kernel row " << i
+                          << " lacks '" << key << "'\n";
+                return false;
+            }
+        }
+        const std::string name = k.at("name").asString();
+        if (k.at("inner_iters").asInt() < 1 ||
+            k.at("ns_per_call").asNumber() <= 0.0 ||
+            k.at("gflops").asNumber() < 0.0) {
+            std::cerr << path << ": kernel '" << name
+                      << "' has an out-of-range metric\n";
+            return false;
+        }
+        const Value *ref = k.find("ref_ns_per_call");
+        if (ref && (ref->asNumber() <= 0.0 ||
+                    !k.find("speedup_vs_reference"))) {
+            std::cerr << path << ": kernel '" << name
+                      << "' has a bad reference timing\n";
+            return false;
+        }
+    }
+    return true;
+}
+
 bool
 checkEnvelope(const std::string &path, const Value &doc)
 {
@@ -127,6 +171,10 @@ checkEnvelope(const std::string &path, const Value &doc)
                       << "'\n";
             return false;
         }
+    }
+    if (const Value *kernels = doc.at("result").find("kernels")) {
+        if (!checkKernels(path, *kernels))
+            return false;
     }
     if (const Value *timing = doc.find("timing")) {
         for (const char *key :
