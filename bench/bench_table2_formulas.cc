@@ -8,6 +8,7 @@
  * network hyper-parameters as reconstructed).
  */
 
+#include <chrono>
 #include <iostream>
 
 #include "arch/granularity.hh"
@@ -132,6 +133,106 @@ printTable3(bench::Runner &r)
     r.result()["table3"] = table.toJson();
 }
 
+void
+printLargeN(bench::Runner &r)
+{
+    // Large-N scaling of the cycle loop itself: the event core's
+    // cost follows the scheduled ops, the dense reference walk's
+    // follows the horizon (one cycle visit + one vector allocation
+    // per cycle, busy or idle).  With back-to-back arrivals the two
+    // coincide — every cycle of a PipeLayer schedule is busy — so the
+    // serving shape (ROADMAP item 2: one image every
+    // arrival_interval cycles, horizon >> ops) is where the event
+    // core pulls away.
+    const int64_t images = 100000;
+    const int64_t depth = 3;
+    workloads::NetworkSpec spec;
+    spec.name = "chain";
+    for (int64_t i = 0; i < depth; ++i)
+        spec.layers.push_back(workloads::LayerSpec::innerProduct(64, 64));
+    const reram::DeviceParams params;
+    const auto g = arch::GranularityConfig::naive(spec);
+    const arch::NetworkMapping map(spec, g, params, false, 1);
+
+    const auto timed = [](auto &&body) {
+        const auto t0 = std::chrono::steady_clock::now();
+        body();
+        const auto t1 = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+
+    std::cout << "Large-N cycle-loop scaling (testing schedule, N = "
+              << images << ", L = " << depth
+              << "): event core vs dense walk\n\n";
+    Table table({"arrival interval", "event iters", "dense iters",
+                 "event wall s", "dense wall s", "speedup"});
+    json::Value rows = json::Value::array();
+    json::Value walls = json::Value::array();
+    for (const int64_t interval :
+         {int64_t{1}, int64_t{64}, int64_t{256}}) {
+        arch::ScheduleConfig config;
+        config.pipelined = true;
+        config.training = false;
+        config.num_images = images;
+        config.arrival_interval = interval;
+
+        arch::PipelineScheduler event(map, config);
+        arch::ScheduleStats event_stats;
+        const double event_wall =
+            timed([&] { event_stats = event.run(); });
+        const int64_t event_iters = event.lastRunCycleIters();
+
+        arch::PipelineScheduler dense(map, config);
+        arch::ScheduleStats dense_stats;
+        const double dense_wall =
+            timed([&] { dense_stats = dense.runReference(); });
+        const int64_t dense_iters = dense.lastRunCycleIters();
+
+        PL_ASSERT(event_stats.total_cycles == dense_stats.total_cycles &&
+                      event_stats.forward_ops == dense_stats.forward_ops,
+                  "event core diverged from the dense reference walk");
+        PL_ASSERT(event_iters <= dense_iters,
+                  "event core iterated more cycles than the dense walk");
+
+        const double speedup =
+            event_wall > 0.0 ? dense_wall / event_wall : 0.0;
+        table.addRow({std::to_string(interval),
+                      std::to_string(event_iters),
+                      std::to_string(dense_iters),
+                      Table::num(event_wall, 4),
+                      Table::num(dense_wall, 4),
+                      Table::num(speedup, 2) + "x"});
+
+        // Deterministic counters carry the _iters suffix so
+        // tools/bench_compare gates them and CI can byte-compare the
+        // result subtree; wall times and speedups are machine-
+        // dependent and go in the envelope's info member.
+        json::Value row = json::Value::object();
+        row["arrival_interval"] = json::Value(interval);
+        row["logical_cycles"] = json::Value(event_stats.total_cycles);
+        row["event_cycle_iters"] = json::Value(event_iters);
+        row["dense_cycle_iters"] = json::Value(dense_iters);
+        row["events_dispatched"] = json::Value(event.lastRunEvents());
+        rows.push(std::move(row));
+
+        json::Value wall = json::Value::object();
+        wall["arrival_interval"] = json::Value(interval);
+        wall["event_wall_seconds"] = json::Value(event_wall);
+        wall["dense_wall_seconds"] = json::Value(dense_wall);
+        wall["speedup"] = json::Value(speedup);
+        walls.push(std::move(wall));
+    }
+    r.print(table);
+    std::cout << "\nback-to-back arrivals (interval 1) keep every "
+                 "cycle busy; the serving shape leaves the dense walk "
+                 "visiting (N-1) x interval + L mostly-idle cycles\n\n";
+    json::Value large = json::Value::object();
+    large["images"] = json::Value(images);
+    large["rows"] = std::move(rows);
+    r.result()["large_n"] = std::move(large);
+    r.info()["large_n_walls"] = std::move(walls);
+}
+
 } // namespace
 
 int
@@ -143,6 +244,7 @@ main(int argc, char **argv)
         printCycleTable(r);
         printArrayCostTable(r);
         printTable3(r);
+        printLargeN(r);
         return 0;
         });
 }

@@ -178,6 +178,8 @@ Runner::finish()
     envelope["bench"] = json::Value(name_);
     envelope["threads"] = json::Value(threadCount());
     envelope["result"] = std::move(result_);
+    if (info_.size() > 0)
+        envelope["info"] = std::move(info_);
 
     // Wall-clock timing over the --repeat runs.  Informational only:
     // tools/bench_compare never gates on the "timing" member, because
@@ -249,8 +251,10 @@ Runner::main(const std::string &name, int argc, const char *const *argv,
         std::vector<double> wall_s;
         wall_s.reserve(static_cast<size_t>(runner.repeat()));
         for (int64_t i = 0; i < runner.repeat(); ++i) {
-            if (i > 0)
+            if (i > 0) {
                 runner.result_ = json::Value::object();
+                runner.info_ = json::Value::object();
+            }
             const auto t0 = std::chrono::steady_clock::now();
             const int rc = body(runner);
             const auto t1 = std::chrono::steady_clock::now();

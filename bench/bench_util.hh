@@ -85,9 +85,10 @@ json::Value toJson(const std::vector<EvalRow> &rows);
  * plus any bench-specific flags declared at construction — and the
  * same exit codes: 0 on success, 1 on a configuration error
  * (ConfigError) or unwritable output.  Every run writes a JSON
- * envelope {"bench", "threads", "result", "timing"[, "profile"]}
- * whose "result" member the bench fills via result() (schema in
- * docs/observability.md).
+ * envelope {"bench", "threads", "result", "timing"[, "info"]
+ * [, "profile"]} whose "result" member the bench fills via result()
+ * (schema in docs/observability.md); "result" must be deterministic
+ * — machine-dependent numbers go in info() or the timing member.
  *
  * @code
  *   int main(int argc, char **argv)
@@ -133,6 +134,16 @@ class Runner
     /** The "result" member of the JSON envelope — fill me. */
     json::Value &result() { return result_; }
 
+    /**
+     * The "info" member of the JSON envelope: machine-dependent
+     * measurements (wall clocks, speedups) that belong next to the
+     * result but must not pollute it — "result" is deterministic by
+     * contract, so CI can byte-compare it against committed goldens
+     * and tools/bench_compare can gate its metrics.  Omitted from the
+     * envelope when left empty.
+     */
+    json::Value &info() { return info_; }
+
     /** Per-repetition wall times recorded by main() (seconds). */
     void setWallTimes(std::vector<double> wall_s);
 
@@ -161,6 +172,7 @@ class Runner
     std::string profile_path_;
     std::vector<double> wall_s_;
     json::Value result_ = json::Value::object();
+    json::Value info_ = json::Value::object();
 };
 
 } // namespace bench

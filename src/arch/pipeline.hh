@@ -3,7 +3,7 @@
  * The PipeLayer training/testing pipeline scheduler
  * (paper §3.1 Fig. 3, §3.3 Fig. 6/7, Table 2).
  *
- * The scheduler executes the logical-cycle schedule cycle by cycle:
+ * The scheduler executes the logical-cycle schedule event by event:
  * image i entering at logical cycle t0 performs
  *  - forward at stage l in cycle t0 + l            (produces d_l),
  *  - output-error seeding in cycle t0 + L + 1      (δ_L from d_L),
@@ -13,12 +13,22 @@
  * image per cycle within a batch; a weight-update cycle separates
  * batches.  The scheduler drives the inter-stage circular buffers so
  * structural hazards and buffer sizing are checked, not assumed.
+ *
+ * run() drains a monotonic event queue (common/event_queue.hh):
+ * every scheduled op is an event keyed by its logical cycle, and the
+ * run loop only visits cycles that carry work — O(ops log n) instead
+ * of O(horizon x stages), with no horizon-sized allocations.  The
+ * pre-event dense cycle walk is preserved as runReference() for the
+ * equivalence suite and the speedup bench; both paths share the same
+ * per-cycle executor, so their stats, buffer traffic and traces are
+ * identical by construction (DESIGN.md §8).
  */
 
 #ifndef PIPELAYER_ARCH_PIPELINE_HH_
 #define PIPELAYER_ARCH_PIPELINE_HH_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -37,6 +47,31 @@ struct ScheduleConfig
     bool training = true;   //!< false: forward-only (testing phase)
     int64_t batch_size = 64;
     int64_t num_images = 64;
+
+    /**
+     * Cycles between consecutive image arrivals in a pipelined
+     * testing schedule (the serving shape, ROADMAP item 2): image i
+     * enters at t0 = i * arrival_interval instead of back-to-back.
+     * Intervals > 1 leave idle cycles between images, which only the
+     * event-driven core skips — the dense reference walk still visits
+     * the whole (N-1) * interval + L horizon.  Must be 1 (the
+     * paper's throughput schedule, and the default) for training or
+     * non-pipelined runs.
+     */
+    int64_t arrival_interval = 1;
+
+    /**
+     * Check the configuration, throwing ConfigError (not asserting)
+     * on bad values, mirroring sim::SimConfig::validate():
+     * batch_size must be positive (a non-positive batch used to hang
+     * buildSchedule forever — the batch loop never advanced),
+     * num_images must be non-negative (an empty schedule is legal and
+     * runs to zero cycles), and arrival_interval must be positive and
+     * is only meaningful for pipelined testing.  Called from the
+     * PipelineScheduler constructor, so benches and tests driving
+     * ScheduleConfig directly can no longer bypass validation.
+     */
+    void validate() const;
 };
 
 /** Everything the scheduler measured. */
@@ -91,8 +126,33 @@ class PipelineScheduler
                       const ScheduleConfig &config,
                       int64_t buffer_slack = 0);
 
-    /** Run the schedule and return the measurements. */
+    /**
+     * Run the schedule and return the measurements.
+     *
+     * Event-driven: ops drain from a monotonic event queue, so only
+     * cycles that carry work are visited.  Produces byte-identical
+     * stats, buffer traffic and trace output to runReference().
+     */
     ScheduleStats run();
+
+    /**
+     * The pre-event reference implementation: builds the dense
+     * per-cycle op table over the whole horizon and walks every
+     * cycle, idle or not.  Kept (like ops::reference for the compute
+     * kernels) so the equivalence tests can prove run() exact and the
+     * large-N bench can measure the event core's speedup against it.
+     */
+    ScheduleStats runReference();
+
+    /**
+     * Cycle-loop iterations of the most recent run()/runReference():
+     * busy cycles only for the event core, the full walked horizon
+     * for the reference walk.  Deterministic, so benches can gate it.
+     */
+    int64_t lastRunCycleIters() const { return last_run_cycle_iters_; }
+
+    /** Events dispatched by the most recent run (ops + input writes). */
+    int64_t lastRunEvents() const { return last_run_events_; }
 
     /**
      * Attach a pipeline event trace: the unit rows (renderTimeline()
@@ -113,7 +173,13 @@ class PipelineScheduler
      */
     std::string renderTimeline(int64_t max_cycles = 40);
 
-    /** @name Closed forms of paper Fig. 7 / Table 2. */
+    /** @name Closed forms of paper Fig. 7 / Table 2.
+     *
+     * Both forms return 0 for an empty schedule (N = 0) — the
+     * pipelined testing form N + L - 1 is only valid for N >= 1 —
+     * and throw ConfigError on a non-positive batch size or negative
+     * image count instead of dividing by zero.
+     */
     ///@{
 
     /** Non-pipelined training: (2L+1)N + N/B cycles. */
@@ -126,26 +192,56 @@ class PipelineScheduler
     ///@}
 
   private:
-    /** One scheduled operation. */
+    /** One scheduled operation (event payload). */
     struct Op
     {
         enum class Kind { Forward, ErrorSeed, ErrorBack, Derivative,
-                          Update };
+                          Update, InputWrite };
         Kind kind;
         int64_t image;  //!< image id (-1 for updates)
-        int64_t stage;  //!< 0-based stage (-1 for updates)
+        int64_t stage;  //!< 0-based stage (-1 for updates/inputs)
     };
 
-    void scheduleImage(int64_t image, int64_t t0,
-                       std::vector<std::vector<Op>> &by_cycle);
+    /** Receives each scheduled op in canonical emission order. */
+    using OpEmit = std::function<void(int64_t cycle, const Op &op)>;
 
     /**
-     * Build the complete cycle-indexed operation list.
+     * Cycles the schedule occupies (the analytic closed form, or its
+     * arrival-interval generalisation for serving-shaped testing).
+     * Bounds buildSchedule() emission and sizes runReference()'s
+     * dense cycle table.
+     */
+    int64_t scheduleSpan() const;
+
+    void scheduleImage(int64_t image, int64_t t0,
+                       const OpEmit &emit) const;
+
+    /**
+     * Emit the complete schedule — compute ops, input writes and
+     * update cycles — in the canonical order (ascending image within
+     * a batch, batches in sequence).  Within any one cycle, emission
+     * order is the execution order both run paths observe.
      * @param entry_cycle out: per-image entry cycle t0.
      * @return the last occupied cycle.
      */
-    int64_t buildSchedule(std::vector<std::vector<Op>> &by_cycle,
-                          std::vector<int64_t> &entry_cycle);
+    int64_t buildSchedule(const OpEmit &emit,
+                          std::vector<int64_t> &entry_cycle) const;
+
+    /** Mutable state shared by the two run paths. */
+    struct RunState;
+
+    /**
+     * Execute one logical cycle over the ops [begin, end): hazard
+     * accounting, trace emission, the read-before-write buffer
+     * phases and the work counters.  Both run() and runReference()
+     * funnel through here, which is what makes them byte-identical.
+     */
+    void executeCycle(int64_t cycle, const Op *begin, const Op *end,
+                      RunState &state);
+
+    /** Fold RunState into the returned ScheduleStats. */
+    ScheduleStats finalizeStats(RunState &state,
+                                int64_t last_cycle) const;
 
     /** Track index of (kind, stage) given the declared row layout. */
     int64_t traceTrack(Op::Kind kind, int64_t stage) const;
@@ -155,6 +251,8 @@ class PipelineScheduler
     int64_t buffer_slack_;
     trace::TraceRecorder *trace_ = nullptr;
     int64_t trace_base_ = 0; //!< first track declared on trace_
+    int64_t last_run_cycle_iters_ = 0;
+    int64_t last_run_events_ = 0;
 };
 
 } // namespace arch

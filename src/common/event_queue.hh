@@ -1,0 +1,154 @@
+/**
+ * @file
+ * A monotonic, cycle-keyed event queue for the simulation cores.
+ *
+ * The pipeline scheduler and the pipelined trainer used to walk every
+ * logical cycle of the schedule horizon, even when most cycles carry
+ * no work; this queue is the event-driven replacement (ROADMAP item 5,
+ * the mgsim idiom): producers schedule() activations at a future (or
+ * the currently-draining) cycle, and the consumer drains one cycle at
+ * a time with popCycle().  A run's cost becomes O(events log n)
+ * instead of O(horizon x stages), and — crucially for large-N
+ * schedules — no horizon-sized per-cycle containers are allocated.
+ *
+ * Determinism rules (the dumps and traces built on top of this queue
+ * are byte-identical to the dense cycle walk they replaced):
+ *
+ *  - events drain in ascending cycle order (monotonic: scheduling
+ *    into the past is an error, checked with PL_ASSERT);
+ *  - within one cycle, events drain in FIFO schedule() order — ties
+ *    are broken by an insertion sequence number, never by payload
+ *    comparison or container internals;
+ *  - scheduling *at* the cycle currently being drained is allowed
+ *    (an activation can trigger same-cycle work); a subsequent
+ *    popCycle() of the same cycle picks the new events up, again in
+ *    FIFO order.
+ */
+
+#ifndef PIPELAYER_COMMON_EVENT_QUEUE_HH_
+#define PIPELAYER_COMMON_EVENT_QUEUE_HH_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace pipelayer {
+namespace events {
+
+/**
+ * Min-heap of (cycle, sequence)-keyed events.
+ *
+ * @tparam Payload the event body; kept by value, so it should be a
+ *         small trivially-copyable struct (an op descriptor, not the
+ *         data it operates on).
+ */
+template <typename Payload>
+class EventQueue
+{
+  public:
+    /** Pre-size the underlying storage for @p n events. */
+    void reserve(size_t n) { heap_.reserve(n); }
+
+    /**
+     * Enqueue @p payload for @p cycle.  Monotonic: @p cycle must not
+     * precede the cycle most recently drained by popCycle() (equal is
+     * fine — same-cycle activation).
+     */
+    void schedule(int64_t cycle, Payload payload)
+    {
+        PL_ASSERT(cycle >= drained_cycle_,
+                  "event scheduled at cycle %lld behind the queue "
+                  "head %lld",
+                  (long long)cycle, (long long)drained_cycle_);
+        heap_.push_back(Item{cycle, next_seq_++, payload});
+        if (heapified_)
+            std::push_heap(heap_.begin(), heap_.end(), Later{});
+        ++scheduled_;
+    }
+
+    bool empty() const { return heap_.empty(); }
+
+    /** Events currently pending. */
+    size_t size() const { return heap_.size(); }
+
+    /** Events ever scheduled (deterministic run-size counter). */
+    int64_t scheduled() const { return scheduled_; }
+
+    /** The earliest pending cycle.  The queue must not be empty. */
+    int64_t nextCycle()
+    {
+        PL_ASSERT(!heap_.empty(), "nextCycle() on an empty queue");
+        ensureHeap();
+        return heap_.front().cycle;
+    }
+
+    /**
+     * Drain every event pending for @p cycle, appending them to
+     * @p out in FIFO order, and return the number drained.  @p cycle
+     * must be nextCycle() (the queue is monotonic; skipping a busy
+     * cycle would break it).
+     */
+    size_t popCycle(int64_t cycle, std::vector<Payload> &out)
+    {
+        ensureHeap();
+        PL_ASSERT(!heap_.empty() && heap_.front().cycle == cycle,
+                  "popCycle(%lld) does not match the queue head",
+                  (long long)cycle);
+        size_t drained = 0;
+        while (!heap_.empty() && heap_.front().cycle == cycle) {
+            std::pop_heap(heap_.begin(), heap_.end(), Later{});
+            out.push_back(heap_.back().payload);
+            heap_.pop_back();
+            ++drained;
+        }
+        drained_cycle_ = cycle;
+        return drained;
+    }
+
+  private:
+    struct Item
+    {
+        int64_t cycle;
+        int64_t seq;
+        Payload payload;
+    };
+
+    /** Max-heap comparator inverted into a (cycle, seq) min-heap. */
+    struct Later
+    {
+        bool operator()(const Item &a, const Item &b) const
+        {
+            if (a.cycle != b.cycle)
+                return a.cycle > b.cycle;
+            return a.seq > b.seq;
+        }
+    };
+
+    /**
+     * Bulk-build fast path: producers that enqueue their whole
+     * schedule before the first drain (the pipeline scheduler) pay
+     * one O(n) make_heap instead of n O(log n) sifts; once draining
+     * starts, schedule() keeps the heap property incrementally.
+     */
+    void ensureHeap()
+    {
+        if (heapified_)
+            return;
+        std::make_heap(heap_.begin(), heap_.end(), Later{});
+        heapified_ = true;
+    }
+
+    std::vector<Item> heap_;
+    bool heapified_ = false;
+    int64_t next_seq_ = 0;
+    int64_t scheduled_ = 0;
+    int64_t drained_cycle_ = std::numeric_limits<int64_t>::min();
+};
+
+} // namespace events
+} // namespace pipelayer
+
+#endif // PIPELAYER_COMMON_EVENT_QUEUE_HH_

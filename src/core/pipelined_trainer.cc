@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/arena.hh"
+#include "common/event_queue.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/prof.hh"
@@ -327,36 +328,78 @@ PipelinedTrainer::trainBatch(const std::vector<Tensor> &inputs,
         double loss = 0.0; //!< Seed loss
         Tensor delta;      //!< Seed / Backward error output
     };
+
+    // Cycle work is dispatched from the event queue instead of a
+    // per-cycle window scan: each image's entry is staged upfront at
+    // its t0, and the serial commit of an action schedules the
+    // image's next action one cycle later.  The commit runs in
+    // ascending image order, so successor events enqueue in ascending
+    // image order too and every cycle's FIFO span replays exactly the
+    // window scan's work list (oldest image first, the newly-entered
+    // image's first forward last — Entry processing schedules it into
+    // the cycle currently draining).
+    enum class EvKind { Entry, Forward, Seed, Backward };
+    struct Ev
+    {
+        EvKind kind;
+        int64_t image;
+        int64_t stage; //!< s for Forward, 1-based l for Backward
+    };
+    events::EventQueue<Ev> queue;
+    queue.reserve(static_cast<size_t>(batch * (2 * depth_l + 3)));
+    for (int64_t i = 0; i < batch; ++i)
+        queue.schedule(i + 1, {EvKind::Entry, i, 0});
+
     // Hoisted out of the cycle loop: clear() keeps the capacity, so
     // steady-state cycles reuse the same allocation.
     std::vector<CycleWork> work;
+    std::vector<Ev> span;
 
-    for (int64_t cycle = 1; cycle <= total_cycles; ++cycle) {
-        // ---- image entry: d_0 staged at t0 = i (cycle i, i.e. the
-        // write lands before the image's first compute cycle) -------
-        const int64_t entering = cycle - 1;
-        if (entering >= 0 && entering < batch) {
-            Entry e;
-            e.output = inputs[static_cast<size_t>(entering)];
-            d_buf[0][entering] = std::move(e);
-            check_capacity(0);
-        }
+    while (!queue.empty()) {
+        const int64_t cycle = queue.nextCycle();
+        span.clear();
+        queue.popCycle(cycle, span);
 
         work.clear();
-        for (int64_t i = std::max<int64_t>(0, cycle - 2 * depth_l - 2);
-             i < batch && i < cycle; ++i) {
-            const int64_t t0 = i;
-            // Forward stage s at cycle t0 + s + 1; error seed at
-            // t0 + L + 1; backward pair for 1-based stage l at
-            // t0 + 2L + 2 - l.  The three windows are disjoint.
-            const int64_t s = cycle - t0 - 1;
-            const int64_t l = t0 + 2 * depth_l + 2 - cycle;
-            if (s >= 0 && s < depth_l)
-                work.push_back({i, Action::Forward, s, {}, 0.0, {}});
-            else if (cycle == t0 + depth_l + 1)
-                work.push_back({i, Action::Seed, 0, {}, 0.0, {}});
-            else if (l >= 1 && l <= depth_l)
-                work.push_back({i, Action::Backward, l, {}, 0.0, {}});
+        auto collect = [&work](const Ev &ev) {
+            switch (ev.kind) {
+              case EvKind::Forward:
+                work.push_back(
+                    {ev.image, Action::Forward, ev.stage, {}, 0.0, {}});
+                break;
+              case EvKind::Seed:
+                work.push_back(
+                    {ev.image, Action::Seed, 0, {}, 0.0, {}});
+                break;
+              case EvKind::Backward:
+                work.push_back(
+                    {ev.image, Action::Backward, ev.stage, {}, 0.0, {}});
+                break;
+              case EvKind::Entry:
+                panic("entry event left in the work span");
+            }
+        };
+        for (const Ev &ev : span) {
+            if (ev.kind != EvKind::Entry) {
+                collect(ev);
+                continue;
+            }
+            // Image entry: d_0 staged at t0 = i (the write lands in
+            // cycle i + 1 alongside — but ordered before — the
+            // image's first forward, which enters the same cycle).
+            const int64_t i = ev.image;
+            Entry e;
+            e.output = inputs[static_cast<size_t>(i)];
+            d_buf[0][i] = std::move(e);
+            check_capacity(0);
+            queue.schedule(cycle, {EvKind::Forward, i, 0});
+        }
+        if (!queue.empty() && queue.nextCycle() == cycle) {
+            // Pick up the same-cycle forwards the entries scheduled.
+            span.clear();
+            queue.popCycle(cycle, span);
+            for (const Ev &ev : span)
+                collect(ev);
         }
 
         PL_PROF_SCOPE("trainer.cycle");
@@ -492,6 +535,14 @@ PipelinedTrainer::trainBatch(const std::vector<Tensor> &inputs,
                 d_buf[static_cast<size_t>(wk.stage + 1)][i] =
                     std::move(wk.forward_out);
                 check_capacity(wk.stage + 1);
+                // The image advances one stage per cycle: next
+                // forward, or the error seed past the last stage.
+                if (wk.stage + 1 < depth_l) {
+                    queue.schedule(cycle + 1,
+                                   {EvKind::Forward, i, wk.stage + 1});
+                } else {
+                    queue.schedule(cycle + 1, {EvKind::Seed, i, 0});
+                }
                 break;
               case Action::Seed:
                 ++result.error_seeds;
@@ -501,6 +552,8 @@ PipelinedTrainer::trainBatch(const std::vector<Tensor> &inputs,
                 // d_L's last use: free the slot now (read-before-
                 // write within the cycle).
                 d_buf[static_cast<size_t>(depth_l)].erase(i);
+                queue.schedule(cycle + 1,
+                               {EvKind::Backward, i, depth_l});
                 break;
               case Action::Backward:
                 ++result.backward_ops;
@@ -512,6 +565,10 @@ PipelinedTrainer::trainBatch(const std::vector<Tensor> &inputs,
                 // the slots before any younger image writes them.
                 d_buf[static_cast<size_t>(wk.stage - 1)].erase(i);
                 delta_buf[static_cast<size_t>(wk.stage - 1)].erase(i);
+                if (wk.stage >= 2) {
+                    queue.schedule(cycle + 1,
+                                   {EvKind::Backward, i, wk.stage - 1});
+                }
                 break;
             }
         }

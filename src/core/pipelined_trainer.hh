@@ -16,6 +16,14 @@
  * the problem the paper's memory-subarray buffers solve.  Everything
  * the backward pass needs (the stage output d_l, pooling argmax
  * indices, activation outputs) travels in the buffer entry.
+ *
+ * Cycle work is dispatched from a monotonic event queue
+ * (common/event_queue.hh): image entries are staged upfront and each
+ * serial commit schedules the image's next action one cycle later, so
+ * the per-cycle work list is the queue's FIFO span rather than a
+ * window scan over all in-flight images.  The commit stays serial and
+ * ascending-image, which keeps weights, counters and traces
+ * bit-identical to the window-scan implementation (DESIGN.md §8).
  */
 
 #ifndef PIPELAYER_CORE_PIPELINED_TRAINER_HH_

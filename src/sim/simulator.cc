@@ -74,6 +74,17 @@ SimConfig::validate() const
     }
 }
 
+arch::ScheduleConfig
+SimConfig::schedule() const
+{
+    arch::ScheduleConfig sched;
+    sched.pipelined = pipelined;
+    sched.training = phase == Phase::Training;
+    sched.batch_size = batch_size;
+    sched.num_images = num_images;
+    return sched;
+}
+
 json::Value
 EnergyBreakdown::toJson() const
 {
@@ -417,12 +428,7 @@ Simulator::run(const SimConfig &config) const
     const bool training = config.phase == Phase::Training;
     const arch::NetworkMapping map = mapping(config);
 
-    arch::ScheduleConfig sched_config;
-    sched_config.pipelined = config.pipelined;
-    sched_config.training = training;
-    sched_config.batch_size = config.batch_size;
-    sched_config.num_images = config.num_images;
-    arch::PipelineScheduler scheduler(map, sched_config);
+    arch::PipelineScheduler scheduler(map, config.schedule());
     const arch::ScheduleStats sched = scheduler.run();
 
     SimReport report;

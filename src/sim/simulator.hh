@@ -52,6 +52,14 @@ struct SimConfig
      * paper's schedule separates full batches with an update cycle.
      */
     void validate() const;
+
+    /**
+     * The scheduler configuration this run implies (phase mapped to
+     * ScheduleConfig::training).  The result satisfies
+     * ScheduleConfig::validate() whenever this config satisfies
+     * validate().
+     */
+    arch::ScheduleConfig schedule() const;
 };
 
 /** Energy breakdown in joules. */

@@ -13,6 +13,7 @@
 #include "arch/granularity.hh"
 #include "arch/mapping.hh"
 #include "arch/pipeline.hh"
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "nn/layers.hh"
 #include "workloads/layer_spec.hh"
@@ -269,6 +270,288 @@ TEST(Schedule, PeakBufferUsageMatchesFormula)
                   2 * (depth - j) + 1)
             << "buffer d" << j;
     }
+}
+
+/** Full field-by-field equality of two ScheduleStats. */
+void
+expectStatsEqual(const ScheduleStats &a, const ScheduleStats &b,
+                 const std::string &what)
+{
+    EXPECT_EQ(a.total_cycles, b.total_cycles) << what;
+    EXPECT_EQ(a.forward_ops, b.forward_ops) << what;
+    EXPECT_EQ(a.error_ops, b.error_ops) << what;
+    EXPECT_EQ(a.derivative_ops, b.derivative_ops) << what;
+    EXPECT_EQ(a.update_cycles, b.update_cycles) << what;
+    EXPECT_EQ(a.stage_utilization, b.stage_utilization) << what;
+    EXPECT_EQ(a.structural_hazards, b.structural_hazards) << what;
+    EXPECT_EQ(a.buffer_violations, b.buffer_violations) << what;
+    EXPECT_EQ(a.peak_buffer_entries, b.peak_buffer_entries) << what;
+    EXPECT_EQ(a.per_stage_ops, b.per_stage_ops) << what;
+}
+
+struct EquivalencePoint
+{
+    int64_t depth;
+    int64_t images;
+    int64_t batch;
+};
+
+class EventCoreSweep : public ::testing::TestWithParam<EquivalencePoint>
+{
+};
+
+TEST_P(EventCoreSweep, MatchesReferenceAndClosedForms)
+{
+    // The event-driven run() must agree with the dense reference walk
+    // *exactly* — every stat, including violations under tight
+    // buffers — and with the Table-2 closed forms, across all four
+    // (pipelined x training) modes and partial batches (B does not
+    // divide N at e.g. N=7, B=3).
+    const auto [depth, images, batch] = GetParam();
+    const NetworkSpec spec = chainOfDepth(depth);
+
+    for (const bool training : {true, false}) {
+        const NetworkMapping map = mappingFor(spec, training, batch);
+        for (const bool pipelined : {true, false}) {
+            for (const int64_t slack : {int64_t{0}, int64_t{-1}}) {
+                ScheduleConfig config;
+                config.pipelined = pipelined;
+                config.training = training;
+                config.batch_size = batch;
+                config.num_images = images;
+                const std::string what =
+                    "depth=" + std::to_string(depth) +
+                    " N=" + std::to_string(images) +
+                    " B=" + std::to_string(batch) +
+                    " pipelined=" + std::to_string(pipelined) +
+                    " training=" + std::to_string(training) +
+                    " slack=" + std::to_string(slack);
+
+                PipelineScheduler event(map, config, slack);
+                const ScheduleStats from_events = event.run();
+                const int64_t event_iters = event.lastRunCycleIters();
+
+                PipelineScheduler dense(map, config, slack);
+                const ScheduleStats from_walk = dense.runReference();
+                expectStatsEqual(from_events, from_walk, what);
+
+                // The event core never iterates more than the dense
+                // horizon walk (and both dispatch every event).
+                EXPECT_LE(event_iters, dense.lastRunCycleIters())
+                    << what;
+                EXPECT_EQ(event.lastRunEvents(),
+                          dense.lastRunEvents())
+                    << what;
+
+                const int64_t analytic = training
+                    ? PipelineScheduler::analyticTrainingCycles(
+                          depth, images, batch, pipelined)
+                    : PipelineScheduler::analyticTestingCycles(
+                          depth, images, pipelined);
+                EXPECT_EQ(from_events.total_cycles, analytic) << what;
+            }
+        }
+    }
+}
+
+std::vector<EquivalencePoint>
+equivalenceSweep()
+{
+    std::vector<EquivalencePoint> points;
+    for (const int64_t depth : {1, 2, 3, 5})
+        for (const int64_t images : {0, 1, 7, 64})
+            for (const int64_t batch : {1, 3, 64})
+                points.push_back({depth, images, batch});
+    return points;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, EventCoreSweep,
+                         ::testing::ValuesIn(equivalenceSweep()));
+
+TEST(ScheduleConfigValidate, RejectsNonPositiveBatch)
+{
+    // batch = min(B, N - image) with B <= 0 never advanced the batch
+    // loop: buildSchedule used to hang forever.  The ctor validates
+    // first and throws a typed error instead.
+    const NetworkSpec spec = chainOfDepth(2);
+    const NetworkMapping map = mappingFor(spec, true, 1);
+    ScheduleConfig config;
+    config.batch_size = 0;
+    EXPECT_THROW(config.validate(), ConfigError);
+    EXPECT_THROW(PipelineScheduler(map, config), ConfigError);
+    config.batch_size = -4;
+    EXPECT_THROW(PipelineScheduler(map, config), ConfigError);
+}
+
+TEST(ScheduleConfigValidate, RejectsNegativeImages)
+{
+    const NetworkSpec spec = chainOfDepth(2);
+    const NetworkMapping map = mappingFor(spec, true, 1);
+    ScheduleConfig config;
+    config.num_images = -1;
+    EXPECT_THROW(config.validate(), ConfigError);
+    EXPECT_THROW(PipelineScheduler(map, config), ConfigError);
+}
+
+TEST(ScheduleConfigValidate, AcceptsEmptySchedule)
+{
+    ScheduleConfig config;
+    config.num_images = 0;
+    EXPECT_NO_THROW(config.validate());
+}
+
+TEST(ScheduleConfigValidate, RejectsBadArrivalInterval)
+{
+    ScheduleConfig config;
+    config.pipelined = true;
+    config.training = false;
+    config.arrival_interval = 0;
+    EXPECT_THROW(config.validate(), ConfigError);
+    config.arrival_interval = -3;
+    EXPECT_THROW(config.validate(), ConfigError);
+
+    // Intervals > 1 are the serving shape: pipelined testing only.
+    config.arrival_interval = 4;
+    EXPECT_NO_THROW(config.validate());
+    config.training = true;
+    EXPECT_THROW(config.validate(), ConfigError);
+    config.training = false;
+    config.pipelined = false;
+    EXPECT_THROW(config.validate(), ConfigError);
+}
+
+TEST(Schedule, ServingArrivalsMatchReferenceWalk)
+{
+    // arrival_interval stretches the pipelined testing schedule
+    // without changing any per-image op; the event core and the
+    // dense reference walk must still agree exactly, and the span
+    // generalises N + L - 1 to (N - 1) * interval + L.
+    const int64_t depth = 3;
+    const NetworkSpec spec = chainOfDepth(depth);
+    const NetworkMapping map = mappingFor(spec, false, 1);
+    for (const int64_t interval : {int64_t{1}, int64_t{5}}) {
+        ScheduleConfig config;
+        config.pipelined = true;
+        config.training = false;
+        config.num_images = 40;
+        config.arrival_interval = interval;
+
+        PipelineScheduler event(map, config);
+        const ScheduleStats from_events = event.run();
+        PipelineScheduler dense(map, config);
+        const ScheduleStats from_walk = dense.runReference();
+        const std::string what =
+            "interval=" + std::to_string(interval);
+        expectStatsEqual(from_events, from_walk, what);
+        EXPECT_EQ(from_events.total_cycles,
+                  (40 - 1) * interval + depth)
+            << what;
+        EXPECT_LE(event.lastRunCycleIters(),
+                  dense.lastRunCycleIters())
+            << what;
+        EXPECT_EQ(event.lastRunEvents(), dense.lastRunEvents())
+            << what;
+    }
+}
+
+TEST(AnalyticForms, ZeroImagesIsZeroCycles)
+{
+    // N + L - 1 would give depth - 1 cycles for an empty testing
+    // schedule; both closed forms special-case N = 0.
+    for (const int64_t depth : {1, 3, 5}) {
+        for (const bool pipelined : {true, false}) {
+            EXPECT_EQ(PipelineScheduler::analyticTestingCycles(
+                          depth, 0, pipelined),
+                      0);
+            EXPECT_EQ(PipelineScheduler::analyticTrainingCycles(
+                          depth, 0, 8, pipelined),
+                      0);
+        }
+    }
+}
+
+TEST(AnalyticForms, RejectBadArguments)
+{
+    // The closed form used to divide by zero via ceilDiv(n, 0).
+    EXPECT_THROW(PipelineScheduler::analyticTrainingCycles(3, 8, 0, true),
+                 ConfigError);
+    EXPECT_THROW(
+        PipelineScheduler::analyticTrainingCycles(3, 8, -1, false),
+        ConfigError);
+    EXPECT_THROW(PipelineScheduler::analyticTrainingCycles(3, -1, 8, true),
+                 ConfigError);
+    EXPECT_THROW(PipelineScheduler::analyticTestingCycles(3, -1, true),
+                 ConfigError);
+}
+
+TEST(Schedule, EmptyScheduleRunsToZeroCycles)
+{
+    // N = 0 is a legal (if degenerate) schedule: no ops, no cycles,
+    // zero utilization — and no division-by-zero NaN.
+    const int64_t depth = 3;
+    const NetworkSpec spec = chainOfDepth(depth);
+    for (const bool training : {true, false}) {
+        const NetworkMapping map = mappingFor(spec, training, 1);
+        for (const bool pipelined : {true, false}) {
+            ScheduleConfig config;
+            config.pipelined = pipelined;
+            config.training = training;
+            config.num_images = 0;
+            PipelineScheduler scheduler(map, config);
+            const ScheduleStats stats = scheduler.run();
+            EXPECT_EQ(stats.total_cycles, 0);
+            EXPECT_EQ(stats.forward_ops, 0);
+            EXPECT_EQ(stats.error_ops, 0);
+            EXPECT_EQ(stats.derivative_ops, 0);
+            EXPECT_EQ(stats.update_cycles, 0);
+            EXPECT_EQ(stats.stage_utilization, 0.0);
+            EXPECT_EQ(stats.structural_hazards, 0);
+            EXPECT_EQ(stats.buffer_violations, 0);
+            ASSERT_EQ(stats.peak_buffer_entries.size(),
+                      static_cast<size_t>(depth + 1));
+            for (const int64_t peak : stats.peak_buffer_entries)
+                EXPECT_EQ(peak, 0);
+            EXPECT_EQ(scheduler.lastRunCycleIters(), 0);
+            EXPECT_EQ(scheduler.lastRunEvents(), 0);
+        }
+    }
+}
+
+TEST(Schedule, EventCoreSkipsIdleCycles)
+{
+    // A non-pipelined testing schedule is mostly idle between images;
+    // the event core visits only the busy cycles while the reference
+    // walks the whole horizon.
+    const NetworkSpec spec = chainOfDepth(3);
+    const NetworkMapping map = mappingFor(spec, false, 1);
+    ScheduleConfig config;
+    config.pipelined = true;
+    config.training = false;
+    config.num_images = 1000;
+    PipelineScheduler scheduler(map, config);
+    const ScheduleStats stats = scheduler.run();
+    EXPECT_EQ(stats.total_cycles, 1000 + 3 - 1);
+    // Busy cycles only: images enter at t0 = i (cycle i), compute in
+    // cycles 1..N+L-1; cycle 0 carries only image 0's input write.
+    EXPECT_EQ(scheduler.lastRunCycleIters(), 1000 + 3);
+    // input writes + L forwards per image.
+    EXPECT_EQ(scheduler.lastRunEvents(), 1000 * (3 + 1));
+
+    // Serving arrivals leave real gaps: with interval 16 each image
+    // touches only 4 cycles (input write + 3 forwards) out of every
+    // 16, so the busy-cycle count stays 4N while the horizon — and
+    // the dense walk — grows to ~16N.
+    config.arrival_interval = 16;
+    PipelineScheduler serving(map, config);
+    const ScheduleStats serving_stats = serving.run();
+    EXPECT_EQ(serving_stats.total_cycles, (1000 - 1) * 16 + 3);
+    EXPECT_EQ(serving.lastRunCycleIters(), 1000 * 4);
+    EXPECT_EQ(serving.lastRunEvents(), 1000 * 4);
+
+    PipelineScheduler reference(map, config);
+    const ScheduleStats walk_stats = reference.runReference();
+    EXPECT_EQ(walk_stats.total_cycles, serving_stats.total_cycles);
+    EXPECT_GE(reference.lastRunCycleIters(), (1000 - 1) * 16);
 }
 
 TEST(Schedule, RealNetworksScheduleCleanly)

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Prints one top-level member of a JSON document in the in-tree
+ * writer's canonical form:
+ *
+ *   json_extract FILE MEMBER
+ *
+ * Written for the CI equivalence gate: a bench envelope's "result"
+ * member is deterministic by contract (wall clocks live in
+ * "timing"/"info"), so extracting it and byte-comparing against a
+ * committed golden proves a refactor changed nothing the schedule
+ * semantics can observe.  Extraction goes through parse + re-write
+ * rather than text slicing, so envelope member order and whitespace
+ * do not matter — only the member's value does.
+ *
+ * Exit code: 0 on success, 1 on a missing file, parse error or
+ * missing member.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/json.hh"
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        std::cerr << "usage: json_extract FILE MEMBER\n";
+        return 1;
+    }
+    const std::string path = argv[1];
+    const std::string member = argv[2];
+
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "json_extract: cannot read " << path << "\n";
+        return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+
+    pipelayer::json::Value doc;
+    try {
+        doc = pipelayer::json::parse(buf.str());
+    } catch (const std::exception &err) {
+        std::cerr << "json_extract: " << path << ": " << err.what()
+                  << "\n";
+        return 1;
+    }
+
+    const pipelayer::json::Value *value = doc.find(member);
+    if (!value) {
+        std::cerr << "json_extract: " << path << " has no top-level '"
+                  << member << "' member\n";
+        return 1;
+    }
+    value->write(std::cout, /*indent=*/1);
+    std::cout << "\n";
+    return 0;
+}
