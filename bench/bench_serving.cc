@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Open-loop serving sweep (ROADMAP item 2, docs/serving.md): drive
+ * Poisson request streams at rates from light load to overload
+ * through sim::ServingSim and report the latency distribution,
+ * batch-coalescing behaviour and backpressure at each rate, plus one
+ * bursty stream to show deadline-forced partial batches.
+ *
+ * Every metric in the result subtree is logical-cycle arithmetic
+ * from seeded traces — deterministic at any PL_THREADS — so CI gates
+ * p50/p95/p99 latency, shed/admitted counts and batch counts with
+ * tools/bench_compare against bench/baselines/BENCH_serving.json.
+ * Host wall-clock measurements live in the envelope's info member,
+ * which is never gated.
+ */
+
+#include <chrono>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "common/json.hh"
+#include "common/table.hh"
+#include "reram/params.hh"
+#include "sim/arrival.hh"
+#include "sim/serving.hh"
+#include "workloads/model_zoo.hh"
+
+namespace {
+
+using namespace pipelayer;
+
+constexpr int64_t kRequests = 4096;
+constexpr uint64_t kSeed = 0x9e3779b97f4a7c15ULL;
+
+/** One sweep point: serve @p trace and add its row. */
+void
+addPoint(bench::Runner &r, Table &table, json::Value &rows,
+         json::Value &walls, const sim::ServingSim &serving,
+         const sim::ServingConfig &config, const sim::ArrivalTrace &trace)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const sim::ServingReport rep = serving.run(trace, config);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    table.addRow({trace.describe(), std::to_string(rep.admitted_count),
+                  std::to_string(rep.shed_count),
+                  std::to_string(rep.batch_count),
+                  std::to_string(rep.deadline_batches),
+                  std::to_string(rep.peak_queue_depth),
+                  std::to_string(rep.p50_latency_cycles),
+                  std::to_string(rep.p95_latency_cycles),
+                  std::to_string(rep.p99_latency_cycles)});
+
+    json::Value row = json::Value::object();
+    row["trace"] = trace.toJson();
+    row["admitted_count"] = rep.admitted_count;
+    row["shed_count"] = rep.shed_count;
+    row["batch_count"] = rep.batch_count;
+    row["deadline_batches"] = rep.deadline_batches;
+    row["peak_queue_depth"] = rep.peak_queue_depth;
+    row["p50_latency_cycles"] = rep.p50_latency_cycles;
+    row["p95_latency_cycles"] = rep.p95_latency_cycles;
+    row["p99_latency_cycles"] = rep.p99_latency_cycles;
+    row["max_latency_cycles"] = rep.max_latency_cycles;
+    row["logical_cycles"] = rep.sched.total_cycles;
+    json::Value hist = json::Value::array();
+    for (const auto &bucket : rep.batch_size_hist) {
+        json::Value pair = json::Value::array();
+        pair.push(bucket.first);
+        pair.push(bucket.second);
+        hist.push(std::move(pair));
+    }
+    row["batch_size_hist"] = std::move(hist);
+    rows.push(std::move(row));
+
+    json::Value wall = json::Value::object();
+    wall["trace"] = json::Value(trace.describe());
+    wall["wall_s"] =
+        json::Value(std::chrono::duration<double>(t1 - t0).count());
+    walls.push(std::move(wall));
+    (void)r;
+}
+
+int
+body(bench::Runner &r)
+{
+    const workloads::NetworkSpec spec = workloads::mnistA();
+    const reram::DeviceParams params;
+    const sim::ServingSim serving(spec, params);
+    const int64_t depth = serving.depth();
+
+    sim::ServingConfig config;
+    // Defaults: sweet-spot max batch, capacity 64, deadline 32.
+
+    std::cout << "Open-loop serving sweep: " << spec.name << " (depth "
+              << depth << ", max batch "
+              << sim::ServingConfig::sweetSpotBatch(depth)
+              << ", queue capacity " << config.queue_capacity
+              << ", max wait " << config.max_wait_cycles
+              << " cycles), " << kRequests << " requests per point\n\n";
+
+    Table table({"arrivals", "admitted", "shed", "batches",
+                 "by deadline", "peak queue", "p50", "p95", "p99"});
+    json::Value rows = json::Value::array();
+    json::Value walls = json::Value::array();
+
+    // The pipeline admits one request per cycle once warm, so the
+    // Poisson rate sweeps from far-under capacity (0.05 req/cycle)
+    // through near-saturation (0.5) to 2x overload, where the
+    // bounded queue must shed.
+    for (const double rate : {0.05, 0.5, 2.0}) {
+        addPoint(r, table, rows, walls, serving, config,
+                 sim::ArrivalTrace::poisson(kRequests, rate, kSeed));
+    }
+    // Bursts larger than the batch bound exercise the deadline path
+    // and the queue-depth peak without sustained overload.
+    addPoint(r, table, rows, walls, serving, config,
+             sim::ArrivalTrace::bursty(kRequests, 16, 24, kSeed));
+
+    r.print(table);
+    std::cout << "\nShed counts are backpressure, not lost work: the "
+                 "admission queue is bounded, so overload is measured "
+                 "(shed_count) instead of growing latency without "
+                 "bound.\n";
+
+    r.result()["network"] = json::Value(spec.name);
+    r.result()["depth"] = json::Value(depth);
+    r.result()["config"] = [&] {
+        sim::ServingConfig resolved = config;
+        if (resolved.max_batch == 0) {
+            resolved.max_batch =
+                sim::ServingConfig::sweetSpotBatch(depth);
+        }
+        return resolved.toJson();
+    }();
+    r.result()["num_requests"] = json::Value(kRequests);
+    r.result()["rows"] = std::move(rows);
+    r.info()["wall_times"] = std::move(walls);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return pipelayer::bench::Runner::main("serving", argc, argv, {},
+                                          body);
+}

@@ -16,6 +16,7 @@
 #include "arch/pipeline.hh"
 #include "bench/bench_util.hh"
 #include "common/logging.hh"
+#include "sim/arrival.hh"
 #include "workloads/model_zoo.hh"
 
 namespace {
@@ -141,8 +142,8 @@ printLargeN(bench::Runner &r)
     // follows the horizon (one cycle visit + one vector allocation
     // per cycle, busy or idle).  With back-to-back arrivals the two
     // coincide — every cycle of a PipeLayer schedule is busy — so the
-    // serving shape (ROADMAP item 2: one image every
-    // arrival_interval cycles, horizon >> ops) is where the event
+    // serving shape (ROADMAP item 2: a fixed ArrivalTrace spacing
+    // images k cycles apart, horizon >> ops) is where the event
     // core pulls away.
     const int64_t images = 100000;
     const int64_t depth = 3;
@@ -174,7 +175,8 @@ printLargeN(bench::Runner &r)
         config.pipelined = true;
         config.training = false;
         config.num_images = images;
-        config.arrival_interval = interval;
+        config.arrival_cycles =
+            sim::ArrivalTrace::fixed(images, interval).cycles();
 
         arch::PipelineScheduler event(map, config);
         arch::ScheduleStats event_stats;

@@ -104,16 +104,35 @@ ScheduleConfig::validate() const
             "ScheduleConfig: num_images must be non-negative, got " +
             std::to_string(num_images));
     }
-    if (arrival_interval < 1) {
-        throw ConfigError(
-            "ScheduleConfig: arrival_interval must be positive, got " +
-            std::to_string(arrival_interval));
-    }
-    if (arrival_interval != 1 && (training || !pipelined)) {
-        throw ConfigError(
-            "ScheduleConfig: arrival_interval is a pipelined-testing "
-            "(serving) knob; training and non-pipelined schedules "
-            "pace images themselves");
+    if (!arrival_cycles.empty()) {
+        if (training || !pipelined) {
+            throw ConfigError(
+                "ScheduleConfig: arrival_cycles is a pipelined-testing "
+                "(serving) knob; training and non-pipelined schedules "
+                "pace images themselves");
+        }
+        if (static_cast<int64_t>(arrival_cycles.size()) != num_images) {
+            throw ConfigError(
+                "ScheduleConfig: got " +
+                std::to_string(arrival_cycles.size()) +
+                " arrival cycles for " + std::to_string(num_images) +
+                " images");
+        }
+        int64_t prev = 0;
+        for (const int64_t cycle : arrival_cycles) {
+            if (cycle < 0) {
+                throw ConfigError(
+                    "ScheduleConfig: arrival cycles must be "
+                    "non-negative, got " + std::to_string(cycle));
+            }
+            if (cycle < prev) {
+                throw ConfigError(
+                    "ScheduleConfig: arrival cycles must be "
+                    "non-decreasing (" + std::to_string(cycle) +
+                    " after " + std::to_string(prev) + ")");
+            }
+            prev = cycle;
+        }
     }
 }
 
@@ -214,8 +233,12 @@ PipelineScheduler::scheduleSpan() const
     const int64_t n = config_.num_images;
     // Serving arrivals stretch the pipelined testing schedule: the
     // closed form N + L - 1 assumes back-to-back images.
-    if (!config_.training && config_.pipelined && n > 0)
-        return (n - 1) * config_.arrival_interval + depth;
+    if (!config_.training && config_.pipelined && n > 0) {
+        const int64_t last = config_.arrival_cycles.empty()
+            ? n - 1
+            : config_.arrival_cycles.back();
+        return last + depth;
+    }
     return config_.training
         ? analyticTrainingCycles(depth, n, config_.batch_size,
                                  config_.pipelined)
@@ -292,7 +315,9 @@ PipelineScheduler::buildSchedule(const OpEmit &emit,
     } else {
         for (int64_t i = 0; i < n; ++i) {
             const int64_t t0 = config_.pipelined
-                ? i * config_.arrival_interval
+                ? (config_.arrival_cycles.empty()
+                       ? i
+                       : config_.arrival_cycles[static_cast<size_t>(i)])
                 : i * depth;
             entry_cycle[static_cast<size_t>(i)] = t0;
             add(t0, {Op::Kind::InputWrite, i, -1});

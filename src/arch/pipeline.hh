@@ -49,16 +49,24 @@ struct ScheduleConfig
     int64_t num_images = 64;
 
     /**
-     * Cycles between consecutive image arrivals in a pipelined
-     * testing schedule (the serving shape, ROADMAP item 2): image i
-     * enters at t0 = i * arrival_interval instead of back-to-back.
-     * Intervals > 1 leave idle cycles between images, which only the
+     * Explicit per-image arrival cycles for a pipelined testing
+     * schedule (the serving shape, ROADMAP item 2): image i enters at
+     * t0 = arrival_cycles[i] instead of back-to-back.  Empty (the
+     * default) keeps the paper's throughput schedule t0 = i.  Sparse
+     * arrivals leave idle cycles between images, which only the
      * event-driven core skips — the dense reference walk still visits
-     * the whole (N-1) * interval + L horizon.  Must be 1 (the
-     * paper's throughput schedule, and the default) for training or
-     * non-pipelined runs.
+     * the whole arrival_cycles.back() + L horizon.
+     *
+     * The sequence is produced by sim::ArrivalTrace (fixed, Poisson,
+     * uniform, bursty and replay generators); a fixed-interval trace
+     * {0, k, 2k, ...} reproduces the retired arrival_interval knob
+     * byte-identically.  Cycles must be non-negative, non-decreasing,
+     * one per image.  Same-cycle arrivals are legal: the colliding
+     * stage claims surface as structural hazards, so the scheduler
+     * measures overload instead of hiding it (sim::ServingSim's
+     * admission queue serialises entries and never produces them).
      */
-    int64_t arrival_interval = 1;
+    std::vector<int64_t> arrival_cycles;
 
     /**
      * Check the configuration, throwing ConfigError (not asserting)
@@ -66,10 +74,11 @@ struct ScheduleConfig
      * batch_size must be positive (a non-positive batch used to hang
      * buildSchedule forever — the batch loop never advanced),
      * num_images must be non-negative (an empty schedule is legal and
-     * runs to zero cycles), and arrival_interval must be positive and
-     * is only meaningful for pipelined testing.  Called from the
-     * PipelineScheduler constructor, so benches and tests driving
-     * ScheduleConfig directly can no longer bypass validation.
+     * runs to zero cycles), and arrival_cycles — only meaningful for
+     * pipelined testing — must hold one non-negative, non-decreasing
+     * cycle per image.  Called from the PipelineScheduler
+     * constructor, so benches and tests driving ScheduleConfig
+     * directly can no longer bypass validation.
      */
     void validate() const;
 };

@@ -1,0 +1,124 @@
+#include "sim/job.hh"
+
+#include "common/logging.hh"
+
+namespace pipelayer {
+namespace sim {
+
+Job
+Job::fromConfig(const SimConfig &config)
+{
+    Job job;
+    job.phase = config.phase;
+    job.pipelined = config.pipelined;
+    job.batch_size = config.batch_size;
+    job.num_images = config.num_images;
+    return job;
+}
+
+SimConfig
+Job::config() const
+{
+    SimConfig c;
+    c.phase = phase;
+    c.pipelined = pipelined;
+    c.batch_size = batch_size;
+    c.num_images = num_images;
+    return c;
+}
+
+arch::ScheduleConfig
+Job::schedule() const
+{
+    arch::ScheduleConfig sched = config().schedule();
+    if (!arrivals.empty())
+        sched.arrival_cycles = arrivals.cycles();
+    return sched;
+}
+
+void
+Job::validate() const
+{
+    config().validate();
+    arrivals.validate();
+    if (!arrivals.empty()) {
+        if (phase == Phase::Training || !pipelined) {
+            throw ConfigError(
+                "Job: an arrival trace is a pipelined-testing "
+                "(serving) description; training and non-pipelined "
+                "jobs pace images themselves");
+        }
+        if (arrivals.size() != num_images) {
+            throw ConfigError(
+                "Job: arrival trace has " +
+                std::to_string(arrivals.size()) + " requests for " +
+                std::to_string(num_images) + " images");
+        }
+    }
+}
+
+json::Value
+Job::toJson() const
+{
+    json::Value v = json::Value::object();
+    v["job_version"] = json::Value(int64_t{1});
+    v["network"] = json::Value(network);
+    v["phase"] = json::Value(
+        phase == Phase::Training ? "training" : "testing");
+    v["pipelined"] = json::Value(pipelined);
+    v["batch_size"] = json::Value(batch_size);
+    v["num_images"] = json::Value(num_images);
+    if (!arrivals.empty())
+        v["arrivals"] = arrivals.toJson();
+    return v;
+}
+
+Job
+Job::fromJson(const json::Value &v)
+{
+    Job job;
+    if (const json::Value *network = v.find("network")) {
+        if (!network->isString())
+            throw ConfigError("Job: 'network' must be a string");
+        job.network = network->asString();
+    }
+    const json::Value *phase = v.find("phase");
+    if (!phase || !phase->isString())
+        throw ConfigError("Job: JSON lacks a 'phase' string");
+    if (phase->asString() == "training")
+        job.phase = Phase::Training;
+    else if (phase->asString() == "testing")
+        job.phase = Phase::Testing;
+    else {
+        throw ConfigError("Job: unknown phase '" + phase->asString() +
+                          "'");
+    }
+    if (const json::Value *pipelined = v.find("pipelined")) {
+        if (!pipelined->isBool())
+            throw ConfigError("Job: 'pipelined' must be a bool");
+        job.pipelined = pipelined->asBool();
+    }
+    if (const json::Value *batch = v.find("batch_size")) {
+        if (!batch->isNumber())
+            throw ConfigError("Job: 'batch_size' must be a number");
+        job.batch_size = batch->asInt();
+    }
+    if (const json::Value *arrivals = v.find("arrivals"))
+        job.arrivals = ArrivalTrace::fromJson(*arrivals);
+    if (const json::Value *images = v.find("num_images")) {
+        if (!images->isNumber())
+            throw ConfigError("Job: 'num_images' must be a number");
+        job.num_images = images->asInt();
+    } else if (!job.arrivals.empty()) {
+        // A serving job's volume is implied by its arrival trace.
+        job.num_images = job.arrivals.size();
+    } else {
+        throw ConfigError(
+            "Job: JSON needs 'num_images' or an 'arrivals' trace");
+    }
+    job.validate();
+    return job;
+}
+
+} // namespace sim
+} // namespace pipelayer

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The job description / execution split (DNNsim's Simulator/Batch
+ * idiom, SNIPPETS.md §2; LBANN's trainer/reader separation, §1).
+ *
+ * A sim::Job is everything one simulation run needs to be described —
+ * the workload (network name), the phase, the batching and volume,
+ * and the request-arrival shape — with no execution machinery
+ * attached.  Simulator::run(const Job &) is the canonical execution
+ * entry point; the legacy SimConfig overload forwards through
+ * Job::fromConfig(), so a SimConfig run and its Job equivalent
+ * produce byte-identical SimReports (tests/test_serving.cc asserts
+ * this on every report field).
+ *
+ * Jobs are constructible from JSON (schema below, pinned by a golden
+ * test and validated by tools/json_lint) so serving tools can accept
+ * work descriptions over the wire:
+ *
+ *   {"job_version": 1, "network": "Mnist-A", "phase": "testing",
+ *    "pipelined": true, "batch_size": 64, "num_images": 256,
+ *    "arrivals": {<ArrivalTrace JSON, optional>}}
+ */
+
+#ifndef PIPELAYER_SIM_JOB_HH_
+#define PIPELAYER_SIM_JOB_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hh"
+#include "sim/arrival.hh"
+#include "sim/simulator.hh"
+
+namespace pipelayer {
+namespace sim {
+
+/** One simulation run, fully described and not yet executed. */
+struct Job
+{
+    /**
+     * Workload label.  Empty means "whatever network the executing
+     * Simulator was built for"; non-empty names must match the
+     * simulator's spec (checked in Simulator::run, so a job meant
+     * for VGG-A cannot silently run on an MNIST mapping).  Tools
+     * resolve names via workloads::networkByName().
+     */
+    std::string network;
+
+    Phase phase = Phase::Testing;
+    bool pipelined = true;
+    int64_t batch_size = 64;
+    int64_t num_images = 256;
+
+    /**
+     * Request-arrival shape.  Empty (the default) is the paper's
+     * back-to-back throughput schedule; a non-empty trace is the
+     * serving shape — pipelined testing only, one arrival cycle per
+     * image.
+     */
+    ArrivalTrace arrivals;
+
+    /** The Job equivalent of a legacy SimConfig (dense arrivals). */
+    static Job fromConfig(const SimConfig &config);
+
+    /** Rebuild from JSON; throws ConfigError on bad descriptions. */
+    static Job fromJson(const json::Value &v);
+
+    /** The machine-readable description (schema in the file header). */
+    json::Value toJson() const;
+
+    /** The SimConfig subset (phase/pipelined/batch/volume). */
+    SimConfig config() const;
+
+    /**
+     * The scheduler configuration this job implies: the SimConfig
+     * mapping plus the arrival cycles.
+     */
+    arch::ScheduleConfig schedule() const;
+
+    /**
+     * Check the description: the SimConfig subset must validate, the
+     * arrival trace must validate, and a non-empty trace needs
+     * pipelined testing with exactly one arrival per image.
+     */
+    void validate() const;
+};
+
+} // namespace sim
+} // namespace pipelayer
+
+#endif // PIPELAYER_SIM_JOB_HH_

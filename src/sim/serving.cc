@@ -1,0 +1,358 @@
+#include "sim/serving.hh"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/prof.hh"
+
+namespace pipelayer {
+namespace sim {
+
+namespace {
+
+/**
+ * Nearest-rank percentile of an ascending-sorted sample: the smallest
+ * element with at least pct percent of the sample at or below it.
+ * Integer arithmetic end to end, so gatable byte-for-byte.
+ */
+int64_t
+percentile(const std::vector<int64_t> &sorted, int64_t pct)
+{
+    if (sorted.empty())
+        return 0;
+    const int64_t m = static_cast<int64_t>(sorted.size());
+    int64_t rank = (pct * m + 99) / 100;
+    rank = std::max<int64_t>(1, std::min(rank, m));
+    return sorted[static_cast<size_t>(rank - 1)];
+}
+
+} // namespace
+
+int64_t
+ServingConfig::sweetSpotBatch(int64_t depth)
+{
+    PL_ASSERT(depth > 0, "sweetSpotBatch needs a mapped network");
+    return 2 * depth + 1;
+}
+
+void
+ServingConfig::validate() const
+{
+    if (queue_capacity < 1) {
+        throw ConfigError(
+            "ServingConfig: queue_capacity must be at least 1, got " +
+            std::to_string(queue_capacity));
+    }
+    if (max_batch < 0) {
+        throw ConfigError(
+            "ServingConfig: max_batch must be non-negative "
+            "(0 means the sweet spot), got " +
+            std::to_string(max_batch));
+    }
+    if (max_wait_cycles < 0) {
+        throw ConfigError(
+            "ServingConfig: max_wait_cycles must be non-negative, "
+            "got " + std::to_string(max_wait_cycles));
+    }
+}
+
+json::Value
+ServingConfig::toJson() const
+{
+    json::Value v = json::Value::object();
+    v["queue_capacity"] = queue_capacity;
+    v["max_batch"] = max_batch;
+    v["max_wait_cycles"] = max_wait_cycles;
+    return v;
+}
+
+json::Value
+CompletionRecord::toJson() const
+{
+    json::Value v = json::Value::object();
+    v["id"] = id;
+    v["arrival_cycle"] = arrival_cycle;
+    v["admitted"] = json::Value(admitted);
+    if (admitted) {
+        v["entry_cycle"] = entry_cycle;
+        v["completion_cycle"] = completion_cycle;
+        v["latency_cycles"] = latency_cycles;
+        v["batch_id"] = batch_id;
+        v["batch_size"] = batch_size;
+    }
+    return v;
+}
+
+json::Value
+ServingReport::toJson() const
+{
+    json::Value v = json::Value::object();
+    v["serve_version"] = json::Value(int64_t{1});
+    v["network"] = json::Value(network);
+    v["depth"] = depth;
+    v["config"] = config.toJson();
+    v["arrival_count"] = arrival_count;
+    v["admitted_count"] = admitted_count;
+    v["shed_count"] = shed_count;
+    v["peak_queue_depth"] = peak_queue_depth;
+    v["mean_queue_depth"] = mean_queue_depth;
+    v["batch_count"] = batch_count;
+    v["deadline_batches"] = deadline_batches;
+    json::Value hist = json::Value::array();
+    for (const auto &bucket : batch_size_hist) {
+        json::Value pair = json::Value::array();
+        pair.push(bucket.first);
+        pair.push(bucket.second);
+        hist.push(std::move(pair));
+    }
+    v["batch_size_hist"] = std::move(hist);
+    v["p50_latency_cycles"] = p50_latency_cycles;
+    v["p95_latency_cycles"] = p95_latency_cycles;
+    v["p99_latency_cycles"] = p99_latency_cycles;
+    v["max_latency_cycles"] = max_latency_cycles;
+    v["mean_latency_cycles"] = mean_latency_cycles;
+    v["mean_queue_wait_cycles"] = mean_queue_wait_cycles;
+    v["schedule"] = sched.toJson();
+    v["execution"] = execution.toJson();
+    return v;
+}
+
+void
+ServingReport::addStats(stats::StatGroup &group) const
+{
+    const auto add = [&group](const std::string &name, double value,
+                              std::string desc) {
+        group.addFormula(name, [value] { return value; },
+                         std::move(desc));
+    };
+    add("arrival_count", static_cast<double>(arrival_count),
+        "requests in the arrival trace");
+    add("admitted_count", static_cast<double>(admitted_count),
+        "requests admitted to the pipeline");
+    add("shed_count", static_cast<double>(shed_count),
+        "requests shed at queue capacity (backpressure)");
+    add("peak_queue_depth", static_cast<double>(peak_queue_depth),
+        "largest admission-queue occupancy");
+    add("mean_queue_depth", mean_queue_depth,
+        "mean queue depth observed by arrivals");
+    add("batch_count", static_cast<double>(batch_count),
+        "batches launched");
+    add("deadline_batches", static_cast<double>(deadline_batches),
+        "partial batches forced out by the max-wait deadline");
+    add("p50_latency_cycles", static_cast<double>(p50_latency_cycles),
+        "median request latency (logical cycles)");
+    add("p95_latency_cycles", static_cast<double>(p95_latency_cycles),
+        "95th-percentile request latency (logical cycles)");
+    add("p99_latency_cycles", static_cast<double>(p99_latency_cycles),
+        "99th-percentile request latency (logical cycles)");
+    add("max_latency_cycles", static_cast<double>(max_latency_cycles),
+        "worst request latency (logical cycles)");
+    add("mean_latency_cycles", mean_latency_cycles,
+        "mean request latency (logical cycles)");
+    add("mean_queue_wait_cycles", mean_queue_wait_cycles,
+        "mean cycles spent queued before pipeline entry");
+}
+
+void
+ServingReport::print(std::ostream &os) const
+{
+    os << "=== Serving: " << network << " (depth " << depth << ") ===\n"
+       << "  queue capacity " << config.queue_capacity << ", max batch "
+       << config.max_batch << ", max wait " << config.max_wait_cycles
+       << " cycles\n"
+       << "  arrivals:  " << arrival_count << " (" << admitted_count
+       << " admitted, " << shed_count << " shed)\n"
+       << "  queue:     peak depth " << peak_queue_depth << ", mean "
+       << mean_queue_depth << "\n"
+       << "  batches:   " << batch_count << " launched, "
+       << deadline_batches << " by deadline\n"
+       << "  latency:   p50 " << p50_latency_cycles << ", p95 "
+       << p95_latency_cycles << ", p99 " << p99_latency_cycles
+       << ", max " << max_latency_cycles << " cycles\n"
+       << "  execution: " << sched.total_cycles
+       << " logical cycles, utilization " << sched.stage_utilization
+       << "\n";
+}
+
+ServingSim::ServingSim(const workloads::NetworkSpec &spec,
+                       const reram::DeviceParams &params)
+    : spec_(spec), simulator_(spec, params)
+{
+}
+
+ServingSim::ServingSim(const workloads::NetworkSpec &spec,
+                       const reram::DeviceParams &params,
+                       const arch::GranularityConfig &granularity)
+    : spec_(spec), simulator_(spec, params, granularity)
+{
+}
+
+int64_t
+ServingSim::depth() const
+{
+    return spec_.pipelineDepth();
+}
+
+ServingReport
+ServingSim::run(const ArrivalTrace &trace,
+                const ServingConfig &config) const
+{
+    PL_PROF_SCOPE("serving.run");
+    config.validate();
+    trace.validate();
+
+    ServingReport report;
+    report.network = spec_.name;
+    report.depth = depth();
+    report.config = config;
+    if (report.config.max_batch == 0)
+        report.config.max_batch = ServingConfig::sweetSpotBatch(depth());
+    const int64_t max_batch = report.config.max_batch;
+    const int64_t max_wait = report.config.max_wait_cycles;
+    const int64_t capacity = report.config.queue_capacity;
+
+    const std::vector<int64_t> &arrivals = trace.cycles();
+    const int64_t n = static_cast<int64_t>(arrivals.size());
+    report.arrival_count = n;
+    report.completions.resize(static_cast<size_t>(n));
+
+    // ---- Admission + coalescing -----------------------------------
+    // The policy is pure integer arithmetic over the trace: arrivals
+    // and launches are interleaved in cycle order, with an arrival in
+    // the same cycle as a launch observing the pre-launch queue (the
+    // deterministic tie-break; under overload that is the
+    // conservative, shedding-prone choice).
+    struct Pending
+    {
+        int64_t id;
+        int64_t arrival;
+    };
+    std::deque<Pending> queue;
+    size_t next = 0;             // next trace index to ingest
+    int64_t admission_free = 0;  // first cycle the pipeline input is free
+    int64_t depth_sum = 0;       // queue depth summed over arrivals
+    std::map<int64_t, int64_t> hist;
+    std::vector<int64_t> entry_cycles;
+    entry_cycles.reserve(arrivals.size());
+
+    const auto ingest = [&](size_t i) {
+        CompletionRecord &rec = report.completions[i];
+        rec.id = static_cast<int64_t>(i);
+        rec.arrival_cycle = arrivals[i];
+        const int64_t found = static_cast<int64_t>(queue.size());
+        depth_sum += found;
+        if (found >= capacity) {
+            rec.admitted = false;
+            report.shed_count++;
+            return;
+        }
+        rec.admitted = true;
+        queue.push_back({rec.id, rec.arrival_cycle});
+        report.peak_queue_depth =
+            std::max(report.peak_queue_depth, found + 1);
+    };
+
+    while (next < arrivals.size() || !queue.empty()) {
+        if (queue.empty()) {
+            ingest(next++);
+            continue;
+        }
+        // Launch cycle: when the batch fills to max_batch, or the
+        // oldest pending request hits its deadline — whichever comes
+        // first — but never before the pipeline input is free.
+        // Ingesting arrivals can only pull the trigger earlier (they
+        // fill the batch sooner; the oldest request is fixed), so
+        // iterate until no arrival precedes the candidate launch.
+        int64_t launch;
+        for (;;) {
+            int64_t trigger = queue.front().arrival + max_wait;
+            if (static_cast<int64_t>(queue.size()) >= max_batch) {
+                trigger = std::min(
+                    trigger,
+                    queue[static_cast<size_t>(max_batch - 1)].arrival);
+            }
+            launch = std::max(admission_free, trigger);
+            if (next < arrivals.size() && arrivals[next] <= launch)
+                ingest(next++);
+            else
+                break;
+        }
+        const int64_t b = std::min<int64_t>(
+            static_cast<int64_t>(queue.size()), max_batch);
+        for (int64_t j = 0; j < b; ++j) {
+            const Pending p = queue.front();
+            queue.pop_front();
+            CompletionRecord &rec =
+                report.completions[static_cast<size_t>(p.id)];
+            rec.entry_cycle = launch + j;
+            rec.completion_cycle = rec.entry_cycle + report.depth;
+            rec.latency_cycles = rec.completion_cycle - rec.arrival_cycle;
+            rec.batch_id = report.batch_count;
+            rec.batch_size = b;
+            entry_cycles.push_back(rec.entry_cycle);
+        }
+        report.batch_count++;
+        if (b < max_batch)
+            report.deadline_batches++;
+        hist[b]++;
+        admission_free = launch + b;
+    }
+
+    report.admitted_count = static_cast<int64_t>(entry_cycles.size());
+    report.mean_queue_depth =
+        n > 0 ? static_cast<double>(depth_sum) / static_cast<double>(n)
+              : 0.0;
+    for (const auto &bucket : hist)
+        report.batch_size_hist.push_back(bucket);
+
+    // ---- Latency distribution -------------------------------------
+    std::vector<int64_t> latencies;
+    latencies.reserve(entry_cycles.size());
+    int64_t latency_sum = 0;
+    int64_t wait_sum = 0;
+    for (const CompletionRecord &rec : report.completions) {
+        if (!rec.admitted)
+            continue;
+        latencies.push_back(rec.latency_cycles);
+        latency_sum += rec.latency_cycles;
+        wait_sum += rec.entry_cycle - rec.arrival_cycle;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    report.p50_latency_cycles = percentile(latencies, 50);
+    report.p95_latency_cycles = percentile(latencies, 95);
+    report.p99_latency_cycles = percentile(latencies, 99);
+    if (!latencies.empty()) {
+        report.max_latency_cycles = latencies.back();
+        const double m = static_cast<double>(latencies.size());
+        report.mean_latency_cycles =
+            static_cast<double>(latency_sum) / m;
+        report.mean_queue_wait_cycles =
+            static_cast<double>(wait_sum) / m;
+    }
+
+    // ---- Execution: replay the admitted entries through the mapped
+    // network via the canonical Job entry point.  Entry cycles are
+    // strictly increasing by construction (consecutive launches are
+    // separated by their batch sizes), so the schedule is hazard-free:
+    // any overload shows up here as shed requests, not as pipeline
+    // conflicts.
+    if (report.admitted_count > 0) {
+        Job job;
+        job.network = spec_.name;
+        job.phase = Phase::Testing;
+        job.pipelined = true;
+        job.batch_size = max_batch;
+        job.num_images = report.admitted_count;
+        job.arrivals = ArrivalTrace::replay(entry_cycles);
+        report.execution = simulator_.run(job);
+        arch::PipelineScheduler scheduler(
+            simulator_.mapping(job.config()), job.schedule());
+        report.sched = scheduler.run();
+    }
+    return report;
+}
+
+} // namespace sim
+} // namespace pipelayer

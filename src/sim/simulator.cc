@@ -7,6 +7,7 @@
 #include "common/prof.hh"
 #include "common/stats.hh"
 #include "common/units.hh"
+#include "sim/job.hh"
 
 namespace pipelayer {
 namespace sim {
@@ -423,12 +424,24 @@ Simulator::cycleTime(const arch::NetworkMapping &mapping,
 SimReport
 Simulator::run(const SimConfig &config) const
 {
+    return run(Job::fromConfig(config));
+}
+
+SimReport
+Simulator::run(const Job &job) const
+{
     PL_PROF_SCOPE("sim.run");
-    config.validate();
+    job.validate();
+    if (!job.network.empty() && job.network != spec_.name) {
+        throw ConfigError("Simulator: job describes network '" +
+                          job.network + "' but this simulator maps '" +
+                          spec_.name + "'");
+    }
+    const SimConfig config = job.config();
     const bool training = config.phase == Phase::Training;
     const arch::NetworkMapping map = mapping(config);
 
-    arch::PipelineScheduler scheduler(map, config.schedule());
+    arch::PipelineScheduler scheduler(map, job.schedule());
     const arch::ScheduleStats sched = scheduler.run();
 
     SimReport report;

@@ -156,8 +156,10 @@ struct SimReport
     json::Value toJson() const;
 };
 
+struct Job; // sim/job.hh: the job description / execution split
+
 /**
- * The simulator facade: runs one (network, configuration) pair.
+ * The simulator facade: runs one (network, job) pair.
  */
 class Simulator
 {
@@ -173,8 +175,16 @@ class Simulator
 
     /**
      * Run one simulation.  This is the canonical entry point: the
-     * configuration is validated first (throws ConfigError on bad
-     * values, see SimConfig::validate()).
+     * job is validated first (throws ConfigError on bad values, see
+     * Job::validate()), and a non-empty Job::network must name this
+     * simulator's network.
+     */
+    SimReport run(const Job &job) const;
+
+    /**
+     * Legacy entry point: forwards through Job::fromConfig(), so a
+     * SimConfig run and its Job equivalent produce byte-identical
+     * reports.
      */
     SimReport run(const SimConfig &config) const;
 

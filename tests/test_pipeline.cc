@@ -16,6 +16,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "nn/layers.hh"
+#include "sim/arrival.hh"
 #include "workloads/layer_spec.hh"
 #include "workloads/model_zoo.hh"
 
@@ -400,20 +401,30 @@ TEST(ScheduleConfigValidate, AcceptsEmptySchedule)
     EXPECT_NO_THROW(config.validate());
 }
 
-TEST(ScheduleConfigValidate, RejectsBadArrivalInterval)
+TEST(ScheduleConfigValidate, RejectsBadArrivalCycles)
 {
     ScheduleConfig config;
     config.pipelined = true;
     config.training = false;
-    config.arrival_interval = 0;
+    config.num_images = 3;
+
+    // One arrival per image, non-negative and non-decreasing.
+    config.arrival_cycles = {0, 4};
     EXPECT_THROW(config.validate(), ConfigError);
-    config.arrival_interval = -3;
+    config.arrival_cycles = {-1, 4, 8};
+    EXPECT_THROW(config.validate(), ConfigError);
+    config.arrival_cycles = {0, 8, 4};
     EXPECT_THROW(config.validate(), ConfigError);
 
-    // Intervals > 1 are the serving shape: pipelined testing only.
-    config.arrival_interval = 4;
+    // Same-cycle arrivals are legal: measured overload, not an error.
+    config.arrival_cycles = {0, 4, 4};
+    EXPECT_NO_THROW(config.validate());
+
+    // Arrival traces are the serving shape: pipelined testing only.
+    config.arrival_cycles = {0, 4, 8};
     EXPECT_NO_THROW(config.validate());
     config.training = true;
+    config.batch_size = 1;
     EXPECT_THROW(config.validate(), ConfigError);
     config.training = false;
     config.pipelined = false;
@@ -422,7 +433,7 @@ TEST(ScheduleConfigValidate, RejectsBadArrivalInterval)
 
 TEST(Schedule, ServingArrivalsMatchReferenceWalk)
 {
-    // arrival_interval stretches the pipelined testing schedule
+    // A fixed arrival trace stretches the pipelined testing schedule
     // without changing any per-image op; the event core and the
     // dense reference walk must still agree exactly, and the span
     // generalises N + L - 1 to (N - 1) * interval + L.
@@ -434,7 +445,8 @@ TEST(Schedule, ServingArrivalsMatchReferenceWalk)
         config.pipelined = true;
         config.training = false;
         config.num_images = 40;
-        config.arrival_interval = interval;
+        config.arrival_cycles =
+            sim::ArrivalTrace::fixed(40, interval).cycles();
 
         PipelineScheduler event(map, config);
         const ScheduleStats from_events = event.run();
@@ -541,7 +553,7 @@ TEST(Schedule, EventCoreSkipsIdleCycles)
     // touches only 4 cycles (input write + 3 forwards) out of every
     // 16, so the busy-cycle count stays 4N while the horizon — and
     // the dense walk — grows to ~16N.
-    config.arrival_interval = 16;
+    config.arrival_cycles = sim::ArrivalTrace::fixed(1000, 16).cycles();
     PipelineScheduler serving(map, config);
     const ScheduleStats serving_stats = serving.run();
     EXPECT_EQ(serving_stats.total_cycles, (1000 - 1) * 16 + 3);

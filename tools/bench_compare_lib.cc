@@ -53,7 +53,8 @@ isWatchedMetric(const std::string &leaf)
                leaf.compare(leaf.size() - suffix.size(), suffix.size(),
                             suffix) == 0;
     };
-    return endsWith("_s") || endsWith("_j") || endsWith("_iters");
+    return endsWith("_s") || endsWith("_j") || endsWith("_iters") ||
+           endsWith("_cycles") || endsWith("_count");
 }
 
 void

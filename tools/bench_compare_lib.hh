@@ -67,9 +67,12 @@ struct CompareResult
 };
 
 /**
- * True when @p leaf names a watched metric: ends in "_s", "_j" or
- * "_iters", or equals "logical_cycles".  @p leaf is the final path
- * component (no dots; array indices already stripped).
+ * True when @p leaf names a watched metric: ends in "_s", "_j",
+ * "_iters", "_cycles" or "_count", or equals "logical_cycles".  The
+ * suffixed cycle and count metrics come from the serving subsystem
+ * (p50/p95/p99 latency, shed/admitted counts) and are deterministic
+ * by contract, like the modelled seconds/joules.  @p leaf is the
+ * final path component (no dots; array indices already stripped).
  */
 bool isWatchedMetric(const std::string &leaf);
 

@@ -18,6 +18,15 @@
  * (common/prof.hh schema: per-site counters whose histogram counts
  * sum to the call count, plus a pool-utilization section).
  *
+ * Serving artifacts (docs/serving.md) are covered too: files with a
+ * "job_version" member are checked against the sim::Job schema,
+ * "serve_version" summaries against the pl_serve/ServingReport
+ * schema (counts reconcile, percentiles are ordered, the batch
+ * histogram sums to the batch count), "arrival_trace_version" files
+ * against the sim::ArrivalTrace schema, and files named *.ndjson as
+ * newline-delimited completion records (one consistent record per
+ * line, latency = completion - arrival).
+ *
  * Exit code: 0 if every file validates, 1 otherwise.
  */
 
@@ -201,9 +210,226 @@ checkEnvelope(const std::string &path, const Value &doc)
     return true;
 }
 
+/** sim::Job description schema (src/sim/job.hh). */
+bool
+checkJob(const std::string &path, const Value &doc)
+{
+    const Value *phase = doc.find("phase");
+    if (!phase || !phase->isString() ||
+        (phase->asString() != "testing" &&
+         phase->asString() != "training")) {
+        std::cerr << path
+                  << ": job 'phase' must be 'testing' or 'training'\n";
+        return false;
+    }
+    const Value *arrivals = doc.find("arrivals");
+    if (!doc.find("num_images") && !arrivals) {
+        std::cerr << path
+                  << ": job needs 'num_images' or an 'arrivals' trace\n";
+        return false;
+    }
+    for (const char *key : {"batch_size", "num_images"}) {
+        const Value *v = doc.find(key);
+        if (v && (!v->isNumber() || v->asInt() < 1)) {
+            std::cerr << path << ": job '" << key
+                      << "' must be a positive number\n";
+            return false;
+        }
+    }
+    if (arrivals && !arrivals->find("kind")) {
+        std::cerr << path << ": job 'arrivals' lacks a 'kind'\n";
+        return false;
+    }
+    return true;
+}
+
+/** sim::ArrivalTrace description schema (src/sim/arrival.hh). */
+bool
+checkArrivalTrace(const std::string &path, const Value &doc)
+{
+    const Value *kind = doc.find("kind");
+    if (!kind || !kind->isString()) {
+        std::cerr << path << ": arrival trace lacks a 'kind' string\n";
+        return false;
+    }
+    const std::string &name = kind->asString();
+    if (name != "fixed" && name != "poisson" && name != "uniform" &&
+        name != "bursty" && name != "replay") {
+        std::cerr << path << ": unknown arrival-trace kind '" << name
+                  << "'\n";
+        return false;
+    }
+    if (name == "replay") {
+        const Value *cycles = doc.find("cycles");
+        if (!cycles || !cycles->isArray()) {
+            std::cerr << path
+                      << ": replay trace lacks a 'cycles' array\n";
+            return false;
+        }
+        int64_t prev = 0;
+        for (size_t i = 0; i < cycles->size(); ++i) {
+            const int64_t c = cycles->at(i).asInt();
+            if (c < 0 || c < prev) {
+                std::cerr << path << ": replay cycle " << i
+                          << " is negative or decreasing\n";
+                return false;
+            }
+            prev = c;
+        }
+    } else if (!doc.find("num_requests")) {
+        std::cerr << path << ": generated trace lacks 'num_requests'\n";
+        return false;
+    }
+    return true;
+}
+
+/** pl_serve summary schema (sim::ServingReport::toJson). */
+bool
+checkServeSummary(const std::string &path, const Value &doc)
+{
+    for (const char *key :
+         {"network", "depth", "config", "arrival_count",
+          "admitted_count", "shed_count", "batch_count",
+          "batch_size_hist", "p50_latency_cycles", "p95_latency_cycles",
+          "p99_latency_cycles", "max_latency_cycles", "schedule",
+          "execution"}) {
+        if (!doc.find(key)) {
+            std::cerr << path << ": serve summary lacks '" << key
+                      << "'\n";
+            return false;
+        }
+    }
+    const int64_t arrivals = doc.at("arrival_count").asInt();
+    const int64_t admitted = doc.at("admitted_count").asInt();
+    const int64_t shed = doc.at("shed_count").asInt();
+    if (admitted + shed != arrivals) {
+        std::cerr << path << ": serve summary counts do not reconcile ("
+                  << admitted << " admitted + " << shed << " shed != "
+                  << arrivals << " arrivals)\n";
+        return false;
+    }
+    const int64_t p50 = doc.at("p50_latency_cycles").asInt();
+    const int64_t p95 = doc.at("p95_latency_cycles").asInt();
+    const int64_t p99 = doc.at("p99_latency_cycles").asInt();
+    const int64_t max = doc.at("max_latency_cycles").asInt();
+    if (p50 > p95 || p95 > p99 || p99 > max) {
+        std::cerr << path << ": serve summary percentiles out of order ("
+                  << p50 << "/" << p95 << "/" << p99 << "/" << max
+                  << ")\n";
+        return false;
+    }
+    const Value &hist = doc.at("batch_size_hist");
+    const int64_t max_batch = doc.at("config").at("max_batch").asInt();
+    int64_t hist_total = 0;
+    int64_t hist_images = 0;
+    for (size_t i = 0; i < hist.size(); ++i) {
+        const Value &pair = hist.at(i);
+        if (!pair.isArray() || pair.size() != 2) {
+            std::cerr << path << ": batch_size_hist entry " << i
+                      << " is not a [size, count] pair\n";
+            return false;
+        }
+        const int64_t size = pair.at(0).asInt();
+        if (size < 1 || size > max_batch) {
+            std::cerr << path << ": batch size " << size
+                      << " outside [1, max_batch=" << max_batch
+                      << "]\n";
+            return false;
+        }
+        hist_total += pair.at(1).asInt();
+        hist_images += size * pair.at(1).asInt();
+    }
+    if (hist_total != doc.at("batch_count").asInt()) {
+        std::cerr << path << ": batch_size_hist counts sum to "
+                  << hist_total << " but batch_count is "
+                  << doc.at("batch_count").asInt() << "\n";
+        return false;
+    }
+    if (hist_images != admitted) {
+        std::cerr << path << ": batch_size_hist covers " << hist_images
+                  << " requests but admitted_count is " << admitted
+                  << "\n";
+        return false;
+    }
+    return true;
+}
+
+/** One pl_serve completion record (one *.ndjson line). */
+bool
+checkCompletionRecord(const std::string &path, size_t lineno,
+                      const Value &rec)
+{
+    for (const char *key : {"id", "arrival_cycle", "admitted"}) {
+        if (!rec.find(key)) {
+            std::cerr << path << ": line " << lineno << " lacks '"
+                      << key << "'\n";
+            return false;
+        }
+    }
+    if (!rec.at("admitted").asBool())
+        return true;
+    for (const char *key : {"entry_cycle", "completion_cycle",
+                            "latency_cycles", "batch_id", "batch_size"}) {
+        if (!rec.find(key)) {
+            std::cerr << path << ": line " << lineno
+                      << " admitted record lacks '" << key << "'\n";
+            return false;
+        }
+    }
+    const int64_t arrival = rec.at("arrival_cycle").asInt();
+    const int64_t entry = rec.at("entry_cycle").asInt();
+    const int64_t completion = rec.at("completion_cycle").asInt();
+    if (entry < arrival || completion <= entry ||
+        rec.at("latency_cycles").asInt() != completion - arrival ||
+        rec.at("batch_size").asInt() < 1) {
+        std::cerr << path << ": line " << lineno
+                  << " record cycles are inconsistent\n";
+        return false;
+    }
+    return true;
+}
+
+/** Newline-delimited completion records (pl_serve --completions). */
+bool
+lintNdjson(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << path << ": cannot open\n";
+        return false;
+    }
+    std::string line;
+    size_t lineno = 0;
+    size_t records = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        Value rec;
+        try {
+            rec = pipelayer::json::parse(line);
+        } catch (const pipelayer::json::ParseError &err) {
+            std::cerr << path << ": line " << lineno << ": "
+                      << err.what() << "\n";
+            return false;
+        }
+        if (!checkCompletionRecord(path, lineno, rec))
+            return false;
+        ++records;
+    }
+    std::cout << path << ": OK (ndjson, " << records << " records)\n";
+    return true;
+}
+
 bool
 lintFile(const std::string &path)
 {
+    const std::string ndjson_ext = ".ndjson";
+    if (path.size() > ndjson_ext.size() &&
+        path.compare(path.size() - ndjson_ext.size(), ndjson_ext.size(),
+                     ndjson_ext) == 0) {
+        return lintNdjson(path);
+    }
     std::ifstream in(path);
     if (!in) {
         std::cerr << path << ": cannot open\n";
@@ -239,6 +465,25 @@ lintFile(const std::string &path)
             return false;
         std::cout << path << ": OK (profile report, "
                   << doc.at("sites").size() << " sites)\n";
+        return true;
+    }
+    if (doc.find("job_version")) {
+        if (!checkJob(path, doc))
+            return false;
+        std::cout << path << ": OK (job description)\n";
+        return true;
+    }
+    if (doc.find("serve_version")) {
+        if (!checkServeSummary(path, doc))
+            return false;
+        std::cout << path << ": OK (serve summary, "
+                  << doc.at("arrival_count").asInt() << " requests)\n";
+        return true;
+    }
+    if (doc.find("arrival_trace_version")) {
+        if (!checkArrivalTrace(path, doc))
+            return false;
+        std::cout << path << ": OK (arrival trace)\n";
         return true;
     }
     std::cout << path << ": OK (json)\n";

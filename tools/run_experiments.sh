@@ -25,6 +25,21 @@ for b in build/bench/*; do
     esac
 done 2>&1 | tee bench_output.txt
 
+# Serving scenario (docs/serving.md): serve the committed canned
+# arrival trace through the pl_serve daemon, keeping the per-request
+# completion records and the summary next to the bench envelopes.
+# bench_serving (the rate sweep) already ran with the loop above.
+echo "==================================================================="
+echo "== pl_serve (canned trace)"
+echo "==================================================================="
+./build/tools/pl_serve \
+    --network=Mnist-A \
+    --trace=bench/traces/serving_arrivals.json \
+    --completions=SERVE_completions.ndjson \
+    --json=SERVE_summary.json
+./build/tools/json_lint bench/traces/serving_arrivals.json \
+    SERVE_completions.ndjson SERVE_summary.json
+
 # Every table/figure bench also wrote a BENCH_<name>.json envelope
 # (and bench_fig6_timeline a Chrome trace) plus a PROFILE_<name>.json
 # profiler report; validate them all, along with the committed
