@@ -12,6 +12,14 @@
  * tools/bench_compare against bench/baselines/BENCH_serving.json.
  * Host wall-clock measurements live in the envelope's info member,
  * which is never gated.
+ *
+ * Telemetry artifacts for CI smoke: --trace=FILE / --metrics=FILE
+ * (with --metrics-interval=N, default 64) re-run the near-saturation
+ * Poisson point with a trace::TraceRecorder and metrics::Sampler
+ * attached and write the Chrome trace / metrics NDJSON.  The extra
+ * run never touches the gated result rows, and both artifacts are
+ * logical-cycle deterministic — CI byte-compares them across
+ * PL_THREADS settings (docs/observability.md, "Serving telemetry").
  */
 
 #include <chrono>
@@ -19,7 +27,9 @@
 
 #include "bench/bench_util.hh"
 #include "common/json.hh"
+#include "common/metrics.hh"
 #include "common/table.hh"
+#include "common/trace.hh"
 #include "reram/params.hh"
 #include "sim/arrival.hh"
 #include "sim/serving.hh"
@@ -136,6 +146,30 @@ body(bench::Runner &r)
     r.result()["num_requests"] = json::Value(kRequests);
     r.result()["rows"] = std::move(rows);
     r.info()["wall_times"] = std::move(walls);
+
+    // Telemetry artifacts: re-serve the near-saturation point (rate
+    // 0.5, same seed as the sweep) with the recorder/sampler
+    // attached.  A separate run keeps the gated rows above untouched.
+    const std::string trace_path = r.args().str("trace");
+    const std::string metrics_path = r.args().str("metrics");
+    if (!trace_path.empty() || !metrics_path.empty()) {
+        const int64_t interval = r.args().integer("metrics-interval", 64);
+        trace::TraceRecorder recorder("bench_serving " + spec.name);
+        metrics::Sampler sampler(interval);
+        const sim::ArrivalTrace trace =
+            sim::ArrivalTrace::poisson(kRequests, 0.5, kSeed);
+        serving.run(trace, config,
+                    trace_path.empty() ? nullptr : &recorder,
+                    metrics_path.empty() ? nullptr : &sampler);
+        if (!trace_path.empty()) {
+            recorder.writeFile(trace_path);
+            std::cout << "wrote trace " << trace_path << "\n";
+        }
+        if (!metrics_path.empty()) {
+            sampler.writeFile(metrics_path);
+            std::cout << "wrote metrics " << metrics_path << "\n";
+        }
+    }
     return 0;
 }
 
@@ -144,6 +178,7 @@ body(bench::Runner &r)
 int
 main(int argc, char **argv)
 {
-    return pipelayer::bench::Runner::main("serving", argc, argv, {},
-                                          body);
+    return pipelayer::bench::Runner::main(
+        "serving", argc, argv, {"trace", "metrics", "metrics-interval"},
+        body);
 }

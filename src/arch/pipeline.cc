@@ -165,6 +165,18 @@ PipelineScheduler::setTrace(trace::TraceRecorder *recorder)
     }
 }
 
+void
+PipelineScheduler::setMetrics(metrics::Sampler *sampler)
+{
+    metrics_ = sampler;
+    if (!sampler)
+        return;
+    metric_forward_ = sampler->counter("sched.forward_ops");
+    metric_error_ = sampler->counter("sched.error_ops");
+    metric_derivative_ = sampler->counter("sched.derivative_ops");
+    metric_update_ = sampler->counter("sched.update_cycles");
+}
+
 int64_t
 PipelineScheduler::traceTrack(Op::Kind kind, int64_t stage) const
 {
@@ -396,6 +408,31 @@ PipelineScheduler::executeCycle(int64_t cycle, const Op *begin,
             trace_->complete(traceTrack(op->kind, op->stage), name,
                              cat, cycle - 1, 1, op->image);
         }
+    }
+
+    // Windowed metrics: op deltas for this cycle, on the trace
+    // timeline (ts 0 = the first compute cycle).
+    if (metrics_) {
+        int64_t fwd = 0, err = 0, der = 0, upd = 0;
+        for (const Op *op = begin; op != end; ++op) {
+            switch (op->kind) {
+              case Op::Kind::Forward:    ++fwd; break;
+              case Op::Kind::ErrorSeed:
+              case Op::Kind::ErrorBack:  ++err; break;
+              case Op::Kind::Derivative: ++der; break;
+              case Op::Kind::Update:     ++upd; break;
+              case Op::Kind::InputWrite: break;
+            }
+        }
+        const int64_t ts = std::max<int64_t>(0, cycle - 1);
+        if (fwd > 0)
+            metrics_->add(metric_forward_, ts, fwd);
+        if (err > 0)
+            metrics_->add(metric_error_, ts, err);
+        if (der > 0)
+            metrics_->add(metric_derivative_, ts, der);
+        if (upd > 0)
+            metrics_->add(metric_update_, ts, upd);
     }
 
     // Phase 1: non-final reads.

@@ -34,6 +34,7 @@
 
 #include "arch/buffers.hh"
 #include "arch/mapping.hh"
+#include "common/metrics.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
 
@@ -173,6 +174,19 @@ class PipelineScheduler
     void setTrace(trace::TraceRecorder *recorder);
 
     /**
+     * Attach a metrics sampler: the "sched.*" counter channels
+     * (forward/error/derivative ops, update cycles) are registered
+     * immediately, and each run then feeds per-cycle op deltas so the
+     * sampler's windows carry compute throughput over time alongside
+     * the serving-layer series.  Deltas land on the same timeline as
+     * the trace slices (cycle - 1, ts 0 = first compute cycle).  Pass
+     * nullptr to detach; attach at most once per sampler (channel
+     * names are unique) and run at most once per attachment, or the
+     * fed totals double.  The sampler must outlive run().
+     */
+    void setMetrics(metrics::Sampler *sampler);
+
+    /**
      * Render the schedule as a Fig.-6-style occupancy chart: one row
      * per unit (forward stages, error units, derivative units,
      * update), one column per logical cycle, each cell showing the
@@ -260,6 +274,14 @@ class PipelineScheduler
     int64_t buffer_slack_;
     trace::TraceRecorder *trace_ = nullptr;
     int64_t trace_base_ = 0; //!< first track declared on trace_
+    metrics::Sampler *metrics_ = nullptr;
+    /** @name sched.* channel ids on metrics_. */
+    ///@{
+    int metric_forward_ = 0;
+    int metric_error_ = 0;
+    int metric_derivative_ = 0;
+    int metric_update_ = 0;
+    ///@}
     int64_t last_run_cycle_iters_ = 0;
     int64_t last_run_events_ = 0;
 };

@@ -75,6 +75,102 @@ TraceRecorder::complete(int64_t track, const std::string &name,
     end(track, cycle + duration);
 }
 
+void
+TraceRecorder::asyncBegin(const std::string &name,
+                          const std::string &category, int64_t id,
+                          int64_t cycle)
+{
+    async_depth_[{category, id}]++;
+    ++open_async_;
+    marks_.push_back({MarkEvent::Kind::AsyncBegin, name, category, id,
+                      0, cycle, 0});
+}
+
+void
+TraceRecorder::asyncInstant(const std::string &name,
+                            const std::string &category, int64_t id,
+                            int64_t cycle)
+{
+    marks_.push_back({MarkEvent::Kind::AsyncInstant, name, category, id,
+                      0, cycle, 0});
+}
+
+void
+TraceRecorder::asyncEnd(const std::string &name,
+                        const std::string &category, int64_t id,
+                        int64_t cycle)
+{
+    auto it = async_depth_.find({category, id});
+    PL_ASSERT(it != async_depth_.end() && it->second > 0,
+              "asyncEnd('%s', id %lld) without a matching asyncBegin",
+              category.c_str(), (long long)id);
+    --it->second;
+    --open_async_;
+    last_cycle_ = std::max(last_cycle_, cycle);
+    marks_.push_back({MarkEvent::Kind::AsyncEnd, name, category, id, 0,
+                      cycle, 0});
+}
+
+void
+TraceRecorder::flowStart(const std::string &name,
+                         const std::string &category, int64_t id,
+                         int64_t track, int64_t cycle)
+{
+    PL_ASSERT(track >= 0 && track < trackCount(),
+              "flowStart() on undeclared track %lld", (long long)track);
+    flow_counts_[{category, id}].first++;
+    marks_.push_back({MarkEvent::Kind::FlowStart, name, category, id,
+                      track, cycle, 0});
+}
+
+void
+TraceRecorder::flowFinish(const std::string &name,
+                          const std::string &category, int64_t id,
+                          int64_t track, int64_t cycle)
+{
+    PL_ASSERT(track >= 0 && track < trackCount(),
+              "flowFinish() on undeclared track %lld", (long long)track);
+    flow_counts_[{category, id}].second++;
+    marks_.push_back({MarkEvent::Kind::FlowFinish, name, category, id,
+                      track, cycle, 0});
+}
+
+void
+TraceRecorder::counter(const std::string &name, int64_t cycle,
+                       int64_t value)
+{
+    last_cycle_ = std::max(last_cycle_, cycle);
+    marks_.push_back({MarkEvent::Kind::Counter, name, std::string(), 0,
+                      0, cycle, value});
+}
+
+std::vector<std::pair<int64_t, int64_t>>
+TraceRecorder::counterSeries(const std::string &name) const
+{
+    std::vector<std::pair<int64_t, int64_t>> points;
+    for (const MarkEvent &m : marks_) {
+        if (m.kind == MarkEvent::Kind::Counter && m.name == name)
+            points.emplace_back(m.cycle, m.value);
+    }
+    std::stable_sort(points.begin(), points.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    return points;
+}
+
+bool
+TraceRecorder::sliceEncloses(int64_t track, int64_t cycle) const
+{
+    for (const TraceEvent &e : events_) {
+        if (e.track == track && e.begin_cycle <= cycle &&
+            cycle < e.begin_cycle + e.duration) {
+            return true;
+        }
+    }
+    return false;
+}
+
 json::Value
 TraceRecorder::toJson() const
 {
@@ -138,6 +234,81 @@ TraceRecorder::toJson() const
         event["args"]["cycle"] = e->begin_cycle;
         if (e->image >= 0)
             event["args"]["image"] = e->image;
+        events.push(std::move(event));
+    }
+
+    // Telemetry invariants before the async/flow/counter events go
+    // out: spans balanced, flows paired and anchored to real slices.
+    for (const auto &entry : async_depth_) {
+        PL_ASSERT(entry.second == 0,
+                  "trace serialised with %lld open async span(s) for "
+                  "('%s', id %lld)",
+                  (long long)entry.second, entry.first.first.c_str(),
+                  (long long)entry.first.second);
+    }
+    for (const auto &entry : flow_counts_) {
+        PL_ASSERT(entry.second.first == 1 && entry.second.second == 1,
+                  "flow ('%s', id %lld) has %lld start(s) and %lld "
+                  "finish(es); want exactly one of each",
+                  entry.first.first.c_str(), (long long)entry.first.second,
+                  (long long)entry.second.first,
+                  (long long)entry.second.second);
+    }
+
+    // Async/flow/counter events, ordered by (cycle, emission order) —
+    // emission order is deterministic (the serving policy is serial),
+    // so the document stays byte-stable at any thread count.
+    std::vector<const MarkEvent *> marks;
+    marks.reserve(marks_.size());
+    for (const MarkEvent &m : marks_)
+        marks.push_back(&m);
+    std::stable_sort(marks.begin(), marks.end(),
+                     [](const MarkEvent *a, const MarkEvent *b) {
+                         return a->cycle < b->cycle;
+                     });
+    for (const MarkEvent *m : marks) {
+        json::Value event = json::Value::object();
+        event["name"] = m->name;
+        switch (m->kind) {
+          case MarkEvent::Kind::AsyncBegin:
+          case MarkEvent::Kind::AsyncInstant:
+          case MarkEvent::Kind::AsyncEnd:
+            event["cat"] = m->category;
+            event["ph"] = m->kind == MarkEvent::Kind::AsyncBegin ? "b"
+                          : m->kind == MarkEvent::Kind::AsyncInstant
+                              ? "n"
+                              : "e";
+            event["id"] = m->id;
+            event["pid"] = 0;
+            event["tid"] = 0;
+            event["ts"] = m->cycle * kUsPerCycle;
+            break;
+          case MarkEvent::Kind::FlowStart:
+          case MarkEvent::Kind::FlowFinish:
+            PL_ASSERT(sliceEncloses(m->track, m->cycle),
+                      "flow ('%s', id %lld) endpoint at cycle %lld has "
+                      "no enclosing slice on track '%s'",
+                      m->category.c_str(), (long long)m->id,
+                      (long long)m->cycle,
+                      tracks_[static_cast<size_t>(m->track)].c_str());
+            event["cat"] = m->category;
+            event["ph"] = m->kind == MarkEvent::Kind::FlowStart ? "s"
+                                                                : "f";
+            if (m->kind == MarkEvent::Kind::FlowFinish)
+                event["bp"] = "e"; // bind to the enclosing slice
+            event["id"] = m->id;
+            event["pid"] = 0;
+            event["tid"] = m->track;
+            event["ts"] = m->cycle * kUsPerCycle;
+            break;
+          case MarkEvent::Kind::Counter:
+            event["ph"] = "C";
+            event["pid"] = 0;
+            event["tid"] = 0;
+            event["ts"] = m->cycle * kUsPerCycle;
+            event["args"]["value"] = m->value;
+            break;
+        }
         events.push(std::move(event));
     }
 

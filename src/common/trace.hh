@@ -11,6 +11,21 @@
  * (A1..AL forward stages, ErrL, A_l2 error units, dW_l derivative
  * units, Upd), one slice per logical cycle of occupancy.
  *
+ * Beyond unit-occupancy slices, the recorder carries the serving
+ * telemetry vocabulary (docs/observability.md "Serving telemetry"):
+ *
+ *  - async spans (Chrome "b"/"n"/"e" nestable events, keyed by
+ *    (category, id)) render one row per in-flight request in
+ *    Perfetto's async track group — a request's whole
+ *    arrival -> queued -> launch -> complete lifecycle on its own
+ *    row, stacking only when requests overlap;
+ *  - flow arrows (Chrome "s"/"f" events) link a request's arrival
+ *    slice to the batch slice that carried it — the ts of a flow
+ *    endpoint must fall inside a slice on the named track, which
+ *    toJson() asserts and tools/json_lint re-checks;
+ *  - counter tracks (Chrome "C" events) render stepped time series
+ *    (queue depth, in-flight requests, cumulative sheds).
+ *
  * Timestamps are logical cycles scaled to microseconds (1 cycle =
  * 1 us in the viewer); wall-clock time never enters the trace, so
  * traces are byte-deterministic across runs and thread counts.
@@ -20,7 +35,9 @@
 #define PIPELAYER_COMMON_TRACE_HH_
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/json.hh"
@@ -75,6 +92,60 @@ class TraceRecorder
                   const std::string &category, int64_t cycle,
                   int64_t duration = 1, int64_t image = -1);
 
+    /** @name Async spans (per-request lifecycle rendering).
+     *
+     * Chrome nestable async events keyed by (category, id): begins
+     * and ends must balance per key by toJson() time (asserted), and
+     * spans with the same key may nest ("req3" containing "queued"
+     * and "exec" steps).  Perfetto renders each (category, id) as one
+     * row in the async track group, so concurrent requests stack into
+     * exactly the per-request track group the serving trace needs.
+     */
+    ///@{
+    void asyncBegin(const std::string &name, const std::string &category,
+                    int64_t id, int64_t cycle);
+
+    /** A zero-duration marker inside an open span ("admitted"...). */
+    void asyncInstant(const std::string &name,
+                      const std::string &category, int64_t id,
+                      int64_t cycle);
+
+    void asyncEnd(const std::string &name, const std::string &category,
+                  int64_t id, int64_t cycle);
+
+    /** Spans opened by asyncBegin() and not yet closed. */
+    int64_t openAsyncCount() const { return open_async_; }
+    ///@}
+
+    /** @name Flow arrows (request -> carrying batch).
+     *
+     * Chrome "s"/"f" events keyed by (category, id).  A flow endpoint
+     * binds to the slice that encloses its timestamp on @p track, so
+     * both calls require an enclosing complete()d slice there by
+     * toJson() time (asserted, and re-checked by tools/json_lint);
+     * every started flow must also be finished exactly once.
+     */
+    ///@{
+    void flowStart(const std::string &name, const std::string &category,
+                   int64_t id, int64_t track, int64_t cycle);
+
+    void flowFinish(const std::string &name,
+                    const std::string &category, int64_t id,
+                    int64_t track, int64_t cycle);
+    ///@}
+
+    /**
+     * Set counter series @p name to @p value at @p cycle (Chrome "C"
+     * event; renders as a stepped time-series track).  Emit points in
+     * any order — serialisation sorts by cycle — but one series
+     * should carry at most one point per cycle.
+     */
+    void counter(const std::string &name, int64_t cycle, int64_t value);
+
+    /** Points recorded for counter series @p name, in cycle order. */
+    std::vector<std::pair<int64_t, int64_t>>
+    counterSeries(const std::string &name) const;
+
     /** All closed slices, in completion order. */
     const std::vector<TraceEvent> &events() const { return events_; }
 
@@ -84,14 +155,19 @@ class TraceRecorder
         return static_cast<int64_t>(events_.size());
     }
 
-    /** Largest cycle covered by any closed slice (0 when empty). */
+    /** Largest cycle covered by any closed slice, closed async span
+     *  or counter point (0 when empty). */
     int64_t lastCycle() const { return last_cycle_; }
 
     /**
      * Serialise as a Chrome trace-event JSON object:
      * {"traceEvents": [...], "displayTimeUnit": "ms"} with one
-     * metadata thread_name event per track followed by one "X"
-     * (complete) event per slice.
+     * metadata thread_name event per track, one "X" (complete) event
+     * per slice in (cycle, track) order, then every async/flow/
+     * counter event in (cycle, emission) order.  Asserts the
+     * telemetry invariants: no open slices or async spans, every
+     * flow started and finished exactly once, and every flow
+     * endpoint enclosed by a slice on its track.
      */
     json::Value toJson() const;
 
@@ -108,10 +184,34 @@ class TraceRecorder
         int64_t image;
     };
 
+    /** One async/flow/counter event (everything that is not a slice). */
+    struct MarkEvent
+    {
+        enum class Kind { AsyncBegin, AsyncInstant, AsyncEnd,
+                          FlowStart, FlowFinish, Counter };
+        Kind kind;
+        std::string name;
+        std::string category; //!< counter: unused
+        int64_t id = 0;       //!< async/flow key; counter: unused
+        int64_t track = 0;    //!< flow: binding track; others: unused
+        int64_t cycle = 0;
+        int64_t value = 0;    //!< counter value
+    };
+
+    /** True when a closed slice on @p track encloses @p cycle. */
+    bool sliceEncloses(int64_t track, int64_t cycle) const;
+
     std::string process_name_;
     std::vector<std::string> tracks_;
     std::vector<std::vector<OpenSlice>> open_; //!< per-track stacks
     std::vector<TraceEvent> events_;
+    std::vector<MarkEvent> marks_; //!< async/flow/counter, emit order
+    /** Open async spans per (category, id); all zero by toJson(). */
+    std::map<std::pair<std::string, int64_t>, int64_t> async_depth_;
+    int64_t open_async_ = 0;
+    /** Flow (category, id) -> (starts, finishes); 1/1 by toJson(). */
+    std::map<std::pair<std::string, int64_t>, std::pair<int64_t, int64_t>>
+        flow_counts_;
     int64_t last_cycle_ = 0;
 };
 

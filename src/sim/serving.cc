@@ -5,30 +5,15 @@
 #include <map>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "common/prof.hh"
 
 namespace pipelayer {
 namespace sim {
 
-namespace {
-
-/**
- * Nearest-rank percentile of an ascending-sorted sample: the smallest
- * element with at least pct percent of the sample at or below it.
- * Integer arithmetic end to end, so gatable byte-for-byte.
- */
-int64_t
-percentile(const std::vector<int64_t> &sorted, int64_t pct)
-{
-    if (sorted.empty())
-        return 0;
-    const int64_t m = static_cast<int64_t>(sorted.size());
-    int64_t rank = (pct * m + 99) / 100;
-    rank = std::max<int64_t>(1, std::min(rank, m));
-    return sorted[static_cast<size_t>(rank - 1)];
-}
-
-} // namespace
+// Percentiles use metrics::percentile — the one nearest-rank integer
+// rule — so the report and the metrics stream agree byte-for-byte.
+using metrics::percentile;
 
 int64_t
 ServingConfig::sweetSpotBatch(int64_t depth)
@@ -176,6 +161,154 @@ ServingReport::print(std::ostream &os) const
        << "\n";
 }
 
+namespace {
+
+/** One batch launch, as the telemetry emitters need it. */
+struct BatchRec
+{
+    int64_t launch;
+    int64_t size;
+};
+
+/**
+ * In-flight level over time: +1 at each pipeline entry, -1 at each
+ * completion, prefix-summed into one (cycle, level) point per cycle.
+ */
+std::vector<std::pair<int64_t, int64_t>>
+inFlightSeries(const ServingReport &report)
+{
+    std::map<int64_t, int64_t> delta{{0, 0}};
+    for (const CompletionRecord &rec : report.completions) {
+        if (!rec.admitted)
+            continue;
+        delta[rec.entry_cycle] += 1;
+        delta[rec.completion_cycle] -= 1;
+    }
+    std::vector<std::pair<int64_t, int64_t>> points;
+    points.reserve(delta.size());
+    int64_t level = 0;
+    for (const auto &d : delta) {
+        level += d.second;
+        points.emplace_back(d.first, level);
+    }
+    return points;
+}
+
+/** The request-lifecycle trace (serving.hh run() doc). */
+void
+emitTrace(const ServingReport &report,
+          const std::vector<BatchRec> &batches,
+          const std::vector<std::pair<int64_t, int64_t>> &depth_points,
+          const std::vector<std::pair<int64_t, int64_t>> &shed_points,
+          int64_t arrivals_track, int64_t batches_track,
+          trace::TraceRecorder &recorder)
+{
+    for (const CompletionRecord &rec : report.completions) {
+        const std::string name = "req" + std::to_string(rec.id);
+        recorder.complete(arrivals_track, name,
+                          rec.admitted ? "arrival" : "shed",
+                          rec.arrival_cycle, 1, rec.id);
+        recorder.asyncBegin(name, "request", rec.id, rec.arrival_cycle);
+        if (!rec.admitted) {
+            recorder.asyncInstant("shed", "request", rec.id,
+                                  rec.arrival_cycle);
+            recorder.asyncEnd(name, "request", rec.id,
+                              rec.arrival_cycle);
+            continue;
+        }
+        recorder.asyncInstant("admitted", "request", rec.id,
+                              rec.arrival_cycle);
+        recorder.asyncBegin("queued", "request", rec.id,
+                            rec.arrival_cycle);
+        recorder.asyncEnd("queued", "request", rec.id, rec.entry_cycle);
+        recorder.asyncBegin("exec", "request", rec.id, rec.entry_cycle);
+        recorder.asyncEnd("exec", "request", rec.id,
+                          rec.completion_cycle);
+        recorder.asyncEnd(name, "request", rec.id,
+                          rec.completion_cycle);
+        // Flow arrow: the arrival slice -> the request's slot in its
+        // batch slice (entry_cycle lies in [launch, launch + size)).
+        recorder.flowStart(name, "req", rec.id, arrivals_track,
+                           rec.arrival_cycle);
+        recorder.flowFinish(name, "req", rec.id, batches_track,
+                            rec.entry_cycle);
+    }
+    for (size_t i = 0; i < batches.size(); ++i) {
+        recorder.complete(batches_track, "batch" + std::to_string(i),
+                          "batch", batches[i].launch,
+                          batches[i].size);
+    }
+    const auto emit_counter =
+        [&recorder](const char *name,
+                    const std::vector<std::pair<int64_t, int64_t>>
+                        &points) {
+            for (size_t i = 0; i < points.size(); ++i) {
+                // One point per cycle: the last value wins.
+                if (i + 1 < points.size() &&
+                    points[i + 1].first == points[i].first)
+                    continue;
+                recorder.counter(name, points[i].first,
+                                 points[i].second);
+            }
+        };
+    emit_counter("serving.queue_depth", depth_points);
+    emit_counter("serving.in_flight", inFlightSeries(report));
+    emit_counter("serving.shed_total", shed_points);
+}
+
+/** The windowed time series (serving.hh run() doc). */
+void
+feedSampler(const ServingReport &report,
+            const std::vector<BatchRec> &batches,
+            const std::vector<std::pair<int64_t, int64_t>> &depth_points,
+            metrics::Sampler &sampler)
+{
+    const int arrivals_ch = sampler.counter("serving.arrivals");
+    const int admitted_ch = sampler.counter("serving.admitted");
+    const int shed_ch = sampler.counter("serving.shed");
+    const int launches_ch = sampler.counter("serving.launches");
+    const int completions_ch = sampler.counter("serving.completions");
+    const int depth_ch = sampler.gauge("serving.queue_depth");
+    const int inflight_ch = sampler.gauge("serving.in_flight");
+    const int latency_ch =
+        sampler.distribution("serving.latency_cycles");
+    const int batch_ch = sampler.distribution("serving.batch_size");
+    const int wait_ch =
+        sampler.distribution("serving.queue_wait_cycles");
+
+    for (const CompletionRecord &rec : report.completions) {
+        sampler.add(arrivals_ch, rec.arrival_cycle);
+        if (!rec.admitted) {
+            sampler.add(shed_ch, rec.arrival_cycle);
+            continue;
+        }
+        sampler.add(admitted_ch, rec.arrival_cycle);
+        sampler.add(completions_ch, rec.completion_cycle);
+        sampler.observe(latency_ch, rec.completion_cycle,
+                        rec.latency_cycles);
+        sampler.observe(wait_ch, rec.entry_cycle,
+                        rec.entry_cycle - rec.arrival_cycle);
+    }
+    for (const BatchRec &batch : batches) {
+        sampler.add(launches_ch, batch.launch);
+        sampler.observe(batch_ch, batch.launch, batch.size);
+    }
+    for (const auto &point : depth_points)
+        sampler.set(depth_ch, point.first, point.second);
+    for (const auto &point : inFlightSeries(report))
+        sampler.set(inflight_ch, point.first, point.second);
+
+    // Snapshot the whole-run serving stats into the trailer, so one
+    // stream carries both the windows and the totals they must
+    // reconcile with.
+    stats::StatGroup group("serving");
+    report.addStats(group);
+    sampler.attachGroup(&group);
+    sampler.finish(report.sched.total_cycles);
+}
+
+} // namespace
+
 ServingSim::ServingSim(const workloads::NetworkSpec &spec,
                        const reram::DeviceParams &params)
     : spec_(spec), simulator_(spec, params)
@@ -197,11 +330,22 @@ ServingSim::depth() const
 
 ServingReport
 ServingSim::run(const ArrivalTrace &trace,
-                const ServingConfig &config) const
+                const ServingConfig &config,
+                trace::TraceRecorder *recorder,
+                metrics::Sampler *sampler) const
 {
     PL_PROF_SCOPE("serving.run");
     config.validate();
     trace.validate();
+
+    // Serving tracks go first so Perfetto sorts them above the
+    // pipeline unit rows (declaration order = sort index).
+    int64_t arrivals_track = -1;
+    int64_t batches_track = -1;
+    if (recorder) {
+        arrivals_track = recorder->addTrack("serving.arrivals");
+        batches_track = recorder->addTrack("serving.batches");
+    }
 
     ServingReport report;
     report.network = spec_.name;
@@ -237,7 +381,15 @@ ServingSim::run(const ArrivalTrace &trace,
     std::vector<int64_t> entry_cycles;
     entry_cycles.reserve(arrivals.size());
 
+    // Telemetry collected along the policy loop, emitted after it:
+    // per-launch records and the (cycle, value) counter points.  The
+    // loop appends in cycle order, so the point series are sorted.
+    std::vector<BatchRec> batches;
+    std::vector<std::pair<int64_t, int64_t>> depth_points{{0, 0}};
+    std::vector<std::pair<int64_t, int64_t>> shed_points{{0, 0}};
+
     const auto ingest = [&](size_t i) {
+        PL_PROF_SCOPE("serving.admit");
         CompletionRecord &rec = report.completions[i];
         rec.id = static_cast<int64_t>(i);
         rec.arrival_cycle = arrivals[i];
@@ -246,12 +398,16 @@ ServingSim::run(const ArrivalTrace &trace,
         if (found >= capacity) {
             rec.admitted = false;
             report.shed_count++;
+            shed_points.emplace_back(rec.arrival_cycle,
+                                     report.shed_count);
             return;
         }
         rec.admitted = true;
         queue.push_back({rec.id, rec.arrival_cycle});
         report.peak_queue_depth =
             std::max(report.peak_queue_depth, found + 1);
+        depth_points.emplace_back(rec.arrival_cycle,
+                                  static_cast<int64_t>(queue.size()));
     };
 
     while (next < arrivals.size() || !queue.empty()) {
@@ -266,19 +422,24 @@ ServingSim::run(const ArrivalTrace &trace,
         // fill the batch sooner; the oldest request is fixed), so
         // iterate until no arrival precedes the candidate launch.
         int64_t launch;
-        for (;;) {
-            int64_t trigger = queue.front().arrival + max_wait;
-            if (static_cast<int64_t>(queue.size()) >= max_batch) {
-                trigger = std::min(
-                    trigger,
-                    queue[static_cast<size_t>(max_batch - 1)].arrival);
+        {
+            PL_PROF_SCOPE("serving.coalesce");
+            for (;;) {
+                int64_t trigger = queue.front().arrival + max_wait;
+                if (static_cast<int64_t>(queue.size()) >= max_batch) {
+                    trigger = std::min(
+                        trigger,
+                        queue[static_cast<size_t>(max_batch - 1)]
+                            .arrival);
+                }
+                launch = std::max(admission_free, trigger);
+                if (next < arrivals.size() && arrivals[next] <= launch)
+                    ingest(next++);
+                else
+                    break;
             }
-            launch = std::max(admission_free, trigger);
-            if (next < arrivals.size() && arrivals[next] <= launch)
-                ingest(next++);
-            else
-                break;
         }
+        PL_PROF_SCOPE("serving.launch");
         const int64_t b = std::min<int64_t>(
             static_cast<int64_t>(queue.size()), max_batch);
         for (int64_t j = 0; j < b; ++j) {
@@ -298,6 +459,9 @@ ServingSim::run(const ArrivalTrace &trace,
             report.deadline_batches++;
         hist[b]++;
         admission_free = launch + b;
+        batches.push_back({launch, b});
+        depth_points.emplace_back(launch,
+                                  static_cast<int64_t>(queue.size()));
     }
 
     report.admitted_count = static_cast<int64_t>(entry_cycles.size());
@@ -349,8 +513,16 @@ ServingSim::run(const ArrivalTrace &trace,
         report.execution = simulator_.run(job);
         arch::PipelineScheduler scheduler(
             simulator_.mapping(job.config()), job.schedule());
+        scheduler.setTrace(recorder);
+        scheduler.setMetrics(sampler);
         report.sched = scheduler.run();
     }
+
+    if (recorder)
+        emitTrace(report, batches, depth_points, shed_points,
+                  arrivals_track, batches_track, *recorder);
+    if (sampler)
+        feedSampler(report, batches, depth_points, *sampler);
     return report;
 }
 

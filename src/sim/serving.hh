@@ -32,7 +32,9 @@
 
 #include "arch/pipeline.hh"
 #include "common/json.hh"
+#include "common/metrics.hh"
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "sim/arrival.hh"
 #include "sim/job.hh"
 #include "sim/simulator.hh"
@@ -172,9 +174,32 @@ class ServingSim
     /**
      * Serve one arrival trace under @p config: admit, coalesce,
      * execute, measure.  Throws ConfigError on bad configuration.
+     *
+     * @p recorder (optional) receives the request-lifecycle trace
+     * alongside the pipeline timeline (docs/observability.md,
+     * "Serving telemetry"): "serving.arrivals" / "serving.batches"
+     * slice tracks, one async span per request
+     * (arrival -> admitted/shed -> queued -> exec -> complete), a
+     * flow arrow from each admitted request's arrival slice to its
+     * slot in the carrying batch slice, and the serving.queue_depth /
+     * serving.in_flight / serving.shed_total counter tracks.
+     *
+     * @p sampler (optional) is fed the windowed time series: the
+     * serving.* channels (arrival/admission/shed/launch/completion
+     * counters, queue-depth and in-flight gauges, latency, batch-size
+     * and queue-wait distributions) plus the scheduler's sched.*
+     * counters, then finish()ed over the run with the "serving" stat
+     * group attached — the returned sampler is ready to write.  Pass
+     * a fresh sampler per call (channel registration is once-only).
+     *
+     * Both hooks are pure observers in integer cycle arithmetic: the
+     * report is unchanged and the artifacts are byte-deterministic at
+     * any thread count.
      */
     ServingReport run(const ArrivalTrace &trace,
-                      const ServingConfig &config) const;
+                      const ServingConfig &config,
+                      trace::TraceRecorder *recorder = nullptr,
+                      metrics::Sampler *sampler = nullptr) const;
 
   private:
     workloads::NetworkSpec spec_;

@@ -22,18 +22,35 @@
  * "job_version" member are checked against the sim::Job schema,
  * "serve_version" summaries against the pl_serve/ServingReport
  * schema (counts reconcile, percentiles are ordered, the batch
- * histogram sums to the batch count), "arrival_trace_version" files
+ * histogram sums to the batch count, an embedded "profile" member is
+ * a well-formed profiler report), "arrival_trace_version" files
  * against the sim::ArrivalTrace schema, and files named *.ndjson as
- * newline-delimited completion records (one consistent record per
- * line, latency = completion - arrival).
+ * newline-delimited records — completion records (one consistent
+ * record per line, latency = completion - arrival), or, when the
+ * first record carries "metrics_version", a metrics::Sampler stream
+ * (docs/observability.md "Serving telemetry"): window cycles advance
+ * by exactly the interval, counter running totals accumulate the
+ * window deltas and land on the trailer totals, per-window
+ * distribution counts and sums reconcile with the trailer's, every
+ * percentile block is ordered, and the trailer's counter totals agree
+ * with the serving stats snapshot it embeds.
+ *
+ * Chrome traces carrying serving telemetry get the deeper checks
+ * too: nestable async "b"/"e" events must balance per (cat, id),
+ * flow "s"/"f" events must pair exactly and bind inside an "X" slice
+ * on their (pid, tid), and counter "C" events must carry a numeric
+ * args.value.
  *
  * Exit code: 0 if every file validates, 1 otherwise.
  */
 
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/json.hh"
 
@@ -49,6 +66,15 @@ checkTrace(const std::string &path, const Value &doc)
         std::cerr << path << ": trace has no events\n";
         return false;
     }
+    // Async span depth per (cat, id); flow start/finish counts per
+    // (cat, id); X slices per (pid, tid) for flow-endpoint binding.
+    std::map<std::pair<std::string, int64_t>, int64_t> async_depth;
+    std::map<std::pair<std::string, int64_t>, std::pair<int64_t, int64_t>>
+        flows;
+    std::map<std::pair<int64_t, int64_t>,
+             std::vector<std::pair<int64_t, int64_t>>>
+        slices;
+    std::vector<std::pair<size_t, const Value *>> flow_events;
     for (size_t i = 0; i < events->size(); ++i) {
         const Value &e = events->at(i);
         for (const char *key : {"name", "ph", "pid", "tid"}) {
@@ -67,6 +93,90 @@ checkTrace(const std::string &path, const Value &doc)
                           << " has a bad ts/dur\n";
                 return false;
             }
+            slices[{e.at("pid").asInt(), e.at("tid").asInt()}]
+                .emplace_back(e.at("ts").asInt(),
+                              e.at("ts").asInt() + e.at("dur").asInt());
+        } else if (ph == "b" || ph == "n" || ph == "e") {
+            if (!e.find("cat") || !e.find("id") || !e.find("ts")) {
+                std::cerr << path << ": async event " << i
+                          << " lacks cat/id/ts\n";
+                return false;
+            }
+            const auto key = std::make_pair(e.at("cat").asString(),
+                                            e.at("id").asInt());
+            if (ph == "b") {
+                ++async_depth[key];
+            } else if (ph == "e") {
+                if (--async_depth[key] < 0) {
+                    std::cerr << path << ": async end without begin "
+                              << "for ('" << key.first << "', id "
+                              << key.second << ")\n";
+                    return false;
+                }
+            }
+        } else if (ph == "s" || ph == "f") {
+            if (!e.find("cat") || !e.find("id") || !e.find("ts")) {
+                std::cerr << path << ": flow event " << i
+                          << " lacks cat/id/ts\n";
+                return false;
+            }
+            const auto key = std::make_pair(e.at("cat").asString(),
+                                            e.at("id").asInt());
+            if (ph == "s")
+                ++flows[key].first;
+            else
+                ++flows[key].second;
+            flow_events.emplace_back(i, &e);
+        } else if (ph == "C") {
+            const Value *args = e.find("args");
+            const Value *value =
+                args && args->isObject() ? args->find("value") : nullptr;
+            if (!value || !value->isNumber() ||
+                e.at("ts").asNumber() < 0) {
+                std::cerr << path << ": counter event " << i
+                          << " lacks a numeric args.value\n";
+                return false;
+            }
+        }
+    }
+    for (const auto &entry : async_depth) {
+        if (entry.second != 0) {
+            std::cerr << path << ": async span ('" << entry.first.first
+                      << "', id " << entry.first.second << ") left "
+                      << entry.second << " begin(s) unmatched\n";
+            return false;
+        }
+    }
+    for (const auto &entry : flows) {
+        if (entry.second.first != 1 || entry.second.second != 1) {
+            std::cerr << path << ": flow ('" << entry.first.first
+                      << "', id " << entry.first.second << ") has "
+                      << entry.second.first << " start(s) and "
+                      << entry.second.second << " finish(es)\n";
+            return false;
+        }
+    }
+    for (const auto &fe : flow_events) {
+        const Value &e = *fe.second;
+        const auto track = std::make_pair(e.at("pid").asInt(),
+                                          e.at("tid").asInt());
+        const int64_t ts = e.at("ts").asInt();
+        bool enclosed = false;
+        const auto it = slices.find(track);
+        if (it != slices.end()) {
+            for (const auto &span : it->second) {
+                if (span.first <= ts && ts < span.second) {
+                    enclosed = true;
+                    break;
+                }
+            }
+        }
+        if (!enclosed) {
+            std::cerr << path << ": flow event " << fe.first
+                      << " at ts " << ts
+                      << " has no enclosing slice on pid/tid "
+                      << track.first << "/" << track.second << "\n";
+            return false;
         }
     }
     return true;
@@ -351,6 +461,214 @@ checkServeSummary(const std::string &path, const Value &doc)
                   << "\n";
         return false;
     }
+    // Under PL_PROFILE=1 pl_serve embeds the host profile; it must be
+    // a well-formed prof::Report wherever it appears.
+    if (const Value *profile = doc.find("profile")) {
+        if (!checkProfile(path, *profile))
+            return false;
+    }
+    return true;
+}
+
+/** One distribution block {"count","min","max","sum","p50",...}. */
+bool
+checkDistribution(const std::string &path, const std::string &where,
+                  const Value &d)
+{
+    for (const char *key :
+         {"count", "min", "max", "sum", "p50", "p95", "p99"}) {
+        if (!d.find(key) || !d.at(key).isNumber()) {
+            std::cerr << path << ": " << where << " lacks numeric '"
+                      << key << "'\n";
+            return false;
+        }
+    }
+    if (d.at("count").asInt() < 0) {
+        std::cerr << path << ": " << where << " has a negative count\n";
+        return false;
+    }
+    if (d.at("count").asInt() > 0) {
+        const int64_t min = d.at("min").asInt();
+        const int64_t p50 = d.at("p50").asInt();
+        const int64_t p95 = d.at("p95").asInt();
+        const int64_t p99 = d.at("p99").asInt();
+        const int64_t max = d.at("max").asInt();
+        if (min > p50 || p50 > p95 || p95 > p99 || p99 > max) {
+            std::cerr << path << ": " << where
+                      << " percentiles out of order (" << min << "/"
+                      << p50 << "/" << p95 << "/" << p99 << "/" << max
+                      << ")\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * A metrics::Sampler NDJSON stream (pl_serve --metrics): window
+ * records then one trailer, cycles advancing by exactly the interval,
+ * counter/distribution windows reconciling with the trailer totals
+ * and with the serving stats snapshot the trailer embeds.
+ */
+bool
+checkMetricsStream(const std::string &path,
+                   const std::vector<Value> &records)
+{
+    if (records.size() < 1) {
+        std::cerr << path << ": metrics stream is empty\n";
+        return false;
+    }
+    const Value &trailer = records.back();
+    const Value *flag = trailer.find("trailer");
+    if (!flag || !flag->asBool()) {
+        std::cerr << path << ": metrics stream lacks a final trailer "
+                  << "record\n";
+        return false;
+    }
+    for (const char *key : {"interval", "windows", "end_cycle",
+                            "totals", "distributions"}) {
+        if (!trailer.find(key)) {
+            std::cerr << path << ": metrics trailer lacks '" << key
+                      << "'\n";
+            return false;
+        }
+    }
+    const int64_t interval = trailer.at("interval").asInt();
+    if (interval < 1) {
+        std::cerr << path << ": metrics interval " << interval
+                  << " is not positive\n";
+        return false;
+    }
+    const size_t windows = records.size() - 1;
+    if (trailer.at("windows").asInt() !=
+        static_cast<int64_t>(windows)) {
+        std::cerr << path << ": metrics trailer claims "
+                  << trailer.at("windows").asInt() << " windows for "
+                  << windows << " window records\n";
+        return false;
+    }
+
+    std::map<std::string, int64_t> counter_sum;
+    std::map<std::string, int64_t> dist_count;
+    std::map<std::string, int64_t> dist_sum;
+    for (size_t w = 0; w < windows; ++w) {
+        const Value &rec = records[w];
+        if (rec.find("trailer")) {
+            std::cerr << path << ": metrics record " << w
+                      << " is a trailer before the last line\n";
+            return false;
+        }
+        for (const char *key :
+             {"cycle", "end_cycle", "interval", "counters", "gauges",
+              "distributions"}) {
+            if (!rec.find(key)) {
+                std::cerr << path << ": metrics window " << w
+                          << " lacks '" << key << "'\n";
+                return false;
+            }
+        }
+        // Gapless windows: record w starts exactly at w * interval.
+        const int64_t cycle = rec.at("cycle").asInt();
+        if (cycle != static_cast<int64_t>(w) * interval ||
+            rec.at("interval").asInt() != interval) {
+            std::cerr << path << ": metrics window " << w
+                      << " starts at cycle " << cycle << ", expected "
+                      << static_cast<int64_t>(w) * interval << "\n";
+            return false;
+        }
+        if (rec.at("end_cycle").asInt() <= cycle) {
+            std::cerr << path << ": metrics window " << w
+                      << " is empty (end_cycle <= cycle)\n";
+            return false;
+        }
+        for (const auto &member : rec.at("counters").members()) {
+            const Value *delta = member.second.find("delta");
+            const Value *total = member.second.find("total");
+            if (!delta || !total || !delta->isNumber() ||
+                !total->isNumber()) {
+                std::cerr << path << ": counter '" << member.first
+                          << "' in window " << w
+                          << " lacks numeric delta/total\n";
+                return false;
+            }
+            counter_sum[member.first] += delta->asInt();
+            if (total->asInt() != counter_sum[member.first]) {
+                std::cerr << path << ": counter '" << member.first
+                          << "' running total " << total->asInt()
+                          << " in window " << w
+                          << " does not accumulate its deltas ("
+                          << counter_sum[member.first] << ")\n";
+                return false;
+            }
+        }
+        for (const auto &member : rec.at("distributions").members()) {
+            if (!checkDistribution(path,
+                                   "distribution '" + member.first +
+                                       "' in window " +
+                                       std::to_string(w),
+                                   member.second)) {
+                return false;
+            }
+            dist_count[member.first] +=
+                member.second.at("count").asInt();
+            dist_sum[member.first] += member.second.at("sum").asInt();
+        }
+    }
+
+    for (const auto &member : trailer.at("totals").members()) {
+        if (member.second.asInt() != counter_sum[member.first]) {
+            std::cerr << path << ": trailer total for '"
+                      << member.first << "' is "
+                      << member.second.asInt()
+                      << " but the window deltas sum to "
+                      << counter_sum[member.first] << "\n";
+            return false;
+        }
+    }
+    for (const auto &member : trailer.at("distributions").members()) {
+        if (!checkDistribution(path,
+                               "trailer distribution '" +
+                                   member.first + "'",
+                               member.second)) {
+            return false;
+        }
+        if (member.second.at("count").asInt() !=
+                dist_count[member.first] ||
+            member.second.at("sum").asInt() != dist_sum[member.first]) {
+            std::cerr << path << ": trailer distribution '"
+                      << member.first
+                      << "' does not reconcile with its windows ("
+                      << member.second.at("count").asInt() << "/"
+                      << dist_count[member.first] << " observations, "
+                      << member.second.at("sum").asInt() << "/"
+                      << dist_sum[member.first] << " summed)\n";
+            return false;
+        }
+    }
+
+    // The trailer's serving stats snapshot (ServingReport::addStats)
+    // counts the same events the counter channels do; a mismatch
+    // means the producer double-fed or dropped events.
+    if (const Value *stats = trailer.find("stats")) {
+        const std::pair<const char *, const char *> pairs[] = {
+            {"serving.arrivals", "serving.arrival_count"},
+            {"serving.admitted", "serving.admitted_count"},
+            {"serving.shed", "serving.shed_count"},
+            {"serving.launches", "serving.batch_count"},
+        };
+        for (const auto &pair : pairs) {
+            const Value *total = trailer.at("totals").find(pair.first);
+            const Value *stat = stats->find(pair.second);
+            if (total && stat && total->asInt() != stat->asInt()) {
+                std::cerr << path << ": trailer total '" << pair.first
+                          << "' (" << total->asInt()
+                          << ") disagrees with stats snapshot '"
+                          << pair.second << "' (" << stat->asInt()
+                          << ")\n";
+                return false;
+            }
+        }
+    }
     return true;
 }
 
@@ -389,7 +707,11 @@ checkCompletionRecord(const std::string &path, size_t lineno,
     return true;
 }
 
-/** Newline-delimited completion records (pl_serve --completions). */
+/**
+ * Newline-delimited records: a metrics::Sampler stream when the first
+ * record carries "metrics_version" (pl_serve --metrics), completion
+ * records otherwise (pl_serve --completions).
+ */
 bool
 lintNdjson(const std::string &path)
 {
@@ -400,7 +722,8 @@ lintNdjson(const std::string &path)
     }
     std::string line;
     size_t lineno = 0;
-    size_t records = 0;
+    std::vector<Value> records;
+    std::vector<size_t> linenos;
     while (std::getline(in, line)) {
         ++lineno;
         if (line.find_first_not_of(" \t\r") == std::string::npos)
@@ -413,11 +736,23 @@ lintNdjson(const std::string &path)
                       << err.what() << "\n";
             return false;
         }
-        if (!checkCompletionRecord(path, lineno, rec))
-            return false;
-        ++records;
+        records.push_back(std::move(rec));
+        linenos.push_back(lineno);
     }
-    std::cout << path << ": OK (ndjson, " << records << " records)\n";
+    if (!records.empty() && records.front().isObject() &&
+        records.front().find("metrics_version")) {
+        if (!checkMetricsStream(path, records))
+            return false;
+        std::cout << path << ": OK (metrics stream, "
+                  << records.size() - 1 << " windows)\n";
+        return true;
+    }
+    for (size_t i = 0; i < records.size(); ++i) {
+        if (!checkCompletionRecord(path, linenos[i], records[i]))
+            return false;
+    }
+    std::cout << path << ": OK (ndjson, " << records.size()
+              << " records)\n";
     return true;
 }
 

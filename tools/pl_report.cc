@@ -1,0 +1,90 @@
+/**
+ * @file
+ * pl_report: render and diff serving telemetry
+ * (docs/observability.md, "Serving telemetry").
+ *
+ * Report mode — one metrics stream (pl_serve --metrics= output):
+ *
+ *   pl_report --metrics=M.ndjson [--summary=S.json]
+ *
+ * prints the latency/throughput-over-time table, one row per sampling
+ * window plus the whole-run totals.
+ *
+ * Diff mode — two streams, baseline first:
+ *
+ *   pl_report --baseline=OLD.ndjson --current=NEW.ndjson
+ *             [--baseline-summary=OLD.json --current-summary=NEW.json]
+ *             [--threshold=1.5] [--json=DIFF.json]
+ *
+ * compares the watched serving series window by window (latency
+ * percentiles, shed and completion deltas, queue depth; summaries by
+ * the bench_compare watched-metric rule) and prints the regressed
+ * windows.  Exit status mirrors bench_compare: 0 pass, 1 at least
+ * one regressed window, 2 bad input.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/args.hh"
+#include "tools/pl_report_lib.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipelayer;
+    ArgParser args(argc, argv);
+    if (args.flag("help")) {
+        std::cout
+            << "usage: pl_report --metrics=FILE [--summary=FILE]\n"
+               "       pl_report --baseline=FILE --current=FILE\n"
+               "                 [--baseline-summary=FILE "
+               "--current-summary=FILE]\n"
+               "                 [--threshold=X] [--json=FILE]\n";
+        return report::kPass;
+    }
+    args.rejectUnknown({"metrics", "summary", "baseline", "current",
+                        "baseline-summary", "current-summary",
+                        "threshold", "json", "help"});
+
+    std::vector<std::string> metrics;
+    std::vector<std::string> summaries;
+    const std::string single = args.str("metrics");
+    const std::string baseline = args.str("baseline");
+    const std::string current = args.str("current");
+    if (!single.empty()) {
+        if (!baseline.empty() || !current.empty()) {
+            std::cerr << "pl_report: --metrics excludes "
+                         "--baseline/--current\n";
+            return report::kError;
+        }
+        metrics.push_back(single);
+        const std::string summary = args.str("summary");
+        if (!summary.empty())
+            summaries.push_back(summary);
+    } else if (!baseline.empty() && !current.empty()) {
+        metrics.push_back(baseline);
+        metrics.push_back(current);
+        const std::string bs = args.str("baseline-summary");
+        const std::string cs = args.str("current-summary");
+        if (bs.empty() != cs.empty()) {
+            std::cerr << "pl_report: give both --baseline-summary "
+                         "and --current-summary or neither\n";
+            return report::kError;
+        }
+        if (!bs.empty()) {
+            summaries.push_back(bs);
+            summaries.push_back(cs);
+        }
+    } else {
+        std::cerr << "pl_report: need --metrics=FILE or "
+                     "--baseline=FILE --current=FILE "
+                     "(--help for usage)\n";
+        return report::kError;
+    }
+
+    const double threshold = args.number("threshold", 1.5);
+    return report::run(metrics, summaries, threshold,
+                       args.str("json"), std::cout, std::cerr);
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The reporting/diff logic behind tools/pl_report — the consumer of
+ * the serving telemetry artifacts (docs/observability.md, "Serving
+ * telemetry"): metrics NDJSON streams written by metrics::Sampler
+ * (`pl_serve --metrics=`) and the pl_serve summary JSON.  A library,
+ * like bench_compare_lib, so tests/test_metrics can drive the
+ * parsing, table and diff and assert exit codes without spawning
+ * processes.
+ *
+ * Two modes:
+ *
+ *  - report: one stream renders as a latency/throughput-over-time
+ *    table, one row per window (arrivals, completions, sheds, queue
+ *    depth, latency p50/p95/p99), with the trailer totals appended;
+ *  - diff: two streams compare window by window.  Watched window
+ *    series are directional: latency/queue-wait percentiles, shed
+ *    deltas and queue depth regress when the current value exceeds
+ *    threshold x baseline (lower is better); the completions delta
+ *    (throughput) regresses when it falls below baseline / threshold.
+ *    Serve summaries, when given, are flattened with bench_compare's
+ *    flattenNumbers and gated on the same watched-metric rule
+ *    (isWatchedMetric) as the bench envelopes.
+ *
+ * Exit codes mirror bench_compare: 0 pass, 1 regression, 2 bad input.
+ */
+
+#ifndef PIPELAYER_TOOLS_PL_REPORT_LIB_HH_
+#define PIPELAYER_TOOLS_PL_REPORT_LIB_HH_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace pipelayer {
+namespace report {
+
+/** Exit codes of the pl_report tool (and of run()). */
+enum ExitCode {
+    kPass = 0,       //!< no watched series regressed
+    kRegression = 1, //!< at least one regressed window or summary metric
+    kError = 2,      //!< bad input: unreadable file, malformed stream
+};
+
+/** One parsed metrics stream: the window records plus the trailer. */
+struct MetricsStream
+{
+    std::vector<json::Value> windows; //!< in cycle order
+    json::Value trailer;              //!< the "trailer":true record
+
+    int64_t interval() const;
+};
+
+/**
+ * Parse an NDJSON metrics stream (metrics::Sampler::write output).
+ * Throws ConfigError on malformed lines, a missing/misplaced trailer
+ * or non-monotone window cycles.
+ */
+MetricsStream parseMetrics(const std::string &text);
+
+/** parseMetrics() over a file; throws ConfigError if unreadable. */
+MetricsStream loadMetrics(const std::string &path);
+
+/**
+ * The over-time table: one row per window with the serving.* series
+ * (missing channels render as "-"), a separator, then the trailer
+ * totals row.
+ */
+std::string renderTable(const MetricsStream &stream);
+
+/** One watched (window, series) baseline/current pair. */
+struct WindowDelta
+{
+    int64_t cycle = 0;     //!< window start (trailer rows: -1)
+    std::string path;      //!< flattened path within the record
+    bool lower_is_better = true;
+    double baseline = 0.0;
+    double current = 0.0;
+
+    /** current / baseline (infinity when baseline is zero). */
+    double ratio() const;
+
+    /**
+     * Directional gate at @p threshold (>= 1): lower-is-better
+     * regresses when current > threshold x baseline, higher-is-better
+     * when current x threshold < baseline.
+     */
+    bool regressed(double threshold) const;
+};
+
+/** The outcome of diffing two streams (plus optional summaries). */
+struct DiffResult
+{
+    std::vector<WindowDelta> deltas; //!< watched pairs, window order
+    std::vector<std::string> errors; //!< structural mismatches
+
+    /** Deltas regressed at @p threshold. */
+    std::vector<WindowDelta> regressions(double threshold) const;
+
+    /**
+     * Machine-readable diff: {"report_version":1, "threshold":...,
+     * "windows_compared":N, "regressions":[...], "errors":[...]}.
+     */
+    json::Value toJson(double threshold) const;
+
+    /** Worst exit code implied by errors/deltas at @p threshold. */
+    int exitCode(double threshold) const;
+};
+
+/**
+ * Window-by-window diff.  Streams must share the interval; windows
+ * are matched by start cycle (a window missing from either side is an
+ * error — the horizons diverged).  Trailer distributions join as
+ * whole-run rows (cycle -1).
+ */
+DiffResult diffStreams(const MetricsStream &baseline,
+                       const MetricsStream &current);
+
+/**
+ * Gate two pl_serve summaries: flatten both, keep watched leaves
+ * (bench_compare's rule), compare lower-is-better.  Deltas append to
+ * @p out with cycle -1 and the "summary." path prefix.
+ */
+void diffSummaries(const json::Value &baseline,
+                   const json::Value &current, DiffResult *out);
+
+/**
+ * The whole tool.  @p metrics_paths holds one path (report mode) or
+ * two, baseline first (diff mode); @p summary_paths empty or matching
+ * @p metrics_paths in count.  Prints the table/report to @p os,
+ * problems to @p err, writes toJson() to @p json_path when non-empty,
+ * and returns the process exit code.
+ */
+int run(const std::vector<std::string> &metrics_paths,
+        const std::vector<std::string> &summary_paths,
+        double threshold, const std::string &json_path,
+        std::ostream &os, std::ostream &err);
+
+} // namespace report
+} // namespace pipelayer
+
+#endif // PIPELAYER_TOOLS_PL_REPORT_LIB_HH_

@@ -6,8 +6,8 @@
  * (sim::ServingSim): admission with backpressure, batch coalescing
  * toward the (N/B)(2L+B+1) sweet spot, execution on the event-queue
  * scheduler.  Requests come from an ArrivalTrace JSON file
- * (--trace=FILE, the deterministic / replayable path CI uses) or as
- * newline-delimited JSON on stdin, one request per line:
+ * (--arrivals=FILE, the deterministic / replayable path CI uses) or
+ * as newline-delimited JSON on stdin, one request per line:
  *
  *   {"id": 0, "arrival_cycle": 0}
  *   {"id": 1, "arrival_cycle": 7}
@@ -18,9 +18,17 @@
  * serving summary — queue depths, batch-size histogram, shed counts,
  * p50/p95/p99 latency in logical cycles, and the embedded execution
  * SimReport — as JSON (--json=FILE) plus a human-readable digest on
- * stderr.  Every metric in the summary's result is logical-cycle
- * arithmetic, so two runs of the same trace are byte-identical at
- * any PL_THREADS — the property the CI serving smoke gates.
+ * stderr.  Under PL_PROFILE=1 the summary also embeds the host
+ * profile (prof::Report) as a "profile" member.
+ *
+ * Telemetry (docs/observability.md, "Serving telemetry"):
+ * --trace=FILE writes the request-lifecycle Chrome trace (per-request
+ * async spans, request->batch flow arrows, queue/in-flight/shed
+ * counter tracks, plus the pipeline timeline) and --metrics=FILE the
+ * windowed NDJSON time series sampled every --metrics-interval=N
+ * logical cycles.  Every artifact is logical-cycle arithmetic, so two
+ * runs of the same trace are byte-identical at any PL_THREADS — the
+ * property the CI serving smoke gates.
  *
  * Exit status: 0 on success, 1 on bad usage or malformed input.
  */
@@ -34,6 +42,9 @@
 #include "common/args.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/prof.hh"
+#include "common/trace.hh"
 #include "reram/params.hh"
 #include "sim/arrival.hh"
 #include "sim/serving.hh"
@@ -46,18 +57,25 @@ using namespace pipelayer;
 void
 usage(std::ostream &os)
 {
-    os << "usage: pl_serve [--network=NAME] [--trace=FILE]\n"
+    os << "usage: pl_serve [--network=NAME] [--arrivals=FILE]\n"
           "                [--queue-capacity=N] [--max-batch=N]\n"
           "                [--max-wait=N] [--completions=FILE]\n"
-          "                [--json=FILE] [--quiet]\n"
+          "                [--json=FILE] [--trace=FILE]\n"
+          "                [--metrics=FILE] [--metrics-interval=N]\n"
+          "                [--quiet]\n"
           "\n"
           "Serve a request stream through a mapped network.  Requests\n"
-          "come from an ArrivalTrace JSON file (--trace) or from\n"
+          "come from an ArrivalTrace JSON file (--arrivals) or from\n"
           "stdin as NDJSON lines {\"id\": N, \"arrival_cycle\": N}\n"
           "with non-decreasing arrival cycles.  Completion records\n"
           "stream as NDJSON to stdout (or --completions); the summary\n"
           "JSON goes to --json, and a human digest to stderr\n"
-          "(suppressed by --quiet).\n";
+          "(suppressed by --quiet).\n"
+          "\n"
+          "Telemetry: --trace writes the request-lifecycle Chrome\n"
+          "trace (open in Perfetto), --metrics the windowed NDJSON\n"
+          "time series sampled every --metrics-interval logical\n"
+          "cycles (default 64; see tools/pl_report).\n";
 }
 
 /** Parse stdin NDJSON requests into a replay trace. */
@@ -115,9 +133,10 @@ serveMain(int argc, char **argv)
         usage(std::cout);
         return 0;
     }
-    args.rejectUnknown({"network", "trace", "queue-capacity",
+    args.rejectUnknown({"network", "arrivals", "queue-capacity",
                         "max-batch", "max-wait", "completions", "json",
-                        "quiet", "help"});
+                        "trace", "metrics", "metrics-interval", "quiet",
+                        "help"});
 
     const std::string network = args.str("network", "Mnist-A");
     sim::ServingConfig config;
@@ -127,16 +146,28 @@ serveMain(int argc, char **argv)
     config.max_wait_cycles =
         args.integer("max-wait", config.max_wait_cycles);
 
-    const std::string trace_path = args.str("trace");
-    const sim::ArrivalTrace trace = trace_path.empty()
+    const std::string arrivals_path = args.str("arrivals");
+    const sim::ArrivalTrace trace = arrivals_path.empty()
                                         ? traceFromStdin(std::cin)
-                                        : traceFromFile(trace_path);
+                                        : traceFromFile(arrivals_path);
+
+    const std::string trace_path = args.str("trace");
+    const std::string metrics_path = args.str("metrics");
+    trace::TraceRecorder recorder("pl_serve " + network);
+    metrics::Sampler sampler(args.integer("metrics-interval", 64));
 
     const workloads::NetworkSpec spec =
         workloads::networkByName(network);
     const reram::DeviceParams params;
     const sim::ServingSim serving(spec, params);
-    const sim::ServingReport report = serving.run(trace, config);
+    const sim::ServingReport report = serving.run(
+        trace, config, trace_path.empty() ? nullptr : &recorder,
+        metrics_path.empty() ? nullptr : &sampler);
+
+    if (!trace_path.empty())
+        recorder.writeFile(trace_path);
+    if (!metrics_path.empty())
+        sampler.writeFile(metrics_path);
 
     // Completion records: NDJSON, one line per request in arrival
     // order, shed requests included (admitted: false).
@@ -161,7 +192,12 @@ serveMain(int argc, char **argv)
             throw ConfigError("cannot write summary file '" +
                               json_path + "'");
         }
-        report.toJson().write(out, 2);
+        json::Value summary = report.toJson();
+        // Host-profile sidecar: wall-clock numbers, so only under
+        // PL_PROFILE=1 and never in the gated logical-cycle fields.
+        if (prof::enabled())
+            summary["profile"] = prof::snapshot().toJson();
+        summary.write(out, 2);
         out << "\n";
     }
     if (!args.flag("quiet"))

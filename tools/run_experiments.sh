@@ -27,18 +27,33 @@ done 2>&1 | tee bench_output.txt
 
 # Serving scenario (docs/serving.md): serve the committed canned
 # arrival trace through the pl_serve daemon, keeping the per-request
-# completion records and the summary next to the bench envelopes.
-# bench_serving (the rate sweep) already ran with the loop above.
+# completion records, the summary and the telemetry artifacts — the
+# request-lifecycle Chrome trace and the windowed metrics stream
+# (docs/observability.md, "Serving telemetry") — next to the bench
+# envelopes.  bench_serving (the rate sweep) already ran with the
+# loop above.
 echo "==================================================================="
 echo "== pl_serve (canned trace)"
 echo "==================================================================="
 ./build/tools/pl_serve \
     --network=Mnist-A \
-    --trace=bench/traces/serving_arrivals.json \
+    --arrivals=bench/traces/serving_arrivals.json \
     --completions=SERVE_completions.ndjson \
+    --trace=TRACE_serving.json \
+    --metrics=METRICS_serving.ndjson \
+    --metrics-interval=64 \
     --json=SERVE_summary.json
 ./build/tools/json_lint bench/traces/serving_arrivals.json \
-    SERVE_completions.ndjson SERVE_summary.json
+    SERVE_completions.ndjson SERVE_summary.json \
+    TRACE_serving.json METRICS_serving.ndjson
+
+# Telemetry report: render the over-time table, then smoke the diff
+# path — a stream must diff clean against itself (exit 0).
+./build/tools/pl_report --metrics=METRICS_serving.ndjson
+./build/tools/pl_report \
+    --baseline=METRICS_serving.ndjson \
+    --current=METRICS_serving.ndjson \
+    --json=REPORT_serving_diff.json
 
 # Every table/figure bench also wrote a BENCH_<name>.json envelope
 # (and bench_fig6_timeline a Chrome trace) plus a PROFILE_<name>.json
