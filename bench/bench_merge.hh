@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Merging of per-repeat bench measurements (header-only so the unit
+ * tests exercise it without linking the full bench runner).
+ *
+ * Under --repeat=N the bench body runs N times and every run rebuilds
+ * the envelope's "result" and "info" trees.  The deterministic members
+ * are identical across runs by contract, but measured wall times are
+ * not — and the historical behaviour of keeping the *last* run's tree
+ * meant `ns_per_call` / `speedup_vs_reference` rows reported one
+ * arbitrary sample instead of the run the repeats were requested to
+ * find.  mergeRuns() folds run i's tree into the accumulated tree:
+ *
+ *  - `ns_per_call`, `ref_ns_per_call`, `ns_per_run`: minimum over
+ *    runs (the standard noise floor estimator);
+ *  - `gflops` and any `gflops_<isa>` member: maximum over runs —
+ *    equal to flops / min ns, since throughput is monotone in time;
+ *  - `speedup_vs_reference`: recomputed as the merged
+ *    `ref_ns_per_call` / `ns_per_call` of its row, so both sides of
+ *    the ratio are minima rather than a ratio of two last samples;
+ *  - arrays: merged elementwise (runs produce equal shapes);
+ *  - everything else: the accumulated (first run's) value is kept —
+ *    deterministic members never differ.
+ */
+
+#ifndef PIPELAYER_BENCH_BENCH_MERGE_HH_
+#define PIPELAYER_BENCH_BENCH_MERGE_HH_
+
+#include <algorithm>
+#include <string>
+
+#include "common/json.hh"
+
+namespace pipelayer {
+namespace bench {
+
+namespace merge_detail {
+
+inline bool
+minKey(const std::string &key)
+{
+    return key == "ns_per_call" || key == "ref_ns_per_call" ||
+           key == "ns_per_run";
+}
+
+inline bool
+maxKey(const std::string &key)
+{
+    return key.rfind("gflops", 0) == 0;
+}
+
+} // namespace merge_detail
+
+/**
+ * Fold one repeat's result/info tree into the accumulated tree (see
+ * file comment for the member-by-member rules).  Shapes must match;
+ * members present in only one tree keep whichever value exists.
+ */
+inline json::Value
+mergeRuns(const json::Value &acc, const json::Value &run)
+{
+    if (acc.isObject() && run.isObject()) {
+        json::Value out = json::Value::object();
+        for (const auto &member : acc.members()) {
+            const std::string &key = member.first;
+            const json::Value *other = run.find(key);
+            if (other == nullptr) {
+                out[key] = member.second;
+            } else if (member.second.isNumber() && other->isNumber()) {
+                if (merge_detail::minKey(key)) {
+                    out[key] = json::Value(std::min(
+                        member.second.asNumber(), other->asNumber()));
+                } else if (merge_detail::maxKey(key)) {
+                    out[key] = json::Value(std::max(
+                        member.second.asNumber(), other->asNumber()));
+                } else {
+                    out[key] = member.second;
+                }
+            } else {
+                out[key] = mergeRuns(member.second, *other);
+            }
+        }
+        // Members the accumulator never saw (should not happen for a
+        // deterministic result tree, but do not drop data).
+        for (const auto &member : run.members()) {
+            if (acc.find(member.first) == nullptr)
+                out[member.first] = member.second;
+        }
+        // Re-derive the speedup from the merged minima.
+        if (const json::Value *ns = out.find("ns_per_call")) {
+            const json::Value *ref = out.find("ref_ns_per_call");
+            if (ref != nullptr && out.find("speedup_vs_reference") &&
+                ns->asNumber() > 0.0) {
+                out["speedup_vs_reference"] =
+                    json::Value(ref->asNumber() / ns->asNumber());
+            }
+        }
+        return out;
+    }
+    if (acc.isArray() && run.isArray() && acc.size() == run.size()) {
+        json::Value out = json::Value::array();
+        for (size_t i = 0; i < acc.size(); ++i)
+            out.push(mergeRuns(acc.at(i), run.at(i)));
+        return out;
+    }
+    return acc;
+}
+
+} // namespace bench
+} // namespace pipelayer
+
+#endif // PIPELAYER_BENCH_BENCH_MERGE_HH_

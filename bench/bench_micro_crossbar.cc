@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "arch/granularity.hh"
@@ -26,6 +27,7 @@
 #include "arch/pipeline.hh"
 #include "bench/bench_threads.hh"
 #include "bench/bench_util.hh"
+#include "common/isa.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
@@ -45,6 +47,8 @@ struct KernelRow
     double flops = 0.0;      //!< MAC-equivalent ops per call
     double ns = 0.0;         //!< ns per call, fast path
     double ref_ns = 0.0;     //!< ns per call, pulse-walk reference
+    /** (target name, GMAC/s) per available dispatch target. */
+    std::vector<std::pair<std::string, double>> isa_gflops;
 };
 
 json::Value
@@ -56,6 +60,8 @@ toJson(const KernelRow &row)
     v["flops"] = json::Value(row.flops);
     v["ns_per_call"] = json::Value(row.ns);
     v["gflops"] = json::Value(row.ns > 0.0 ? row.flops / row.ns : 0.0);
+    for (const auto &per : row.isa_gflops)
+        v["gflops_" + per.first] = json::Value(per.second);
     if (row.ref_ns > 0.0) {
         v["ref_ns_per_call"] = json::Value(row.ref_ns);
         v["speedup_vs_reference"] = json::Value(row.ref_ns / row.ns);
@@ -142,6 +148,19 @@ measureKernel(const std::string &name, int64_t inner_iters, double flops,
     row.inner_iters = inner_iters;
     row.flops = flops;
     row.ns = bench::measureNs(threadCount(), fast);
+    // One measurement per available SIMD dispatch target
+    // (gflops_<isa>): the crossbar MVM rides the dispatched integer
+    // axpy kernel, so the target changes wall clock, never counts.
+    {
+        const isa::Target entry = isa::active();
+        for (isa::Target t : isa::availableTargets()) {
+            isa::setActive(t);
+            const double ns = bench::measureNs(threadCount(), fast);
+            row.isa_gflops.emplace_back(isa::name(t),
+                                        ns > 0.0 ? flops / ns : 0.0);
+        }
+        isa::setActive(entry);
+    }
     if (ref)
         row.ref_ns = bench::measureNs(1, ref);
     return row;
@@ -181,6 +200,34 @@ run(bench::Runner &runner)
             "arraygroup_matvec_256", 256 * 256,
             static_cast<double>(2 * 256 * 256),
             [&] { group.matVec(x); }, nullptr));
+    }
+    {
+        // Batched crossbar-window MVM: the G windows of a logical
+        // cycle go through the arrays as one batch (each crossbar
+        // sweeps its cells once for all windows).  The reference is
+        // the pre-batching path — the same windows pushed through
+        // matVec one at a time.
+        const reram::DeviceParams params;
+        Rng rng(3);
+        const Tensor w = Tensor::randn({256, 256}, rng);
+        reram::ArrayGroup group(params, w);
+        constexpr int64_t kWindows = 8;
+        Tensor xb({kWindows, 256});
+        for (int64_t b = 0; b < kWindows; ++b)
+            for (int64_t j = 0; j < 256; ++j)
+                xb(b, j) = static_cast<float>(rng.uniform());
+        Tensor one({256});
+        rows.push_back(measureKernel(
+            "arraygroup_batched_windows_256_g8", kWindows * 256 * 256,
+            static_cast<double>(2 * kWindows * 256 * 256),
+            [&] { group.matVecBatch(xb); },
+            [&] {
+                for (int64_t b = 0; b < kWindows; ++b) {
+                    for (int64_t j = 0; j < 256; ++j)
+                        one(j) = xb(b, j);
+                    group.matVec(one);
+                }
+            }));
     }
 
     Table table({"kernel", "inner_iters", "ns/call", "GMAC/s",

@@ -18,10 +18,12 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_threads.hh"
 #include "bench/bench_util.hh"
+#include "common/isa.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
@@ -41,6 +43,8 @@ struct KernelRow
     double flops = 0.0;      //!< floating-point ops per call
     double ns = 0.0;         //!< ns per call, fast path
     double ref_ns = 0.0;     //!< ns per call, ops::reference path
+    /** (target name, GFLOP/s) per available dispatch target. */
+    std::vector<std::pair<std::string, double>> isa_gflops;
 };
 
 json::Value
@@ -52,6 +56,8 @@ toJson(const KernelRow &row)
     v["flops"] = json::Value(row.flops);
     v["ns_per_call"] = json::Value(row.ns);
     v["gflops"] = json::Value(row.ns > 0.0 ? row.flops / row.ns : 0.0);
+    for (const auto &per : row.isa_gflops)
+        v["gflops_" + per.first] = json::Value(per.second);
     if (row.ref_ns > 0.0) {
         v["ref_ns_per_call"] = json::Value(row.ref_ns);
         v["speedup_vs_reference"] = json::Value(row.ref_ns / row.ns);
@@ -63,6 +69,9 @@ toJson(const KernelRow &row)
  * Measure @p fast at the configured thread count and @p ref (when
  * non-null) serially — the reference kernels are single-threaded by
  * construction, so timing them at one thread is what they cost.
+ * FLOP-counted kernels are additionally measured once per available
+ * SIMD dispatch target (gflops_<isa> members): results are
+ * byte-identical across targets, so only the wall clock differs.
  */
 KernelRow
 measureKernel(const std::string &name, int64_t inner_iters, double flops,
@@ -74,6 +83,16 @@ measureKernel(const std::string &name, int64_t inner_iters, double flops,
     row.inner_iters = inner_iters;
     row.flops = flops;
     row.ns = bench::measureNs(threadCount(), fast);
+    if (flops > 0.0) {
+        const isa::Target entry = isa::active();
+        for (isa::Target t : isa::availableTargets()) {
+            isa::setActive(t);
+            const double ns = bench::measureNs(threadCount(), fast);
+            row.isa_gflops.emplace_back(isa::name(t),
+                                        ns > 0.0 ? flops / ns : 0.0);
+        }
+        isa::setActive(entry);
+    }
     if (ref)
         row.ref_ns = bench::measureNs(1, ref);
     return row;

@@ -6,6 +6,8 @@
 #include <iostream>
 #include <vector>
 
+#include "bench/bench_merge.hh"
+#include "common/isa.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/prof.hh"
@@ -103,8 +105,9 @@ Runner::Runner(std::string name, int argc, const char *const *argv,
 {
     setLogLevel(LogLevel::Warn);
 
-    std::vector<std::string> known = {"json",   "csv",     "threads",
-                                      "repeat", "profile", "help"};
+    std::vector<std::string> known = {"json",    "csv",  "threads",
+                                      "repeat",  "isa",  "profile",
+                                      "help"};
     known.insert(known.end(), extra_.begin(), extra_.end());
     args_.rejectUnknown(known);
 
@@ -125,20 +128,45 @@ Runner::Runner(std::string name, int argc, const char *const *argv,
     if (threads > 0)
         setThreadCount(threads);
 
+    // --isa overrides PL_ISA / auto-detection for this process.  An
+    // unknown or unsupported name is a configuration error, never a
+    // silent fallback (results are byte-identical across targets, so
+    // a fallback would go unnoticed until someone reads the envelope).
+    const std::string isa_arg = args_.str("isa", "");
+    if (!isa_arg.empty()) {
+        isa::Target target;
+        if (!isa::parse(isa_arg, &target)) {
+            throw ConfigError(
+                "--isa must be one of scalar|avx2|avx512|neon, got '" +
+                isa_arg + "'");
+        }
+        if (!isa::setActive(target)) {
+            throw ConfigError("--isa=" + isa_arg +
+                              " is not supported on this host");
+        }
+    }
+
     if (help_) {
         std::cout << "usage: bench_" << name_
                   << " [--json=PATH] [--csv] [--threads=N]"
-                  << " [--repeat=N] [--profile=PATH]";
+                  << " [--repeat=N] [--isa=TARGET] [--profile=PATH]";
         for (const auto &f : extra_)
             std::cout << " [--" << f << "=...]";
         std::cout
             << "\n\nwrites a machine-readable JSON envelope to "
             << "--json (default BENCH_" << name_
             << ".json); see docs/observability.md\n"
-            << "  --repeat=N       run the bench body N times and "
-               "report per-run wall\n"
-            << "                   times (min/median) in the "
-               "envelope's \"timing\" member\n"
+            << "  --repeat=N       run the bench body N times; "
+               "measured ns/GFLOP/s members\n"
+            << "                   keep the best (min-time) run and "
+               "the \"timing\" member\n"
+            << "                   reports per-run wall times "
+               "(min/median)\n"
+            << "  --isa=TARGET     force the SIMD dispatch target "
+               "(scalar|avx2|avx512|neon,\n"
+            << "                   also via PL_ISA); results are "
+               "byte-identical across\n"
+            << "                   targets, only wall clock changes\n"
             << "  --profile=PATH   enable the host-side profiler "
                "(also via PL_PROFILE=1),\n"
             << "                   write the profile report to PATH "
@@ -177,6 +205,9 @@ Runner::finish()
     json::Value envelope = json::Value::object();
     envelope["bench"] = json::Value(name_);
     envelope["threads"] = json::Value(threadCount());
+    // The dispatched SIMD target that produced the measurements — by
+    // contract it never changes the "result" tree, only wall clock.
+    envelope["isa"] = json::Value(std::string(isa::name(isa::active())));
     envelope["result"] = std::move(result_);
     if (info_.size() > 0)
         envelope["info"] = std::move(info_);
@@ -245,11 +276,16 @@ Runner::main(const std::string &name, int argc, const char *const *argv,
         Runner runner(name, argc, argv, extra);
         if (runner.help_)
             return 0;
-        // Each repetition re-runs the full bench body; the last run's
-        // result() lands in the envelope (re-assigned keys are
-        // deterministic, so every run produces the same result).
+        // Each repetition re-runs the full bench body into a fresh
+        // result()/info(); the trees are then folded together so
+        // measured members (ns_per_call, gflops, speedups) report the
+        // best run rather than the last one — deterministic members
+        // are identical across runs and pass through untouched (see
+        // bench_merge.hh).
         std::vector<double> wall_s;
         wall_s.reserve(static_cast<size_t>(runner.repeat()));
+        json::Value merged_result = json::Value::object();
+        json::Value merged_info = json::Value::object();
         for (int64_t i = 0; i < runner.repeat(); ++i) {
             if (i > 0) {
                 runner.result_ = json::Value::object();
@@ -262,7 +298,16 @@ Runner::main(const std::string &name, int argc, const char *const *argv,
                 return rc;
             wall_s.push_back(
                 std::chrono::duration<double>(t1 - t0).count());
+            if (i == 0) {
+                merged_result = std::move(runner.result_);
+                merged_info = std::move(runner.info_);
+            } else {
+                merged_result = mergeRuns(merged_result, runner.result_);
+                merged_info = mergeRuns(merged_info, runner.info_);
+            }
         }
+        runner.result_ = std::move(merged_result);
+        runner.info_ = std::move(merged_info);
         runner.setWallTimes(std::move(wall_s));
         return runner.finish();
     } catch (const ConfigError &err) {

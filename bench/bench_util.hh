@@ -74,9 +74,14 @@ json::Value toJson(const std::vector<EvalRow> &rows);
  *   --json=PATH    machine-readable output (default BENCH_<name>.json)
  *   --csv          print tables as CSV instead of aligned text
  *   --threads=N    worker thread count (else PL_THREADS / hardware)
- *   --repeat=N     run the bench body N times; the envelope's
+ *   --repeat=N     run the bench body N times; measured members
+ *                  (ns_per_call, gflops, speedup_vs_reference) keep
+ *                  the best run (bench_merge.hh) and the envelope's
  *                  "timing" member reports per-run wall times plus
  *                  min/median, so committed baselines are less noisy
+ *   --isa=TARGET   force the SIMD dispatch target (scalar|avx2|
+ *                  avx512|neon, also via PL_ISA); recorded in the
+ *                  envelope's "isa" member
  *   --profile=PATH enable the host-side profiler (common/prof.hh),
  *                  write the profile report to PATH, and embed it as
  *                  the envelope's "profile" member
@@ -85,7 +90,7 @@ json::Value toJson(const std::vector<EvalRow> &rows);
  * plus any bench-specific flags declared at construction — and the
  * same exit codes: 0 on success, 1 on a configuration error
  * (ConfigError) or unwritable output.  Every run writes a JSON
- * envelope {"bench", "threads", "result", "timing"[, "info"]
+ * envelope {"bench", "threads", "isa", "result", "timing"[, "info"]
  * [, "profile"]} whose "result" member the bench fills via result()
  * (schema in docs/observability.md); "result" must be deterministic
  * — machine-dependent numbers go in info() or the timing member.

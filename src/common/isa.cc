@@ -1,0 +1,171 @@
+#include "common/isa.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace pipelayer {
+namespace isa {
+
+namespace {
+
+/** -1 = not yet resolved; otherwise a Target ordinal. */
+std::atomic<int> g_active{-1};
+
+bool
+hostSupports(Target t)
+{
+    switch (t) {
+    case Target::Scalar:
+        return true;
+    case Target::Avx2:
+#if defined(__x86_64__) || defined(_M_X64)
+        return __builtin_cpu_supports("avx2") != 0;
+#else
+        return false;
+#endif
+    case Target::Avx512:
+#if defined(__x86_64__) || defined(_M_X64)
+        // The avx512 TU is compiled with -mavx512f -mavx512dq, so the
+        // runtime gate requires both features before dispatching into
+        // it (the compiler is free to use DQ forms anywhere in the TU).
+        return __builtin_cpu_supports("avx512f") != 0 &&
+               __builtin_cpu_supports("avx512dq") != 0;
+#else
+        return false;
+#endif
+    case Target::Neon:
+#if defined(__aarch64__)
+        return true; // Advanced SIMD is baseline on aarch64.
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+Target
+resolve()
+{
+    const char *env = std::getenv("PL_ISA");
+    if (env != nullptr && env[0] != '\0') {
+        Target forced;
+        PL_ASSERT(parse(env, &forced),
+                  "PL_ISA='%s' is not one of scalar|avx2|avx512|neon",
+                  env);
+        PL_ASSERT(supported(forced),
+                  "PL_ISA=%s is not supported on this host",
+                  name(forced));
+        return forced;
+    }
+    return best();
+}
+
+} // namespace
+
+const char *
+name(Target t)
+{
+    switch (t) {
+    case Target::Scalar:
+        return "scalar";
+    case Target::Avx2:
+        return "avx2";
+    case Target::Avx512:
+        return "avx512";
+    case Target::Neon:
+        return "neon";
+    }
+    return "unknown";
+}
+
+bool
+parse(const std::string &text, Target *out)
+{
+    for (int i = 0; i < kTargetCount; ++i) {
+        const Target t = static_cast<Target>(i);
+        if (text == name(t)) {
+            *out = t;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+supported(Target t)
+{
+    return hostSupports(t);
+}
+
+std::vector<Target>
+availableTargets()
+{
+    std::vector<Target> out;
+    for (int i = 0; i < kTargetCount; ++i) {
+        const Target t = static_cast<Target>(i);
+        if (supported(t))
+            out.push_back(t);
+    }
+    return out;
+}
+
+Target
+best()
+{
+    // Widest wins; on x86 that prefers AVX-512 over AVX2.  NEON never
+    // coexists with the x86 targets, so ordinal order is fine.
+    Target widest = Target::Scalar;
+    for (int i = 0; i < kTargetCount; ++i) {
+        const Target t = static_cast<Target>(i);
+        if (supported(t))
+            widest = t;
+    }
+    return widest;
+}
+
+Target
+active()
+{
+    int cur = g_active.load(std::memory_order_acquire);
+    if (cur < 0) {
+        const Target resolved = resolve();
+        cur = static_cast<int>(resolved);
+        int expected = -1;
+        // First resolver wins; a concurrent resolver computed the
+        // same value anyway (the environment does not change).
+        g_active.compare_exchange_strong(expected, cur,
+                                         std::memory_order_acq_rel);
+        cur = g_active.load(std::memory_order_acquire);
+    }
+    return static_cast<Target>(cur);
+}
+
+bool
+setActive(Target t)
+{
+    if (!supported(t))
+        return false;
+    g_active.store(static_cast<int>(t), std::memory_order_release);
+    return true;
+}
+
+void
+reresolveFromEnv()
+{
+    g_active.store(static_cast<int>(resolve()),
+                   std::memory_order_release);
+}
+
+void
+addStats(stats::StatGroup &group, const std::string &prefix)
+{
+    group.addFormula(
+        prefix + ".isa_level",
+        [] { return static_cast<double>(static_cast<int>(active())); },
+        "dispatched SIMD target (0 scalar, 1 avx2, 2 avx512, 3 neon)");
+}
+
+} // namespace isa
+} // namespace pipelayer

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "common/isa.hh"
 #include "common/logging.hh"
 
 namespace pipelayer {
@@ -275,7 +276,10 @@ json::Value
 Report::toJson() const
 {
     json::Value v = json::Value::object();
+    // Additive member, so profile_version stays 1: the SIMD target the
+    // profiled kernels dispatched to.
     v["profile_version"] = json::Value(int64_t{1});
+    v["isa"] = json::Value(std::string(isa::name(isa::active())));
 
     json::Value site_arr = json::Value::array();
     for (const auto &s : sites) {

@@ -19,6 +19,20 @@ withBiasInput(const Tensor &x)
     return out;
 }
 
+/** Extend each row of an im2col matrix with a constant-1 bias column. */
+Tensor
+withBiasColumn(const Tensor &cols)
+{
+    const int64_t rows = cols.dim(0), m = cols.dim(1);
+    Tensor out({rows, m + 1});
+    for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t j = 0; j < m; ++j)
+            out(r, j) = cols(r, j);
+        out(r, m) = 1.0f;
+    }
+    return out;
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------
@@ -97,15 +111,15 @@ MappedConvLayer::forward(const Tensor &input)
     const int64_t out_w = input.dim(2) + 2 * pad_ - kernel_ + 1;
     PL_ASSERT(windows == out_h * out_w, "window count mismatch");
 
+    // All windows of the feature map go through the arrays as one
+    // batch: each crossbar sweeps its cells once for the whole map
+    // instead of once per window (results are bit-identical to the
+    // per-window loop; see ArrayGroup::matVecBatch).
+    const Tensor result = forward_group_->matVecBatch(withBiasColumn(cols));
     Tensor out({out_c_, out_h, out_w});
-    Tensor window({cols.dim(1)});
-    for (int64_t w = 0; w < windows; ++w) {
-        for (int64_t j = 0; j < cols.dim(1); ++j)
-            window(j) = cols(w, j);
-        const Tensor result = forward_group_->matVec(withBiasInput(window));
+    for (int64_t w = 0; w < windows; ++w)
         for (int64_t oc = 0; oc < out_c_; ++oc)
-            out(oc, w / out_w, w % out_w) = result(oc);
-    }
+            out(oc, w / out_w, w % out_w) = result(w, oc);
     return out;
 }
 
@@ -120,16 +134,12 @@ MappedConvLayer::backwardError(const Tensor &delta_out)
     const int64_t full_h = padded.dim(1) - kernel_ + 1;
     const int64_t full_w = padded.dim(2) - kernel_ + 1;
 
+    const Tensor result =
+        backward_group_->matVecBatch(withBiasColumn(cols));
     Tensor full({in_c_, full_h, full_w});
-    Tensor window({cols.dim(1)});
-    for (int64_t w = 0; w < cols.dim(0); ++w) {
-        for (int64_t j = 0; j < cols.dim(1); ++j)
-            window(j) = cols(w, j);
-        const Tensor result =
-            backward_group_->matVec(withBiasInput(window));
+    for (int64_t w = 0; w < cols.dim(0); ++w)
         for (int64_t icn = 0; icn < in_c_; ++icn)
-            full(icn, w / full_w, w % full_w) = result(icn);
-    }
+            full(icn, w / full_w, w % full_w) = result(w, icn);
 
     if (pad_ == 0)
         return full;

@@ -101,45 +101,68 @@ ArrayGroup::arrayCount() const
     return 2 * params_.sliceGroups() * tiles_r_ * tiles_c_;
 }
 
-std::vector<int64_t>
-ArrayGroup::signedPass(bool positive, const std::vector<int64_t> &codes)
+void
+ArrayGroup::signedPassBatch(bool positive,
+                            const std::vector<int64_t> &codes,
+                            const std::vector<int64_t> &windows,
+                            int64_t *out)
 {
+    if (windows.empty())
+        return;
     const int groups = params_.sliceGroups();
     const size_t sign = positive ? 0 : 1;
-    std::vector<int64_t> out(static_cast<size_t>(n_out_), 0);
+    const int64_t a_rows = params_.array_rows;
+    const int64_t a_cols = params_.array_cols;
 
+    std::vector<int64_t> sel;    //!< windows driving this tile row
+    std::vector<int64_t> packed; //!< their chunks, sel.size() x used
+    std::vector<int64_t> counts; //!< batch outputs, sel.size() x a_cols
     for (int64_t tr = 0; tr < tiles_r_; ++tr) {
-        // Slice of input codes feeding this tile row.
-        const int64_t row0 = tr * params_.array_rows;
-        const int64_t row1 = std::min(row0 + params_.array_rows, m_in_);
-        const std::vector<int64_t> chunk(
-            codes.begin() + static_cast<ptrdiff_t>(row0),
-            codes.begin() + static_cast<ptrdiff_t>(row1));
-        bool all_zero = true;
-        for (int64_t c : chunk)
-            all_zero &= (c == 0);
-        if (all_zero)
+        // Chunk of each window's codes feeding this tile row.  A
+        // window whose chunk is all zero drives no word line and is
+        // dropped from the batch — the same per-(window, tile-row)
+        // skip the looped path takes, so activity counts match it
+        // exactly.  Ascending window order keeps the per-array call
+        // order of the loop.
+        const int64_t row0 = tr * a_rows;
+        const int64_t row1 = std::min(row0 + a_rows, m_in_);
+        const int64_t used = row1 - row0;
+        sel.clear();
+        packed.clear();
+        for (int64_t w : windows) {
+            const int64_t *wc = codes.data() + w * m_in_;
+            bool all_zero = true;
+            for (int64_t r = row0; r < row1; ++r)
+                all_zero &= (wc[r] == 0);
+            if (all_zero)
+                continue;
+            sel.push_back(w);
+            packed.insert(packed.end(), wc + row0, wc + row1);
+        }
+        if (sel.empty())
             continue;
+        const auto nsel = static_cast<int64_t>(sel.size());
+        counts.resize(static_cast<size_t>(nsel * a_cols));
 
         for (int64_t tc = 0; tc < tiles_c_; ++tc) {
+            const int64_t col0 = tc * a_cols;
+            const int64_t col1 = std::min(col0 + a_cols, n_out_);
             for (int g = 0; g < groups; ++g) {
                 auto &array = *arrays_[sign][static_cast<size_t>(g)]
                     [static_cast<size_t>(tr * tiles_c_ + tc)];
-                const std::vector<int64_t> counts =
-                    array.matVecCodes(chunk);
-                // Shift-add the slice result (Fig. 14a).
+                array.matVecCodesBatch(packed.data(), nsel, used,
+                                       counts.data());
+                // Shift-add each window's slice result (Fig. 14a).
                 const int64_t shift = g * params_.cell_bits;
-                const int64_t col0 = tc * params_.array_cols;
-                const int64_t col1 =
-                    std::min(col0 + params_.array_cols, n_out_);
-                for (int64_t c = col0; c < col1; ++c) {
-                    out[static_cast<size_t>(c)] +=
-                        counts[static_cast<size_t>(c - col0)] << shift;
+                for (int64_t s = 0; s < nsel; ++s) {
+                    int64_t *out_w = out + sel[s] * n_out_;
+                    const int64_t *cnt = counts.data() + s * a_cols;
+                    for (int64_t c = col0; c < col1; ++c)
+                        out_w[c] += cnt[c - col0] << shift;
                 }
             }
         }
     }
-    return out;
 }
 
 Tensor
@@ -148,41 +171,70 @@ ArrayGroup::matVec(const Tensor &x)
     PL_ASSERT(x.rank() == 1 && x.dim(0) == m_in_,
               "matVec input must be (%lld), got %s", (long long)m_in_,
               shapeToString(x.shape()).c_str());
+    return matVecBatch(x.reshape({1, m_in_})).reshape({n_out_});
+}
 
-    // Quantise the input to data_bits codes (signed).
-    const quant::Quantizer qx =
-        quant::Quantizer::forTensor(x, params_.data_bits);
-    std::vector<int64_t> pos_codes(static_cast<size_t>(m_in_), 0);
-    std::vector<int64_t> neg_codes(static_cast<size_t>(m_in_), 0);
-    bool any_neg = false;
-    for (int64_t j = 0; j < m_in_; ++j) {
-        const int64_t code = qx.code(x(j));
-        if (code >= 0) {
-            pos_codes[static_cast<size_t>(j)] = code;
-        } else {
-            neg_codes[static_cast<size_t>(j)] = -code;
-            any_neg = true;
+Tensor
+ArrayGroup::matVecBatch(const Tensor &x)
+{
+    PL_ASSERT(x.rank() == 2 && x.dim(1) == m_in_,
+              "matVecBatch input must be (batch, %lld), got %s",
+              (long long)m_in_, shapeToString(x.shape()).c_str());
+    const int64_t batch = x.dim(0);
+    PL_ASSERT(batch >= 1, "empty batch");
+
+    // Quantise each window to data_bits codes (signed) with its own
+    // scale — exactly the per-call quantisation of the looped path.
+    const auto nb = static_cast<size_t>(batch);
+    std::vector<int64_t> pos_codes(nb * static_cast<size_t>(m_in_), 0);
+    std::vector<int64_t> neg_codes(nb * static_cast<size_t>(m_in_), 0);
+    std::vector<float> scales(nb);
+    std::vector<int64_t> all_windows(nb);
+    std::vector<int64_t> neg_windows;
+    Tensor row({m_in_});
+    for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t j = 0; j < m_in_; ++j)
+            row(j) = x(b, j);
+        const quant::Quantizer qx =
+            quant::Quantizer::forTensor(row, params_.data_bits);
+        scales[static_cast<size_t>(b)] = weight_scale_ * qx.scale;
+        all_windows[static_cast<size_t>(b)] = b;
+        bool any_neg = false;
+        const size_t base = static_cast<size_t>(b * m_in_);
+        for (int64_t j = 0; j < m_in_; ++j) {
+            const int64_t code = qx.code(row(j));
+            if (code >= 0) {
+                pos_codes[base + static_cast<size_t>(j)] = code;
+            } else {
+                neg_codes[base + static_cast<size_t>(j)] = -code;
+                any_neg = true;
+            }
         }
+        if (any_neg)
+            neg_windows.push_back(b);
     }
 
-    // Four partial results: (W⁺ - W⁻)(x⁺ - x⁻).
-    const std::vector<int64_t> pp = signedPass(true, pos_codes);
-    const std::vector<int64_t> np = signedPass(false, pos_codes);
-    std::vector<int64_t> pn(static_cast<size_t>(n_out_), 0);
-    std::vector<int64_t> nn(static_cast<size_t>(n_out_), 0);
-    if (any_neg) {
-        pn = signedPass(true, neg_codes);
-        nn = signedPass(false, neg_codes);
-    }
+    // Four partial results per window: (W⁺ - W⁻)(x⁺ - x⁻).  Negative
+    // passes run only for windows that actually have negative inputs.
+    const size_t total = nb * static_cast<size_t>(n_out_);
+    std::vector<int64_t> pp(total, 0), np(total, 0);
+    std::vector<int64_t> pn(total, 0), nn(total, 0);
+    signedPassBatch(true, pos_codes, all_windows, pp.data());
+    signedPassBatch(false, pos_codes, all_windows, np.data());
+    signedPassBatch(true, neg_codes, neg_windows, pn.data());
+    signedPassBatch(false, neg_codes, neg_windows, nn.data());
 
-    Tensor out({n_out_});
-    const float scale = weight_scale_ * qx.scale;
-    for (int64_t c = 0; c < n_out_; ++c) {
-        const int64_t acc = pp[static_cast<size_t>(c)] -
-                            np[static_cast<size_t>(c)] -
-                            pn[static_cast<size_t>(c)] +
-                            nn[static_cast<size_t>(c)];
-        out(c) = static_cast<float>(acc) * scale;
+    Tensor out({batch, n_out_});
+    for (int64_t b = 0; b < batch; ++b) {
+        const float scale = scales[static_cast<size_t>(b)];
+        const size_t base = static_cast<size_t>(b * n_out_);
+        for (int64_t c = 0; c < n_out_; ++c) {
+            const int64_t acc = pp[base + static_cast<size_t>(c)] -
+                                np[base + static_cast<size_t>(c)] -
+                                pn[base + static_cast<size_t>(c)] +
+                                nn[base + static_cast<size_t>(c)];
+            out(b, c) = static_cast<float>(acc) * scale;
+        }
     }
     return out;
 }

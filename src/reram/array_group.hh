@@ -63,6 +63,19 @@ class ArrayGroup
     Tensor matVec(const Tensor &x);
 
     /**
+     * Batched matrix-vector product: each row of @p x is one input
+     * window of a logical cycle (paper §4.2.1), quantised with its own
+     * per-window scale exactly as matVec would, with all windows
+     * sharing one pass over every crossbar's cells
+     * (CrossbarArray::matVecCodesBatch).  Outputs and activity totals
+     * are bit-identical to calling matVec row by row.
+     *
+     * @param x (batch, m_in) float matrix, batch >= 1.
+     * @return (batch, n_out) float matrix.
+     */
+    Tensor matVecBatch(const Tensor &x);
+
+    /**
      * Reconstruct the float weights currently stored in the arrays
      * (reading cells in memory mode and recombining the slices).
      */
@@ -93,9 +106,22 @@ class ArrayGroup
     /** Program the current signed codes into the pos/neg slices. */
     void programCodes();
 
-    /** One sign pass: W⁺·x or W⁻·x with non-negative input codes. */
-    std::vector<int64_t> signedPass(bool positive,
-                                    const std::vector<int64_t> &codes);
+    /**
+     * One sign pass over a batch of windows: accumulate W⁺·x or W⁻·x
+     * (shift-added across bit-slice groups) into the listed windows'
+     * rows of @p out.
+     *
+     * @param codes   row-major (batch, m_in) non-negative input codes.
+     * @param windows ascending indices of the windows this pass drives
+     *        (the looped path runs negative passes only for windows
+     *        with negative inputs).
+     * @param out     row-major (batch, n_out) accumulator, pre-zeroed
+     *        by the caller.
+     */
+    void signedPassBatch(bool positive,
+                         const std::vector<int64_t> &codes,
+                         const std::vector<int64_t> &windows,
+                         int64_t *out);
 
     DeviceParams params_;
     int64_t n_out_, m_in_;

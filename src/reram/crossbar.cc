@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/prof.hh"
+#include "tensor/gemm_kernels.hh"
 
 namespace pipelayer {
 namespace reram {
@@ -163,9 +164,20 @@ std::vector<int64_t>
 CrossbarArray::matVecWeighted(const int64_t *row_weight,
                               int64_t rows_used, int64_t spikes)
 {
+    std::vector<int64_t> out(static_cast<size_t>(cols()), 0);
+    matVecWeightedBatch(row_weight, 1, rows_used, spikes, out.data());
+    return out;
+}
+
+void
+CrossbarArray::matVecWeightedBatch(const int64_t *row_weight,
+                                   int64_t batch, int64_t rows_used,
+                                   int64_t spikes, int64_t *out)
+{
     PL_PROF_SCOPE("reram.crossbar_matvec");
+    PL_ASSERT(batch >= 1, "empty batch");
     activity_.input_spikes += spikes;
-    ++activity_.mvm_ops;
+    activity_.mvm_ops += batch;
 
     // Collapsed bit-plane walk.  The LSBF pulse schedule injects only
     // non-negative charges (weight 2^t x conductance) and the IF
@@ -178,38 +190,56 @@ CrossbarArray::matVecWeighted(const int64_t *row_weight,
     // row-major accumulation below is exact at any thread count; the
     // raw totals cannot overflow int64 for any valid configuration
     // (rows x 2^data_bits x maxCellCode < 2^62).
+    //
+    // The batched form keeps the cell row register/cache-resident
+    // across the window loop (r outer, window inner), so G windows
+    // cost one cell-matrix sweep instead of G.  The axpy runs on the
+    // dispatched SIMD kernel (common/isa.hh); both operands fit its
+    // [0, 2^32) exact-product contract (weights < 2^data_bits,
+    // cells <= maxCellCode, both capped at 32 bits).
     const int64_t n_cols = cols();
-    std::vector<int64_t> out(static_cast<size_t>(n_cols), 0);
-    int64_t *out_p = out.data();
+    std::fill(out, out + batch * n_cols, int64_t{0});
     const int64_t *cell_p = cells_.data();
-    parallel_for(0, n_cols, /*grain=*/16, [&](int64_t c0, int64_t c1) {
+    const gemmk::Kernels &kern = gemmk::activeKernels();
+    // Chunking is free to vary (integer sums are order-independent);
+    // a 64-column grain keeps each dispatched axpy long enough to
+    // amortise its call overhead while still splitting one array
+    // across workers.
+    parallel_for(0, n_cols, /*grain=*/64, [&](int64_t c0, int64_t c1) {
+        const int64_t len = c1 - c0;
         for (int64_t r = 0; r < rows_used; ++r) {
-            const int64_t rw = row_weight[r];
-            if (rw == 0)
-                continue;
-            const int64_t *cell_row = cell_p + r * n_cols;
-            for (int64_t c = c0; c < c1; ++c)
-                out_p[c] += rw * cell_row[c];
+            const int64_t *cell_row = cell_p + r * n_cols + c0;
+            for (int64_t b = 0; b < batch; ++b) {
+                const int64_t rw = row_weight[b * rows_used + r];
+                if (rw == 0)
+                    continue;
+                kern.axpy_i64(out + b * n_cols + c0, cell_row, rw, len);
+            }
         }
     });
 
-    // Serial epilogue: clamp to the counter capacity and tally the IF
-    // firings (one per output count unit), exactly as the saturating
-    // counters would have left them.
+    // Serial epilogue, one window at a time: clamp to the counter
+    // capacity and tally the IF firings (one per output count unit),
+    // exactly as the saturating counters would have left them.  The
+    // flag keeps the last window's state, matching a sequential loop
+    // of matVecWeighted calls.
     const int64_t max_count =
         (int64_t{1} << params_.counter_bits) - 1;
-    bool any_sat = false;
+    bool last_sat = false;
     int64_t fires = 0;
-    for (int64_t c = 0; c < n_cols; ++c) {
-        if (out_p[c] > max_count) {
-            out_p[c] = max_count;
-            any_sat = true;
+    for (int64_t b = 0; b < batch; ++b) {
+        int64_t *out_b = out + b * n_cols;
+        last_sat = false;
+        for (int64_t c = 0; c < n_cols; ++c) {
+            if (out_b[c] > max_count) {
+                out_b[c] = max_count;
+                last_sat = true;
+            }
+            fires += out_b[c];
         }
-        fires += out_p[c];
     }
-    last_saturated_ = any_sat;
+    last_saturated_ = last_sat;
     activity_.if_fires += fires;
-    return out;
 }
 
 std::vector<int64_t>
@@ -259,6 +289,34 @@ CrossbarArray::matVecCodes(const std::vector<int64_t> &codes)
         }
     }
     return matVecWeighted(weights.data(), used, spikes);
+}
+
+void
+CrossbarArray::matVecCodesBatch(const int64_t *codes, int64_t batch,
+                                int64_t rows_used, int64_t *out)
+{
+    PL_ASSERT(params_.data_bits >= 1 && params_.data_bits <= 32,
+              "unsupported spike resolution %d", params_.data_bits);
+    PL_ASSERT(rows_used >= 0 && rows_used <= rows(),
+              "more input codes (%lld) than word lines (%lld)",
+              (long long)rows_used, (long long)rows());
+    // A code's word-line weight is the code itself (weighted-binary
+    // LSBF encoding), so the code matrix feeds the weighted core
+    // directly; only the spike tally needs a pass of its own.
+    int64_t spikes = 0;
+    {
+        PL_PROF_SCOPE("reram.spike_encode");
+        const int64_t limit = int64_t{1} << params_.data_bits;
+        const int64_t total = batch * rows_used;
+        for (int64_t i = 0; i < total; ++i) {
+            const int64_t code = codes[i];
+            PL_ASSERT(code >= 0 && code < limit,
+                      "code %lld out of %d-bit range", (long long)code,
+                      params_.data_bits);
+            spikes += std::popcount(static_cast<uint64_t>(code));
+        }
+    }
+    matVecWeightedBatch(codes, batch, rows_used, spikes, out);
 }
 
 } // namespace reram

@@ -96,6 +96,19 @@ class CrossbarArray
     /** Convenience: matVec from raw input codes (encodes internally). */
     std::vector<int64_t> matVecCodes(const std::vector<int64_t> &codes);
 
+    /**
+     * Batched matVecCodes: @p batch input vectors share one pass over
+     * the cell matrix, so each cell row is loaded once and reused for
+     * every vector (the windows of a logical cycle, paper §4.2.1).
+     * Results, activity totals, and the final saturation flag are
+     * identical to @p batch successive matVecCodes calls in row order.
+     *
+     * @param codes row-major @p batch x @p rows_used code matrix.
+     * @param out   row-major @p batch x cols() output counts.
+     */
+    void matVecCodesBatch(const int64_t *codes, int64_t batch,
+                          int64_t rows_used, int64_t *out);
+
     /** Activity counters for the energy model. */
     const ArrayActivity &activity() const { return activity_; }
 
@@ -126,6 +139,17 @@ class CrossbarArray
     std::vector<int64_t> matVecWeighted(const int64_t *row_weight,
                                         int64_t rows_used,
                                         int64_t spikes);
+
+    /**
+     * Batched form of the collapsed MVM core: @p batch weight vectors
+     * (row-major @p batch x @p rows_used) against one pass over the
+     * cells, each window clamped and tallied separately.  Integer sums
+     * are order-independent, so this is exact at any thread count and
+     * equal to @p batch sequential matVecWeighted calls.
+     */
+    void matVecWeightedBatch(const int64_t *row_weight, int64_t batch,
+                             int64_t rows_used, int64_t spikes,
+                             int64_t *out);
 
     /** programCell minus the per-cell asserts (bounds pre-validated). */
     void programCellUnchecked(int64_t row, int64_t col, int64_t code);

@@ -4,6 +4,7 @@
 #include <deque>
 #include <map>
 
+#include "common/isa.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "common/prof.hh"
@@ -138,6 +139,10 @@ ServingReport::addStats(stats::StatGroup &group) const
         "mean request latency (logical cycles)");
     add("mean_queue_wait_cycles", mean_queue_wait_cycles,
         "mean cycles spent queued before pipeline entry");
+    // Which SIMD target the functional kernels dispatched to — the
+    // counters above are dispatch-invariant, so this is the only
+    // host-dependent entry (and identical across PL_THREADS).
+    isa::addStats(group, "host");
 }
 
 void

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/logging.hh"
 #include "common/parallel.hh"
+#include "tensor/gemm_kernels.hh"
 
 namespace pipelayer {
 namespace gemm {
@@ -16,19 +18,6 @@ namespace {
  */
 constexpr int64_t kNNTile = 256;
 
-/**
- * One C = A·Bᵀ dot product: bias + Σ_k a[k]*b[k], k ascending, double
- * accumulator, float products — the naive conv2d recipe.
- */
-inline float
-dotNT(double bias, const float *a, const float *b, int64_t k)
-{
-    double s = bias;
-    for (int64_t t = 0; t < k; ++t)
-        s += a[t] * b[t];
-    return static_cast<float>(s);
-}
-
 } // namespace
 
 void
@@ -37,51 +26,19 @@ gemmNT(int64_t m, int64_t n, int64_t k, const float *a, int64_t lda,
        int64_t ldc)
 {
     // Parallel over columns of C: a chunk owns rows j0..j1 of B and
-    // therefore a disjoint column stripe of every output row.  Within
-    // the stripe, 8 outputs are produced at a time: eight independent
-    // double accumulator chains hide FP-add latency (the reduction
-    // order of each individual output is untouched — blocking is
-    // across outputs, never within one reduction), and the A row is
-    // loaded once per 8 dot products.
+    // therefore a disjoint column stripe of every output row.  Each
+    // output is one lane-based dot product; the eight accumulator
+    // lanes (vector registers on the SIMD targets, eight independent
+    // add chains on scalar) hide FP-add latency, so no cross-output
+    // register blocking is needed.
+    const gemmk::Kernels &kern = gemmk::activeKernels();
     parallel_for(0, n, /*grain=*/16, [&](int64_t j0, int64_t j1) {
         for (int64_t i = 0; i < m; ++i) {
             const float *ai = a + i * lda;
             const double bi = bias ? static_cast<double>(bias[i]) : 0.0;
             float *ci = c + i * ldc;
-            int64_t j = j0;
-            for (; j + 8 <= j1; j += 8) {
-                const float *r0 = b + j * ldb;
-                const float *r1 = r0 + ldb;
-                const float *r2 = r1 + ldb;
-                const float *r3 = r2 + ldb;
-                const float *r4 = r3 + ldb;
-                const float *r5 = r4 + ldb;
-                const float *r6 = r5 + ldb;
-                const float *r7 = r6 + ldb;
-                double s0 = bi, s1 = bi, s2 = bi, s3 = bi;
-                double s4 = bi, s5 = bi, s6 = bi, s7 = bi;
-                for (int64_t t = 0; t < k; ++t) {
-                    const float av = ai[t];
-                    s0 += av * r0[t];
-                    s1 += av * r1[t];
-                    s2 += av * r2[t];
-                    s3 += av * r3[t];
-                    s4 += av * r4[t];
-                    s5 += av * r5[t];
-                    s6 += av * r6[t];
-                    s7 += av * r7[t];
-                }
-                ci[j + 0] = static_cast<float>(s0);
-                ci[j + 1] = static_cast<float>(s1);
-                ci[j + 2] = static_cast<float>(s2);
-                ci[j + 3] = static_cast<float>(s3);
-                ci[j + 4] = static_cast<float>(s4);
-                ci[j + 5] = static_cast<float>(s5);
-                ci[j + 6] = static_cast<float>(s6);
-                ci[j + 7] = static_cast<float>(s7);
-            }
-            for (; j < j1; ++j)
-                ci[j] = dotNT(bi, ai, b + j * ldb, k);
+            for (int64_t j = j0; j < j1; ++j)
+                ci[j] = kern.dot_lanes(ai, b + j * ldb, k, bi);
         }
     });
 }
@@ -95,7 +52,10 @@ gemmNN(int64_t m, int64_t n, int64_t k, const float *a, int64_t lda,
     // double accumulators lives on the worker's stack (never the
     // arena — chunk bodies must not allocate scratch) and each output
     // element accumulates products in ascending p, matching the naive
-    // (oy, ox)-ordered backward-kernel loop.
+    // (oy, ox)-ordered backward-kernel loop: the widening
+    // multiply-accumulate vectorises across *independent outputs*, so
+    // the per-output reduction order is untouched by dispatch.
+    const gemmk::Kernels &kern = gemmk::activeKernels();
     const int64_t ntiles = (n + kNNTile - 1) / kNNTile;
     parallel_for(0, m * ntiles, /*grain=*/1,
                  [&](int64_t w0, int64_t w1) {
@@ -106,12 +66,9 @@ gemmNN(int64_t m, int64_t n, int64_t k, const float *a, int64_t lda,
             const int64_t width = std::min<int64_t>(kNNTile, n - j0);
             std::fill(acc, acc + width, 0.0);
             const float *ai = a + i * lda;
-            for (int64_t p = 0; p < k; ++p) {
-                const float av = ai[p];
-                const float *bp = b + p * ldb + j0;
-                for (int64_t jj = 0; jj < width; ++jj)
-                    acc[jj] += av * bp[jj];
-            }
+            for (int64_t p = 0; p < k; ++p)
+                kern.widen_axpy_f64(acc, b + p * ldb + j0, ai[p],
+                                    width);
             float *ci = c + i * ldc + j0;
             for (int64_t jj = 0; jj < width; ++jj)
                 ci[jj] = static_cast<float>(acc[jj]);
@@ -123,30 +80,11 @@ void
 gemv(int64_t m, int64_t n, const float *w, int64_t ldw, const float *x,
      float *y)
 {
+    // One lane-based dot product per row; rows are independent.
+    const gemmk::Kernels &kern = gemmk::activeKernels();
     parallel_for(0, m, /*grain=*/16, [&](int64_t i0, int64_t i1) {
-        int64_t i = i0;
-        // Four rows at a time share the x loads; each row keeps its
-        // own ascending-j double chain.
-        for (; i + 4 <= i1; i += 4) {
-            const float *w0 = w + i * ldw;
-            const float *w1 = w0 + ldw;
-            const float *w2 = w1 + ldw;
-            const float *w3 = w2 + ldw;
-            double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-            for (int64_t j = 0; j < n; ++j) {
-                const float xv = x[j];
-                s0 += w0[j] * xv;
-                s1 += w1[j] * xv;
-                s2 += w2[j] * xv;
-                s3 += w3[j] * xv;
-            }
-            y[i + 0] = static_cast<float>(s0);
-            y[i + 1] = static_cast<float>(s1);
-            y[i + 2] = static_cast<float>(s2);
-            y[i + 3] = static_cast<float>(s3);
-        }
-        for (; i < i1; ++i)
-            y[i] = dotNT(0.0, w + i * ldw, x, n);
+        for (int64_t i = i0; i < i1; ++i)
+            y[i] = kern.dot_lanes(w + i * ldw, x, n, 0.0);
     });
 }
 
@@ -156,14 +94,12 @@ gevm(int64_t m, int64_t n, const float *w, int64_t ldw, const float *x,
 {
     // Float accumulation directly into y, rows in ascending order —
     // the historical matVecT recipe.  Chunks own disjoint column
-    // ranges, so no accumulator is shared.
+    // ranges, so no accumulator is shared; the axpy vectorises across
+    // independent columns without reordering any column's row walk.
+    const gemmk::Kernels &kern = gemmk::activeKernels();
     parallel_for(0, n, /*grain=*/64, [&](int64_t j0, int64_t j1) {
-        for (int64_t i = 0; i < m; ++i) {
-            const float xi = x[i];
-            const float *row = w + i * ldw;
-            for (int64_t j = j0; j < j1; ++j)
-                y[j] += row[j] * xi;
-        }
+        for (int64_t i = 0; i < m; ++i)
+            kern.axpy_f32(y + j0, w + i * ldw + j0, x[i], j1 - j0);
     });
 }
 
@@ -171,15 +107,42 @@ void
 ger(int64_t m, int64_t n, const float *x, const float *y, float *c,
     int64_t ldc)
 {
+    const gemmk::Kernels &kern = gemmk::activeKernels();
     parallel_for(0, m, /*grain=*/16, [&](int64_t i0, int64_t i1) {
-        for (int64_t i = i0; i < i1; ++i) {
-            const float xi = x[i];
-            float *row = c + i * ldc;
-            for (int64_t j = 0; j < n; ++j)
-                row[j] = xi * y[j];
-        }
+        for (int64_t i = i0; i < i1; ++i)
+            kern.scale_f32(c + i * ldc, y, x[i], n);
     });
 }
 
 } // namespace gemm
+} // namespace pipelayer
+
+namespace pipelayer {
+namespace gemmk {
+
+const Kernels &
+kernelsFor(isa::Target t)
+{
+    switch (t) {
+    case isa::Target::Scalar:
+        return scalarKernels();
+#if defined(__x86_64__) || defined(_M_X64)
+    case isa::Target::Avx2:
+        return avx2Kernels();
+    case isa::Target::Avx512:
+        return avx512Kernels();
+#endif
+#if defined(__aarch64__)
+    case isa::Target::Neon:
+        return neonKernels();
+#endif
+    default:
+        break;
+    }
+    PL_ASSERT(false, "ISA target '%s' is not compiled into this binary",
+              isa::name(t));
+    return scalarKernels();
+}
+
+} // namespace gemmk
 } // namespace pipelayer

@@ -9,33 +9,46 @@
  * each, instead of four hand-rolled nests, while preserving the exact
  * floating-point results of the original naive loops.
  *
- * ## Accumulation-order contract
+ * ## Lane-based accumulation-order contract (DESIGN.md §7)
  *
  * Every kernel documents — and tests/test_gemm.cc enforces — a fixed
  * accumulation recipe, chosen to be *bit-identical* to the naive
- * reference loops in ops::reference:
+ * reference loops in ops::reference at every thread count AND every
+ * SIMD dispatch target (scalar/AVX2/AVX-512/NEON, see common/isa.hh):
  *
- *  - Each output element owns exactly one accumulator; no partial
- *    sums are ever combined across loop chunks or threads.
- *  - Products are evaluated in float (operands are float, so the
- *    multiply rounds to float) and then added into the accumulator
- *    in strictly ascending reduction-index order.
- *  - gemmNT / gemmNN / gemv accumulate in double and round once on
- *    store; gevm accumulates in float (matching the historical
- *    matVecT loop).  ger has no reduction.
+ *  - Reducing kernels (gemmNT, gemv) use 8 fixed double-accumulator
+ *    lanes per output: reduction element t is multiplied in float
+ *    (the product rounds to float), widened to double, and added to
+ *    lane t mod 8; each lane sees its elements in ascending t.  The
+ *    lanes are then reduced in the pinned tree order
+ *    ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)), the bias is added last,
+ *    and the total rounds to float once on store.  The lane width 8
+ *    is part of the contract — narrower targets (scalar, NEON) use
+ *    more registers, wider ones (AVX-512) fewer, but the arithmetic
+ *    never changes.
+ *  - gemmNN keeps one double accumulator per output in strictly
+ *    ascending p, and gevm accumulates in float with rows ascending
+ *    (the historical matVecT loop): both vectorise across
+ *    *independent outputs*, so SIMD never reorders a reduction.
+ *    ger has no reduction.
+ *  - No FMA anywhere: -ffp-contract=off is pinned globally and the
+ *    SIMD backends use separate multiply/add intrinsics, so products
+ *    round to float identically on every target.
  *
- * Register blocking (4 outputs at a time) and parallel_for chunking
- * only distribute *independent outputs*; the per-output reduction
- * order never changes, so results are bit-identical at any PL_THREADS
- * and to the serial reference.
+ * parallel_for chunking only distributes *independent outputs*; the
+ * per-output reduction order never changes, so results are
+ * bit-identical at any PL_THREADS, any PL_ISA, and to the serial
+ * reference.
  *
  * Signed zero: a kernel that multiplies explicit zero padding (e.g.
- * conv2d via im2col) adds `w * 0.0f = ±0.0f` terms the branch-skipping
- * reference never evaluates.  Under IEEE-754 round-to-nearest,
- * `x + (±0.0) == x` for every x except x == -0.0 — which the double
- * accumulators can only hold if a *bias* is exactly -0.0f.  Bit
- * identity therefore holds for all inputs except a -0.0 bias with an
- * all-zero reduction, which no caller produces.
+ * conv2d via im2col) adds `w * 0.0f = ±0.0f` terms a branch-skipping
+ * reference never evaluates.  Lanes start at +0.0 and, under IEEE-754
+ * round-to-nearest, x + (±0.0) == x for every x except x == -0.0 —
+ * which a lane can never hold (a sum of two nonzero addends is never
+ * -0.0, and +0.0 + (-0.0) == +0.0).  The reference loops may
+ * therefore skip padding taps as long as they still *count* them
+ * when assigning lanes (lane index = tap position mod 8, padding
+ * included).
  *
  * None of these kernels allocate; callers provide outputs and any
  * packing scratch comes from the caller's workspace arena.
@@ -52,7 +65,8 @@ namespace gemm {
 /**
  * C = A · Bᵀ + bias:
  *   C[i*ldc + j] = bias[i] + Σ_k A[i*lda + k] * B[j*ldb + k]
- * with k ascending into one double accumulator per output.
+ * with k distributed over the 8 contract lanes (element k into lane
+ * k mod 8, ascending per lane, pinned tree reduction, bias last).
  * Both operands stream contiguously (the im2col-friendly form).
  *
  * @param bias per-row-i addend, or nullptr for none.  Parallel over
@@ -73,8 +87,9 @@ void gemmNN(int64_t m, int64_t n, int64_t k, const float *a,
             int64_t ldc);
 
 /**
- * y = W x:  y[i] = Σ_j W[i*ldw + j] * x[j], j ascending into one
- * double accumulator per row.  Parallel over rows.
+ * y = W x:  y[i] = Σ_j W[i*ldw + j] * x[j], j distributed over the 8
+ * contract lanes (j mod 8, ascending per lane, pinned tree
+ * reduction).  Parallel over rows.
  */
 void gemv(int64_t m, int64_t n, const float *w, int64_t ldw,
           const float *x, float *y);

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * AVX2 backend of the lane-based kernel contract.
+ *
+ * Compiled with -mavx2 (per-TU flag, see src/tensor/CMakeLists.txt);
+ * only executed after isa::supported(Avx2) confirmed the host has it.
+ *
+ * dot_lanes maps the contract directly onto the registers: one 8-wide
+ * float multiply per block (VMULPS rounds each product to float,
+ * exactly like the scalar backend — FMA is deliberately not used),
+ * the low/high product halves widened to two 4-wide double
+ * accumulators holding lanes 0..3 and 4..7.  Per lane the adds happen
+ * in ascending t, so the bits match the scalar chains.
+ */
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "tensor/gemm_kernels.hh"
+
+namespace pipelayer {
+namespace gemmk {
+
+namespace {
+
+float
+dotLanesAvx2(const float *a, const float *b, int64_t k, double bias)
+{
+    __m256d acc03 = _mm256_setzero_pd(); // lanes 0..3
+    __m256d acc47 = _mm256_setzero_pd(); // lanes 4..7
+    int64_t t = 0;
+    for (; t + 8 <= k; t += 8) {
+        const __m256 prod = _mm256_mul_ps(_mm256_loadu_ps(a + t),
+                                          _mm256_loadu_ps(b + t));
+        acc03 = _mm256_add_pd(
+            acc03, _mm256_cvtps_pd(_mm256_castps256_ps128(prod)));
+        acc47 = _mm256_add_pd(
+            acc47, _mm256_cvtps_pd(_mm256_extractf128_ps(prod, 1)));
+    }
+    alignas(32) double lanes[kLanes];
+    _mm256_store_pd(lanes + 0, acc03);
+    _mm256_store_pd(lanes + 4, acc47);
+    dotLanesTail(lanes, a, b, t, k);
+    return reduceLanes(lanes, bias);
+}
+
+void
+axpyF32Avx2(float *y, const float *row, float xi, int64_t n)
+{
+    const __m256 x = _mm256_set1_ps(xi);
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        const __m256 prod = _mm256_mul_ps(_mm256_loadu_ps(row + j), x);
+        _mm256_storeu_ps(y + j,
+                         _mm256_add_ps(_mm256_loadu_ps(y + j), prod));
+    }
+    for (; j < n; ++j)
+        y[j] += row[j] * xi;
+}
+
+void
+scaleF32Avx2(float *row, const float *y, float xi, int64_t n)
+{
+    const __m256 x = _mm256_set1_ps(xi);
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8)
+        _mm256_storeu_ps(row + j,
+                         _mm256_mul_ps(x, _mm256_loadu_ps(y + j)));
+    for (; j < n; ++j)
+        row[j] = xi * y[j];
+}
+
+void
+widenAxpyF64Avx2(double *acc, const float *bp, float av, int64_t n)
+{
+    const __m256 a = _mm256_set1_ps(av);
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        const __m256 prod = _mm256_mul_ps(a, _mm256_loadu_ps(bp + j));
+        const __m256d lo =
+            _mm256_cvtps_pd(_mm256_castps256_ps128(prod));
+        const __m256d hi =
+            _mm256_cvtps_pd(_mm256_extractf128_ps(prod, 1));
+        _mm256_storeu_pd(acc + j,
+                         _mm256_add_pd(_mm256_loadu_pd(acc + j), lo));
+        _mm256_storeu_pd(
+            acc + j + 4,
+            _mm256_add_pd(_mm256_loadu_pd(acc + j + 4), hi));
+    }
+    for (; j < n; ++j)
+        acc[j] += static_cast<double>(av * bp[j]);
+}
+
+void
+axpyI64Avx2(int64_t *out, const int64_t *cells, int64_t w, int64_t n)
+{
+    // AVX2 has no 64x64 multiply; VPMULUDQ multiplies the low 32 bits
+    // of each 64-bit lane into a full 64-bit product, which is exact
+    // under the kernel contract (operands in [0, 2^32)).
+    const __m256i wv = _mm256_set1_epi64x(w);
+    int64_t c = 0;
+    for (; c + 4 <= n; c += 4) {
+        const __m256i cv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(cells + c));
+        const __m256i prod = _mm256_mul_epu32(cv, wv);
+        const __m256i cur = _mm256_loadu_si256(
+            reinterpret_cast<__m256i *>(out + c));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + c),
+                            _mm256_add_epi64(cur, prod));
+    }
+    for (; c < n; ++c)
+        out[c] += w * cells[c];
+}
+
+} // namespace
+
+const Kernels &
+avx2Kernels()
+{
+    static const Kernels table = {
+        dotLanesAvx2,    axpyF32Avx2, scaleF32Avx2,
+        widenAxpyF64Avx2, axpyI64Avx2,
+    };
+    return table;
+}
+
+} // namespace gemmk
+} // namespace pipelayer
+
+#endif // x86-64

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * AVX-512 (F + DQ) backend of the lane-based kernel contract.
+ *
+ * Compiled with -mavx512f -mavx512dq (per-TU flags); only executed
+ * after isa::supported(Avx512) confirmed both features.
+ *
+ * One 512-bit double vector holds all eight contract lanes, so a
+ * block of 8 floats is exactly one VMULPS (256-bit) + VCVTPS2PD +
+ * VADDPD; two blocks per iteration keep lane order (t, then t+8)
+ * ascending.  No FMA anywhere — products must round to float first.
+ */
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "tensor/gemm_kernels.hh"
+
+namespace pipelayer {
+namespace gemmk {
+
+namespace {
+
+float
+dotLanesAvx512(const float *a, const float *b, int64_t k, double bias)
+{
+    __m512d acc = _mm512_setzero_pd(); // lanes 0..7
+    int64_t t = 0;
+    for (; t + 16 <= k; t += 16) {
+        const __m256 p0 = _mm256_mul_ps(_mm256_loadu_ps(a + t),
+                                        _mm256_loadu_ps(b + t));
+        const __m256 p1 = _mm256_mul_ps(_mm256_loadu_ps(a + t + 8),
+                                        _mm256_loadu_ps(b + t + 8));
+        acc = _mm512_add_pd(acc, _mm512_cvtps_pd(p0));
+        acc = _mm512_add_pd(acc, _mm512_cvtps_pd(p1));
+    }
+    for (; t + 8 <= k; t += 8) {
+        const __m256 prod = _mm256_mul_ps(_mm256_loadu_ps(a + t),
+                                          _mm256_loadu_ps(b + t));
+        acc = _mm512_add_pd(acc, _mm512_cvtps_pd(prod));
+    }
+    alignas(64) double lanes[kLanes];
+    _mm512_store_pd(lanes, acc);
+    dotLanesTail(lanes, a, b, t, k);
+    return reduceLanes(lanes, bias);
+}
+
+void
+axpyF32Avx512(float *y, const float *row, float xi, int64_t n)
+{
+    const __m512 x = _mm512_set1_ps(xi);
+    int64_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+        const __m512 prod = _mm512_mul_ps(_mm512_loadu_ps(row + j), x);
+        _mm512_storeu_ps(y + j,
+                         _mm512_add_ps(_mm512_loadu_ps(y + j), prod));
+    }
+    for (; j < n; ++j)
+        y[j] += row[j] * xi;
+}
+
+void
+scaleF32Avx512(float *row, const float *y, float xi, int64_t n)
+{
+    const __m512 x = _mm512_set1_ps(xi);
+    int64_t j = 0;
+    for (; j + 16 <= n; j += 16)
+        _mm512_storeu_ps(row + j,
+                         _mm512_mul_ps(x, _mm512_loadu_ps(y + j)));
+    for (; j < n; ++j)
+        row[j] = xi * y[j];
+}
+
+void
+widenAxpyF64Avx512(double *acc, const float *bp, float av, int64_t n)
+{
+    const __m256 a = _mm256_set1_ps(av);
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        const __m256 prod = _mm256_mul_ps(a, _mm256_loadu_ps(bp + j));
+        _mm512_storeu_pd(
+            acc + j, _mm512_add_pd(_mm512_loadu_pd(acc + j),
+                                   _mm512_cvtps_pd(prod)));
+    }
+    for (; j < n; ++j)
+        acc[j] += static_cast<double>(av * bp[j]);
+}
+
+void
+axpyI64Avx512(int64_t *out, const int64_t *cells, int64_t w, int64_t n)
+{
+    // Both operands live in [0, 2^32) by the kernel contract, so the
+    // low dword of every qword holds the full value and VPMULUDQ (one
+    // fast uop, vs three for the full VPMULLQ) produces the exact
+    // 64-bit product.
+    const __m512i wv = _mm512_set1_epi64(w);
+    int64_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+        const __m512i cv = _mm512_loadu_si512(cells + c);
+        const __m512i prod = _mm512_mul_epu32(cv, wv);
+        _mm512_storeu_si512(
+            out + c,
+            _mm512_add_epi64(_mm512_loadu_si512(out + c), prod));
+    }
+    for (; c < n; ++c)
+        out[c] += w * cells[c];
+}
+
+} // namespace
+
+const Kernels &
+avx512Kernels()
+{
+    static const Kernels table = {
+        dotLanesAvx512,    axpyF32Avx512, scaleF32Avx512,
+        widenAxpyF64Avx512, axpyI64Avx512,
+    };
+    return table;
+}
+
+} // namespace gemmk
+} // namespace pipelayer
+
+#endif // x86-64

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Per-ISA inner kernels behind the gemm:: entry points.
+ *
+ * Each instruction-set backend (one translation unit per target,
+ * compiled with that target's flags) fills a Kernels table with the
+ * same five primitives; gemm.cc and reram::CrossbarArray pick a table
+ * at runtime via isa::active().  Every backend implements the *same*
+ * lane-based reduction contract (DESIGN.md §7), so switching targets
+ * changes wall clock only, never a single output bit:
+ *
+ *  - dot_lanes: kLanes (8) double accumulator lanes; element t of the
+ *    reduction goes to lane t mod 8 (products rounded to float first,
+ *    then widened), each lane sees its elements in ascending t, and
+ *    the lanes are reduced in the pinned tree order
+ *    ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)), bias added last.
+ *  - axpy_f32 / scale_f32 / widen_axpy_f64: element-wise maps over
+ *    *independent* outputs — a float multiply then a float (or
+ *    double) add per element, which vectorises without reordering
+ *    any per-output reduction.
+ *  - axpy_i64: exact integer multiply-accumulate for the collapsed
+ *    crossbar MVM; order-independent by construction.  Operand
+ *    contract: 0 <= w < 2^32 and 0 <= cells[c] < 2^32 (the crossbar's
+ *    data_bits/cell_bits <= 32 guarantee both), products < 2^63.
+ *
+ * The scalar tail and the tree reduction are shared inline helpers so
+ * no backend can drift from the contract by re-implementing them.
+ */
+
+#ifndef PIPELAYER_TENSOR_GEMM_KERNELS_HH_
+#define PIPELAYER_TENSOR_GEMM_KERNELS_HH_
+
+#include <cstdint>
+
+#include "common/isa.hh"
+
+namespace pipelayer {
+namespace gemmk {
+
+/** Accumulator lanes in the reduction contract (DESIGN.md §7). */
+constexpr int kLanes = 8;
+
+/** The per-ISA primitive table; see the file comment for contracts. */
+struct Kernels
+{
+    /** Lane-based dot product: float(bias + tree(lanes)). */
+    float (*dot_lanes)(const float *a, const float *b, int64_t k,
+                       double bias);
+    /** y[j] += row[j] * xi (float multiply, float add), j in [0,n). */
+    void (*axpy_f32)(float *y, const float *row, float xi, int64_t n);
+    /** row[j] = xi * y[j], j in [0,n). */
+    void (*scale_f32)(float *row, const float *y, float xi, int64_t n);
+    /** acc[j] += double(float(av * bp[j])), j in [0,n). */
+    void (*widen_axpy_f64)(double *acc, const float *bp, float av,
+                           int64_t n);
+    /** out[c] += w * cells[c] (exact int64), c in [0,n). */
+    void (*axpy_i64)(int64_t *out, const int64_t *cells, int64_t w,
+                     int64_t n);
+};
+
+const Kernels &scalarKernels();
+#if defined(__x86_64__) || defined(_M_X64)
+const Kernels &avx2Kernels();
+const Kernels &avx512Kernels();
+#endif
+#if defined(__aarch64__)
+const Kernels &neonKernels();
+#endif
+
+/**
+ * The table for @p t.  Asserts the target is compiled into this
+ * binary (isa::supported() implies it is).
+ */
+const Kernels &kernelsFor(isa::Target t);
+
+/** The table for the runtime-dispatched target. */
+inline const Kernels &
+activeKernels()
+{
+    return kernelsFor(isa::active());
+}
+
+/**
+ * Scalar tail of the lane contract: elements [t0, k) into
+ * lanes[t mod 8], ascending.  Every backend uses this for k % 8.
+ */
+inline void
+dotLanesTail(double lanes[kLanes], const float *a, const float *b,
+             int64_t t0, int64_t k)
+{
+    for (int64_t t = t0; t < k; ++t)
+        lanes[t & (kLanes - 1)] += static_cast<double>(a[t] * b[t]);
+}
+
+/** The pinned tree reduction of the lane contract, bias added last. */
+inline float
+reduceLanes(const double lanes[kLanes], double bias)
+{
+    const double l01 = lanes[0] + lanes[1];
+    const double l23 = lanes[2] + lanes[3];
+    const double l45 = lanes[4] + lanes[5];
+    const double l67 = lanes[6] + lanes[7];
+    return static_cast<float>(bias + ((l01 + l23) + (l45 + l67)));
+}
+
+} // namespace gemmk
+} // namespace pipelayer
+
+#endif // PIPELAYER_TENSOR_GEMM_KERNELS_HH_

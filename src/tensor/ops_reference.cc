@@ -35,27 +35,42 @@ conv2d(const Tensor &input, const Tensor &kernel, const Tensor &bias,
 
     const int64_t ho = convExtent(h, kh, stride, pad);
     const int64_t wo = convExtent(w, kw, stride, pad);
+    // The lane-based reduction contract (DESIGN.md §7, tensor/gemm.hh)
+    // written out naively: tap p of the (ci, ky, kx)-ordered patch —
+    // padding positions *counted*, since the fast path's im2col row
+    // materialises them — feeds double lane p mod 8 with its
+    // float-rounded product; lanes reduce in the pinned tree order
+    // and the bias is added last.  Out-of-bounds taps multiply an
+    // explicit 0.0f in the fast path; adding ±0.0f never changes a
+    // lane (lanes cannot hold -0.0), so skipping them here is exact
+    // as long as p still advances.
     Tensor out({co, ho, wo});
     for (int64_t oc = 0; oc < co; ++oc) {
-        const float b = has_bias ? bias.at(oc) : 0.0f;
+        const double b =
+            has_bias ? static_cast<double>(bias.at(oc)) : 0.0;
         for (int64_t oy = 0; oy < ho; ++oy) {
             for (int64_t ox = 0; ox < wo; ++ox) {
-                double acc = b;
+                double lanes[8] = {};
+                int64_t p = 0;
                 for (int64_t icn = 0; icn < ci; ++icn) {
                     for (int64_t ky = 0; ky < kh; ++ky) {
                         const int64_t iy = oy * stride + ky - pad;
-                        if (iy < 0 || iy >= h)
-                            continue;
-                        for (int64_t kx = 0; kx < kw; ++kx) {
+                        for (int64_t kx = 0; kx < kw; ++kx, ++p) {
                             const int64_t ix = ox * stride + kx - pad;
-                            if (ix < 0 || ix >= w)
+                            if (iy < 0 || iy >= h || ix < 0 || ix >= w)
                                 continue;
-                            acc += kernel(oc, icn, ky, kx) *
-                                   input(icn, iy, ix);
+                            lanes[p & 7] += static_cast<double>(
+                                kernel(oc, icn, ky, kx) *
+                                input(icn, iy, ix));
                         }
                     }
                 }
-                out(oc, oy, ox) = static_cast<float>(acc);
+                const double l01 = lanes[0] + lanes[1];
+                const double l23 = lanes[2] + lanes[3];
+                const double l45 = lanes[4] + lanes[5];
+                const double l67 = lanes[6] + lanes[7];
+                out(oc, oy, ox) = static_cast<float>(
+                    b + ((l01 + l23) + (l45 + l67)));
             }
         }
     }
@@ -126,12 +141,20 @@ matVec(const Tensor &weight, const Tensor &x)
               "matVec needs (n,m), (m)");
     const int64_t n = weight.dim(0), m = weight.dim(1);
     PL_ASSERT(x.dim(0) == m, "matVec inner-dim mismatch");
+    // Lane-based reduction contract: element j into double lane
+    // j mod 8, pinned tree reduction (see reference::conv2d).
     Tensor out({n});
     for (int64_t i = 0; i < n; ++i) {
-        double acc = 0.0;
+        double lanes[8] = {};
         for (int64_t j = 0; j < m; ++j)
-            acc += weight(i, j) * x.at(j);
-        out.at(i) = static_cast<float>(acc);
+            lanes[j & 7] +=
+                static_cast<double>(weight(i, j) * x.at(j));
+        const double l01 = lanes[0] + lanes[1];
+        const double l23 = lanes[2] + lanes[3];
+        const double l45 = lanes[4] + lanes[5];
+        const double l67 = lanes[6] + lanes[7];
+        out.at(i) =
+            static_cast<float>(0.0 + ((l01 + l23) + (l45 + l67)));
     }
     return out;
 }

@@ -4,6 +4,8 @@
  * (tools/bench_compare_lib.hh): watched-metric selection, result
  * flattening, threshold semantics and — most importantly — the exit
  * codes CI gates on: 0 pass/improvement, 1 regression, 2 bad input.
+ * Also covers bench/bench_merge.hh, the --repeat fold the runner uses
+ * to keep best-run times instead of last-run times.
  */
 
 #include <gtest/gtest.h>
@@ -13,6 +15,7 @@
 #include <sstream>
 #include <string>
 
+#include "bench/bench_merge.hh"
 #include "common/json.hh"
 #include "tools/bench_compare_lib.hh"
 
@@ -247,6 +250,82 @@ TEST(BenchCompare, ThresholdBelowOneIsAnError)
     const std::string base = writeFile(dir / "base.json", e);
     const std::string cur = writeFile(dir / "cur.json", e);
     EXPECT_EQ(runCompare(base, cur, 0.5), benchcmp::kError);
+}
+
+// ---------------------------------------------------------------------
+// --repeat merging (bench/bench_merge.hh)
+// ---------------------------------------------------------------------
+
+TEST(BenchMerge, SpeedupDerivesFromMinTimesNotLastRun)
+{
+    // Run 1: slow fast-path sample; run 2: fast fast-path but slow
+    // reference.  Keeping either *run's* ratio would be wrong — the
+    // merged row must pair min(ns) with min(ref_ns).
+    const json::Value run1 = json::parse(
+        "{\"kernels\": [{\"name\": \"conv\", \"inner_iters\": 64,"
+        " \"ns_per_call\": 200.0, \"ref_ns_per_call\": 800.0,"
+        " \"gflops\": 1.0, \"gflops_scalar\": 0.5,"
+        " \"speedup_vs_reference\": 4.0}]}");
+    const json::Value run2 = json::parse(
+        "{\"kernels\": [{\"name\": \"conv\", \"inner_iters\": 64,"
+        " \"ns_per_call\": 100.0, \"ref_ns_per_call\": 1000.0,"
+        " \"gflops\": 2.0, \"gflops_scalar\": 0.4,"
+        " \"speedup_vs_reference\": 10.0}]}");
+    const json::Value merged = bench::mergeRuns(run1, run2);
+    const json::Value &row = merged.at("kernels").at(0);
+    EXPECT_DOUBLE_EQ(row.at("ns_per_call").asNumber(), 100.0);
+    EXPECT_DOUBLE_EQ(row.at("ref_ns_per_call").asNumber(), 800.0);
+    // min(ref) / min(ns) = 800 / 100 — neither run ever measured 8x.
+    EXPECT_DOUBLE_EQ(row.at("speedup_vs_reference").asNumber(), 8.0);
+    // Throughputs keep the max; deterministic members the first value.
+    EXPECT_DOUBLE_EQ(row.at("gflops").asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(row.at("gflops_scalar").asNumber(), 0.5);
+    EXPECT_EQ(row.at("inner_iters").asInt(), 64);
+    EXPECT_EQ(row.at("name").asString(), "conv");
+}
+
+TEST(BenchMerge, FoldIsOrderInsensitiveOverRepeats)
+{
+    const json::Value a =
+        json::parse("{\"ns_per_run\": 9.0, \"gflops\": 1.5}");
+    const json::Value b =
+        json::parse("{\"ns_per_run\": 7.0, \"gflops\": 2.5}");
+    const json::Value c =
+        json::parse("{\"ns_per_run\": 8.0, \"gflops\": 2.0}");
+    const json::Value fwd =
+        bench::mergeRuns(bench::mergeRuns(a, b), c);
+    const json::Value rev =
+        bench::mergeRuns(bench::mergeRuns(c, b), a);
+    EXPECT_TRUE(fwd == rev);
+    EXPECT_DOUBLE_EQ(fwd.at("ns_per_run").asNumber(), 7.0);
+    EXPECT_DOUBLE_EQ(fwd.at("gflops").asNumber(), 2.5);
+}
+
+TEST(BenchMerge, KeepsMembersMissingFromEitherSide)
+{
+    const json::Value a = json::parse(
+        "{\"only_first\": 1.0, \"ns_per_call\": 5.0}");
+    const json::Value b = json::parse(
+        "{\"only_second\": 2.0, \"ns_per_call\": 6.0}");
+    const json::Value m = bench::mergeRuns(a, b);
+    EXPECT_DOUBLE_EQ(m.at("only_first").asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(m.at("only_second").asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(m.at("ns_per_call").asNumber(), 5.0);
+}
+
+TEST(BenchMerge, ArraysMergeElementwise)
+{
+    const json::Value a =
+        json::parse("{\"rows\": [{\"ns_per_call\": 3.0},"
+                    " {\"ns_per_call\": 10.0}]}");
+    const json::Value b =
+        json::parse("{\"rows\": [{\"ns_per_call\": 4.0},"
+                    " {\"ns_per_call\": 6.0}]}");
+    const json::Value m = bench::mergeRuns(a, b);
+    EXPECT_DOUBLE_EQ(m.at("rows").at(0).at("ns_per_call").asNumber(),
+                     3.0);
+    EXPECT_DOUBLE_EQ(m.at("rows").at(1).at("ns_per_call").asNumber(),
+                     6.0);
 }
 
 } // namespace

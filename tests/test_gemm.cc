@@ -7,16 +7,21 @@
  * results to the naive loops they replaced — not merely close ones —
  * so every comparison here is exact (float bit patterns, integer
  * equality), over randomized shapes, strides and pads, at 1 and 4
- * worker threads.  The naive loops survive as ops::reference and as a
- * local pulse-walk crossbar model.
+ * worker threads and under every SIMD dispatch target the host
+ * supports (forced the way a user would: PL_ISA + re-resolve).  The
+ * naive loops survive as ops::reference and as a local pulse-walk
+ * crossbar model.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <vector>
 
 #include "common/arena.hh"
+#include "common/isa.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "reram/crossbar.hh"
@@ -48,16 +53,38 @@ expectBitIdentical(const Tensor &fast, const Tensor &ref,
         << what << ": fast path diverged from the naive reference";
 }
 
-/** Run @p body at 1 and 4 worker threads. */
+/**
+ * Run @p body at 1 and 4 worker threads under every dispatch target
+ * this host supports, forcing each target through the user-facing
+ * mechanism (PL_ISA + isa::reresolveFromEnv) rather than setActive so
+ * the fatal-on-unsupported env path is exercised too.  Targets the
+ * host lacks are noted and skipped — the contract they would have to
+ * satisfy is the same lane-based reduction every present target is
+ * held to here.
+ */
 template <typename Fn>
 void
 atThreadCounts(Fn &&body)
 {
     const int64_t saved = threadCount();
-    for (int64_t threads : {int64_t{1}, int64_t{4}}) {
-        setThreadCount(threads);
-        body(threads);
+    for (int i = 0; i < isa::kTargetCount; ++i) {
+        const isa::Target target = static_cast<isa::Target>(i);
+        if (!isa::supported(target)) {
+            std::cout << "[   NOTE   ] dispatch target '"
+                      << isa::name(target)
+                      << "' is not supported on this host; skipped\n";
+            continue;
+        }
+        ::setenv("PL_ISA", isa::name(target), /*overwrite=*/1);
+        isa::reresolveFromEnv();
+        SCOPED_TRACE(std::string("isa=") + isa::name(target));
+        for (int64_t threads : {int64_t{1}, int64_t{4}}) {
+            setThreadCount(threads);
+            body(threads);
+        }
     }
+    ::unsetenv("PL_ISA");
+    isa::reresolveFromEnv();
     setThreadCount(saved);
 }
 

@@ -291,6 +291,16 @@ checkEnvelope(const std::string &path, const Value &doc)
             return false;
         }
     }
+    // Optional dispatched-SIMD-target member (bench/bench_util.cc).
+    if (const Value *isa = doc.find("isa")) {
+        const std::string name = isa->isString() ? isa->asString() : "";
+        if (name != "scalar" && name != "avx2" && name != "avx512" &&
+            name != "neon") {
+            std::cerr << path << ": envelope 'isa' is not one of "
+                      << "scalar|avx2|avx512|neon\n";
+            return false;
+        }
+    }
     if (const Value *kernels = doc.at("result").find("kernels")) {
         if (!checkKernels(path, *kernels))
             return false;
