@@ -28,6 +28,51 @@ TraceRecorder::addTrack(const std::string &name)
     return static_cast<int64_t>(tracks_.size()) - 1;
 }
 
+const std::string &
+TraceRecorder::trackName(int64_t track) const
+{
+    PL_ASSERT(track >= 0 && track < trackCount(),
+              "trackName() on undeclared track %lld", (long long)track);
+    return tracks_[static_cast<size_t>(track)];
+}
+
+int64_t
+TraceRecorder::mergeFrom(const TraceRecorder &other,
+                         const std::string &track_prefix)
+{
+    for (size_t t = 0; t < other.open_.size(); ++t) {
+        PL_ASSERT(other.open_[t].empty(),
+                  "mergeFrom() source has %zu open slice(s) on track "
+                  "'%s'",
+                  other.open_[t].size(), other.tracks_[t].c_str());
+    }
+    const int64_t base = trackCount();
+    for (const std::string &name : other.tracks_)
+        addTrack(track_prefix + name);
+    for (TraceEvent event : other.events_) {
+        event.track += base;
+        events_.push_back(std::move(event));
+    }
+    for (MarkEvent mark : other.marks_) {
+        if (mark.kind == MarkEvent::Kind::FlowStart ||
+            mark.kind == MarkEvent::Kind::FlowFinish) {
+            mark.track += base;
+        }
+        marks_.push_back(std::move(mark));
+    }
+    for (const auto &entry : other.async_depth_) {
+        async_depth_[entry.first] += entry.second;
+    }
+    open_async_ += other.open_async_;
+    for (const auto &entry : other.flow_counts_) {
+        auto &counts = flow_counts_[entry.first];
+        counts.first += entry.second.first;
+        counts.second += entry.second.second;
+    }
+    last_cycle_ = std::max(last_cycle_, other.last_cycle_);
+    return base;
+}
+
 void
 TraceRecorder::begin(int64_t track, const std::string &name,
                      const std::string &category, int64_t cycle,

@@ -75,6 +75,27 @@ class TraceRecorder
         return static_cast<int64_t>(tracks_.size());
     }
 
+    /** Declared name of @p track. */
+    const std::string &trackName(int64_t track) const;
+
+    /**
+     * Append every track, closed slice and mark of @p other into this
+     * recorder, renaming each track to @p track_prefix + its name and
+     * rebasing track ids accordingly.  @p other must hold no open
+     * slices (asserted); its process name is discarded.  Async/flow
+     * keys are merged as-is, so callers must keep (category, id) keys
+     * distinct across merged recorders.  This is the serial
+     * ascending-chip commit of arch::Cluster: per-chip recorders are
+     * filled in parallel, then merged here in chip order — toJson()
+     * orders slices by (cycle, track), so a merge of one unprefixed
+     * recorder is byte-identical to direct emission.
+     *
+     * @return the track id this recorder assigned to @p other's
+     *         track 0 (the rebase offset).
+     */
+    int64_t mergeFrom(const TraceRecorder &other,
+                      const std::string &track_prefix);
+
     /**
      * Open a slice on @p track at @p cycle.  Slices on one track must
      * be closed in LIFO order (end() closes the most recent open

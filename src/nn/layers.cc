@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "tensor/gemm_kernels.hh"
 #include "tensor/ops.hh"
 
 namespace pipelayer {
@@ -345,9 +346,12 @@ ReluLayer::outputShape(const Shape &input_shape) const
 Tensor
 ReluLayer::forward(const Tensor &input)
 {
+    // Dispatched relu_f32 (pure select, bit-identical on every
+    // target), so --isa covers the whole forward pass, not just the
+    // GEMM-backed layers.
     Tensor out = input;
-    for (int64_t i = 0; i < out.numel(); ++i)
-        out.at(i) = out.at(i) > 0.0f ? out.at(i) : 0.0f;
+    gemmk::activeKernels().relu_f32(out.data(), out.data(),
+                                    out.numel());
     cached_output_ = out;
     return out;
 }
@@ -356,8 +360,8 @@ Tensor
 ReluLayer::infer(const Tensor &input)
 {
     Tensor out = input;
-    for (int64_t i = 0; i < out.numel(); ++i)
-        out.at(i) = out.at(i) > 0.0f ? out.at(i) : 0.0f;
+    gemmk::activeKernels().relu_f32(out.data(), out.data(),
+                                    out.numel());
     return out;
 }
 
@@ -366,10 +370,8 @@ ReluLayer::backward(const Tensor &delta_out)
 {
     // δ_in = δ_out ⊙ [d > 0]: the AND-with-mask of paper Fig. 10(a).
     Tensor grad = delta_out;
-    for (int64_t i = 0; i < grad.numel(); ++i) {
-        if (cached_output_.at(i) <= 0.0f)
-            grad.at(i) = 0.0f;
-    }
+    gemmk::activeKernels().relu_mask_f32(
+        grad.data(), cached_output_.data(), grad.numel());
     return grad;
 }
 

@@ -13,6 +13,8 @@ Job::fromConfig(const SimConfig &config)
     job.pipelined = config.pipelined;
     job.batch_size = config.batch_size;
     job.num_images = config.num_images;
+    job.num_chips = config.num_chips;
+    job.interconnect = config.interconnect;
     return job;
 }
 
@@ -24,6 +26,8 @@ Job::config() const
     c.pipelined = pipelined;
     c.batch_size = batch_size;
     c.num_images = num_images;
+    c.num_chips = num_chips;
+    c.interconnect = interconnect;
     return c;
 }
 
@@ -54,6 +58,11 @@ Job::validate() const
                 std::to_string(arrivals.size()) + " requests for " +
                 std::to_string(num_images) + " images");
         }
+        if (num_chips > 1) {
+            throw ConfigError(
+                "Job: an explicit arrival trace cannot be sharded "
+                "across chips; run serving jobs on one chip");
+        }
     }
 }
 
@@ -68,6 +77,10 @@ Job::toJson() const
     v["pipelined"] = json::Value(pipelined);
     v["batch_size"] = json::Value(batch_size);
     v["num_images"] = json::Value(num_images);
+    if (num_chips > 1) {
+        v["num_chips"] = json::Value(num_chips);
+        v["interconnect"] = interconnect.toJson();
+    }
     if (!arrivals.empty())
         v["arrivals"] = arrivals.toJson();
     return v;
@@ -103,6 +116,13 @@ Job::fromJson(const json::Value &v)
             throw ConfigError("Job: 'batch_size' must be a number");
         job.batch_size = batch->asInt();
     }
+    if (const json::Value *chips = v.find("num_chips")) {
+        if (!chips->isNumber())
+            throw ConfigError("Job: 'num_chips' must be a number");
+        job.num_chips = chips->asInt();
+    }
+    if (const json::Value *icn = v.find("interconnect"))
+        job.interconnect = arch::InterconnectConfig::fromJson(*icn);
     if (const json::Value *arrivals = v.find("arrivals"))
         job.arrivals = ArrivalTrace::fromJson(*arrivals);
     if (const json::Value *images = v.find("num_images")) {

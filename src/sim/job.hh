@@ -52,6 +52,19 @@ struct Job
     int64_t num_images = 256;
 
     /**
+     * Data-parallel cluster shape (DESIGN.md §9).  1 chip is the
+     * single-chip paper machine; 2+ chips shard every batch and run
+     * through Simulator::runCluster.  Serialised as optional
+     * "num_chips" / "interconnect" members, emitted only when
+     * num_chips > 1, so single-chip jobs keep the version-1 schema
+     * byte-for-byte.
+     */
+    int64_t num_chips = 1;
+
+    /** The inter-chip link model; ignored when num_chips == 1. */
+    arch::InterconnectConfig interconnect;
+
+    /**
      * Request-arrival shape.  Empty (the default) is the paper's
      * back-to-back throughput schedule; a non-empty trace is the
      * serving shape — pipelined testing only, one arrival cycle per

@@ -73,6 +73,37 @@ SimConfig::validate() const
             std::to_string(num_images) +
             "): the schedule separates full batches with update cycles");
     }
+    if (num_chips < 1) {
+        throw ConfigError("SimConfig: num_chips must be >= 1, got " +
+                          std::to_string(num_chips));
+    }
+    if (num_chips > 1) {
+        if (batch_size % num_chips != 0) {
+            throw ConfigError(
+                "SimConfig: num_chips (" + std::to_string(num_chips) +
+                ") must divide batch_size (" +
+                std::to_string(batch_size) +
+                "): chips shard every batch evenly");
+        }
+        if (num_images % num_chips != 0) {
+            throw ConfigError(
+                "SimConfig: num_chips (" + std::to_string(num_chips) +
+                ") must divide num_images (" +
+                std::to_string(num_images) +
+                "): chips process equal volumes in lock-step");
+        }
+    }
+    interconnect.validate();
+}
+
+SimConfig
+SimConfig::shard() const
+{
+    SimConfig s = *this;
+    s.batch_size = batch_size / num_chips;
+    s.num_images = num_images / num_chips;
+    s.num_chips = 1;
+    return s;
 }
 
 arch::ScheduleConfig
@@ -438,12 +469,19 @@ Simulator::run(const Job &job) const
                           spec_.name + "'");
     }
     const SimConfig config = job.config();
-    const bool training = config.phase == Phase::Training;
     const arch::NetworkMapping map = mapping(config);
 
     arch::PipelineScheduler scheduler(map, job.schedule());
     const arch::ScheduleStats sched = scheduler.run();
+    return buildReport(config, map, sched);
+}
 
+SimReport
+Simulator::buildReport(const SimConfig &config,
+                       const arch::NetworkMapping &map,
+                       const arch::ScheduleStats &sched) const
+{
+    const bool training = config.phase == Phase::Training;
     SimReport report;
     report.network = spec_.name;
     report.config = config;
@@ -512,6 +550,157 @@ Simulator::run(const Job &job) const
     const double watts = report.energy_per_image * report.throughput;
     report.gops_per_w = report.gops_per_s / watts;
 
+    return report;
+}
+
+void
+ClusterReport::print(std::ostream &os) const
+{
+    os << "=== " << network << " cluster (" << config.num_chips
+       << " chip" << (config.num_chips == 1 ? "" : "s") << ", "
+       << arch::topologyName(config.interconnect.topology) << ", "
+       << (config.phase == Phase::Training ? "training" : "testing")
+       << ", B=" << config.batch_size << ", N=" << config.num_images
+       << ") ===\n";
+    os << "  chip cycles       : " << sched.chip_cycles << "\n";
+    os << "  aggregation cycles: " << sched.aggregation_cycles << " ("
+       << sched.aggregation_rounds << " rounds, "
+       << formatTime(sched.aggregation_time_s) << ")\n";
+    os << "  total cycles      : " << total_cycles << "\n";
+    os << "  cycle time        : " << formatTime(cycle_time) << "\n";
+    os << "  total time        : " << formatTime(total_time) << "\n";
+    os << "  throughput        : " << formatCount(throughput)
+       << " img/s\n";
+    os << "  wire bytes        : " << sched.wire_bytes << "\n";
+    os << "  interconnect energy: "
+       << formatEnergy(sched.aggregation_energy_j) << "\n";
+    os << "  energy / image    : " << formatEnergy(energy_per_image)
+       << "\n";
+}
+
+void
+ClusterReport::addStats(stats::StatGroup &group) const
+{
+    auto value = [](double v) {
+        return [v]() { return v; };
+    };
+    sched.addStats(group);
+    group.addFormula("images",
+                     value(static_cast<double>(config.num_images)),
+                     "images processed across the cluster");
+    group.addFormula("cycle_time_s", value(cycle_time),
+                     "seconds per logical cycle");
+    group.addFormula("total_time_s", value(total_time),
+                     "seconds for the whole cluster run");
+    group.addFormula("throughput_img_s", value(throughput),
+                     "images per second, whole cluster");
+    group.addFormula("energy_total_j", value(energy_total_j),
+                     "chip + interconnect joules, whole run");
+    group.addFormula("energy_per_image_j", value(energy_per_image),
+                     "joules per image, interconnect included");
+}
+
+json::Value
+ClusterReport::toJson() const
+{
+    json::Value v = json::Value::object();
+    v["cluster_version"] = json::Value(int64_t{1});
+    v["network"] = json::Value(network);
+
+    json::Value cfg = json::Value::object();
+    cfg["phase"] = json::Value(
+        config.phase == Phase::Training ? "training" : "testing");
+    cfg["pipelined"] = json::Value(config.pipelined);
+    cfg["batch_size"] = json::Value(config.batch_size);
+    cfg["num_images"] = json::Value(config.num_images);
+    cfg["num_chips"] = json::Value(config.num_chips);
+    cfg["interconnect"] = config.interconnect.toJson();
+    v["config"] = std::move(cfg);
+
+    v["chip_cycles"] = json::Value(sched.chip_cycles);
+    json::Value agg = json::Value::object();
+    agg["rounds"] = json::Value(sched.aggregation_rounds);
+    agg["payload_bytes"] = json::Value(sched.payload_bytes);
+    agg["wire_bytes"] = json::Value(sched.wire_bytes);
+    agg["time_s"] = json::Value(sched.aggregation_time_s);
+    agg["energy_j"] = json::Value(sched.aggregation_energy_j);
+    agg["cycles"] = json::Value(sched.aggregation_cycles);
+    v["aggregation"] = std::move(agg);
+    v["total_cycles"] = json::Value(total_cycles);
+    v["cycle_time_s"] = json::Value(cycle_time);
+    v["total_time_s"] = json::Value(total_time);
+    v["time_per_image_s"] = json::Value(time_per_image);
+    v["throughput_img_s"] = json::Value(throughput);
+    v["energy_total_j"] = json::Value(energy_total_j);
+    v["energy_per_image_j"] = json::Value(energy_per_image);
+
+    json::Value chip_reports = json::Value::array();
+    for (const SimReport &r : chips)
+        chip_reports.push(r.toJson());
+    v["chips"] = std::move(chip_reports);
+    return v;
+}
+
+ClusterReport
+Simulator::runCluster(const Job &job,
+                      trace::TraceRecorder *recorder) const
+{
+    PL_PROF_SCOPE("sim.run_cluster");
+    job.validate();
+    if (!job.network.empty() && job.network != spec_.name) {
+        throw ConfigError("Simulator: job describes network '" +
+                          job.network + "' but this simulator maps '" +
+                          spec_.name + "'");
+    }
+    const SimConfig config = job.config();
+    const bool training = config.phase == Phase::Training;
+    if (!job.arrivals.empty() && config.num_chips > 1) {
+        throw ConfigError(
+            "Simulator: an explicit arrival trace cannot be sharded "
+            "across chips; run serving jobs on one chip");
+    }
+
+    // Every chip runs the shard; its mapping is sized for the shard
+    // batch (the derivative arrays hold B/C slots per stage).
+    const SimConfig shard = config.shard();
+    const arch::NetworkMapping map = mapping(shard);
+    const double cycle_time = cycleTime(map, training);
+
+    // Gradient payload per chip and round: one data_bits value per
+    // weight parameter of the mapped network.
+    const int64_t payload_bytes = ceilDiv(
+        map.totalWeightParams() * params_.data_bits, 8);
+
+    arch::ClusterConfig cluster_cfg;
+    cluster_cfg.num_chips = config.num_chips;
+    cluster_cfg.interconnect = config.interconnect;
+    arch::ScheduleConfig shard_sched = shard.schedule();
+    if (!job.arrivals.empty())
+        shard_sched.arrival_cycles = job.arrivals.cycles();
+
+    arch::Cluster cluster(map, shard_sched, cluster_cfg, payload_bytes,
+                          cycle_time);
+    cluster.setTrace(recorder);
+
+    ClusterReport report;
+    report.network = spec_.name;
+    report.config = config;
+    report.sched = cluster.run();
+    for (const arch::ScheduleStats &s : report.sched.per_chip)
+        report.chips.push_back(buildReport(shard, map, s));
+
+    report.total_cycles = report.sched.total_cycles;
+    report.cycle_time = cycle_time;
+    report.total_time =
+        static_cast<double>(report.total_cycles) * cycle_time;
+    report.time_per_image =
+        report.total_time / static_cast<double>(config.num_images);
+    report.throughput = 1.0 / report.time_per_image;
+    for (const SimReport &r : report.chips)
+        report.energy_total_j += r.energy.total();
+    report.energy_total_j += report.sched.aggregation_energy_j;
+    report.energy_per_image =
+        report.energy_total_j / static_cast<double>(config.num_images);
     return report;
 }
 

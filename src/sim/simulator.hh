@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/cluster.hh"
 #include "arch/granularity.hh"
 #include "arch/mapping.hh"
 #include "arch/pipeline.hh"
@@ -39,6 +40,17 @@ struct SimConfig
     int64_t batch_size = 64;
     int64_t num_images = 256;
 
+    /**
+     * Data-parallel scale-out (DESIGN.md §9): shard every batch
+     * across this many simulated chips, paying one interconnect
+     * aggregation round per batch boundary when training.  1 (the
+     * default) is the paper's single-chip machine.
+     */
+    int64_t num_chips = 1;
+
+    /** The inter-chip link model; ignored when num_chips == 1. */
+    arch::InterconnectConfig interconnect;
+
     /** A training run of @p images images in batches of @p batch. */
     static SimConfig training(int64_t batch, int64_t images);
 
@@ -47,19 +59,29 @@ struct SimConfig
 
     /**
      * Check the configuration, throwing ConfigError (not asserting)
-     * on bad values: batch_size and num_images must be positive, and
-     * a training run needs batch_size to divide num_images — the
-     * paper's schedule separates full batches with an update cycle.
+     * on bad values: batch_size and num_images must be positive, a
+     * training run needs batch_size to divide num_images — the
+     * paper's schedule separates full batches with an update cycle —
+     * and a cluster run needs num_chips >= 1 dividing both batch_size
+     * and num_images (chips shard evenly and stay in lock-step),
+     * plus a valid interconnect model.
      */
     void validate() const;
 
     /**
      * The scheduler configuration this run implies (phase mapped to
-     * ScheduleConfig::training).  The result satisfies
-     * ScheduleConfig::validate() whenever this config satisfies
-     * validate().
+     * ScheduleConfig::training), ignoring the cluster shape.  The
+     * result satisfies ScheduleConfig::validate() whenever this
+     * config satisfies validate().
      */
     arch::ScheduleConfig schedule() const;
+
+    /**
+     * The single-chip shard of a cluster config: batch_size and
+     * num_images divided by num_chips, num_chips reset to 1.  The
+     * identity transform when num_chips == 1.
+     */
+    SimConfig shard() const;
 };
 
 /** Energy breakdown in joules. */
@@ -156,6 +178,55 @@ struct SimReport
     json::Value toJson() const;
 };
 
+/**
+ * Outcome of a cluster simulation (DESIGN.md §9).
+ *
+ * Every chip's shard run is reported as a full SimReport (identical
+ * shards produce identical entries; a 1-chip cluster's single entry
+ * is byte-identical to Simulator::run() on the same job).  The
+ * cluster totals stack the interconnect aggregation phase on top:
+ * total_cycles = chip_cycles + aggregation cycles, total energy =
+ * chip energies + interconnect energy.
+ */
+struct ClusterReport
+{
+    std::string network;
+    SimConfig config; //!< the global (cluster) configuration
+
+    /** Per-chip shard reports, chip order. */
+    std::vector<SimReport> chips;
+
+    /** The schedule/aggregation measurements (per-chip stats etc.). */
+    arch::ClusterStats sched;
+
+    int64_t total_cycles = 0;  //!< chip cycles + aggregation cycles
+    double cycle_time = 0.0;   //!< seconds per logical cycle
+    double total_time = 0.0;   //!< seconds for all images
+    double time_per_image = 0.0;
+    double throughput = 0.0;   //!< images per second, whole cluster
+
+    double energy_total_j = 0.0;    //!< chips + interconnect
+    double energy_per_image = 0.0;  //!< joules
+
+    /** Human-readable multi-line summary. */
+    void print(std::ostream &os) const;
+
+    /**
+     * Register the cluster totals, the aggregation measurements and
+     * every chip's report (prefixed "chip<i>.") with @p group.
+     * Values are copied at registration.
+     */
+    void addStats(stats::StatGroup &group) const;
+
+    /**
+     * Machine-readable form: {"cluster_version": 1, config echo,
+     * cluster totals, "aggregation" breakdown, "chips": [SimReport
+     * JSON...]} (schema in docs/observability.md, validated by
+     * tools/json_lint).
+     */
+    json::Value toJson() const;
+};
+
 struct Job; // sim/job.hh: the job description / execution split
 
 /**
@@ -191,7 +262,33 @@ class Simulator
     /** The mapping the simulator would use for @p config. */
     arch::NetworkMapping mapping(const SimConfig &config) const;
 
+    /**
+     * Run a cluster simulation: every chip executes the job's shard
+     * (Job num_chips/interconnect describe the cluster; chips run
+     * concurrently on the host pool, reduction commits serially in
+     * chip order), then the aggregation phase is priced.  A 1-chip
+     * cluster reproduces run() exactly — chips[0] is byte-identical
+     * to run(job)'s report, and an attached @p recorder receives a
+     * byte-identical trace to a bare scheduler's.  With 2+ chips the
+     * recorder renders each chip's units as "chip<i>/"-prefixed
+     * tracks plus an "interconnect" aggregation track fed by flow
+     * arrows from every chip's update slice.
+     */
+    ClusterReport runCluster(const Job &job,
+                             trace::TraceRecorder *recorder =
+                                 nullptr) const;
+
   private:
+    /**
+     * Price one already-scheduled run: everything run() does after
+     * the scheduler — timing conversion, the energy/area/efficiency
+     * model and the per-layer breakdown.  Shared by run() and
+     * runCluster() so a shard report is identical either way.
+     */
+    SimReport buildReport(const SimConfig &config,
+                          const arch::NetworkMapping &map,
+                          const arch::ScheduleStats &sched) const;
+
     /** Per-image energy of the forward compute at one layer. */
     double forwardLayerEnergy(const arch::LayerMapping &m) const;
 

@@ -2,23 +2,13 @@
 
 #include <algorithm>
 
+#include "common/arena.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "tensor/gemm_kernels.hh"
 
 namespace pipelayer {
 namespace gemm {
-
-namespace {
-
-/**
- * Column tile of double accumulators for gemmNN, sized to stay in L1
- * (256 doubles = 2 KiB) while giving the p-loop a long contiguous
- * store-free inner sweep.
- */
-constexpr int64_t kNNTile = 256;
-
-} // namespace
 
 void
 gemmNT(int64_t m, int64_t n, int64_t k, const float *a, int64_t lda,
@@ -47,31 +37,30 @@ void
 gemmNN(int64_t m, int64_t n, int64_t k, const float *a, int64_t lda,
        const float *b, int64_t ldb, float *c, int64_t ldc)
 {
-    // Work items are (output row, column tile) pairs; each owns a
-    // disjoint C block, so chunking is order-independent.  The tile of
-    // double accumulators lives on the worker's stack (never the
-    // arena — chunk bodies must not allocate scratch) and each output
-    // element accumulates products in ascending p, matching the naive
-    // (oy, ox)-ordered backward-kernel loop: the widening
-    // multiply-accumulate vectorises across *independent outputs*, so
-    // the per-output reduction order is untouched by dispatch.
+    // Pack Bᵀ once (arena scratch, allocated on the calling thread —
+    // chunk bodies only write) so every output's reduction operand
+    // streams contiguously; each C element is then the same 8-lane
+    // dot product as gemmNT, dispatched through the active target.
+    // The pack walks p ascending per chunk so the reads of B are the
+    // contiguous side and only the writes stride.
     const gemmk::Kernels &kern = gemmk::activeKernels();
-    const int64_t ntiles = (n + kNNTile - 1) / kNNTile;
-    parallel_for(0, m * ntiles, /*grain=*/1,
-                 [&](int64_t w0, int64_t w1) {
-        double acc[kNNTile];
-        for (int64_t item = w0; item < w1; ++item) {
-            const int64_t i = item / ntiles;
-            const int64_t j0 = (item % ntiles) * kNNTile;
-            const int64_t width = std::min<int64_t>(kNNTile, n - j0);
-            std::fill(acc, acc + width, 0.0);
+    arena::ScopedBuf<float> bt(static_cast<size_t>(n * k));
+    float *btp = bt.data();
+    parallel_for(0, n, /*grain=*/64, [&](int64_t j0, int64_t j1) {
+        for (int64_t p = 0; p < k; ++p) {
+            const float *bp = b + p * ldb;
+            for (int64_t j = j0; j < j1; ++j)
+                btp[j * k + p] = bp[j];
+        }
+    });
+    // Parallel over columns of C, exactly like gemmNT: a chunk owns a
+    // disjoint column stripe of every output row.
+    parallel_for(0, n, /*grain=*/16, [&](int64_t j0, int64_t j1) {
+        for (int64_t i = 0; i < m; ++i) {
             const float *ai = a + i * lda;
-            for (int64_t p = 0; p < k; ++p)
-                kern.widen_axpy_f64(acc, b + p * ldb + j0, ai[p],
-                                    width);
-            float *ci = c + i * ldc + j0;
-            for (int64_t jj = 0; jj < width; ++jj)
-                ci[jj] = static_cast<float>(acc[jj]);
+            float *ci = c + i * ldc;
+            for (int64_t j = j0; j < j1; ++j)
+                ci[j] = kern.dot_lanes(ai, btp + j * k, k, 0.0);
         }
     });
 }

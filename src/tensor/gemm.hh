@@ -16,21 +16,20 @@
  * reference loops in ops::reference at every thread count AND every
  * SIMD dispatch target (scalar/AVX2/AVX-512/NEON, see common/isa.hh):
  *
- *  - Reducing kernels (gemmNT, gemv) use 8 fixed double-accumulator
- *    lanes per output: reduction element t is multiplied in float
- *    (the product rounds to float), widened to double, and added to
- *    lane t mod 8; each lane sees its elements in ascending t.  The
- *    lanes are then reduced in the pinned tree order
+ *  - Reducing kernels (gemmNT, gemmNN, gemv) use 8 fixed double-
+ *    accumulator lanes per output: reduction element t is multiplied
+ *    in float (the product rounds to float), widened to double, and
+ *    added to lane t mod 8; each lane sees its elements in ascending
+ *    t.  The lanes are then reduced in the pinned tree order
  *    ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)), the bias is added last,
  *    and the total rounds to float once on store.  The lane width 8
  *    is part of the contract — narrower targets (scalar, NEON) use
  *    more registers, wider ones (AVX-512) fewer, but the arithmetic
- *    never changes.
- *  - gemmNN keeps one double accumulator per output in strictly
- *    ascending p, and gevm accumulates in float with rows ascending
- *    (the historical matVecT loop): both vectorise across
- *    *independent outputs*, so SIMD never reorders a reduction.
- *    ger has no reduction.
+ *    never changes.  gemmNN reaches this shape by packing Bᵀ into
+ *    arena scratch so its reduction streams contiguously too.
+ *  - gevm accumulates in float with rows ascending (the historical
+ *    matVecT loop): it vectorises across *independent outputs*, so
+ *    SIMD never reorders a reduction.  ger has no reduction.
  *  - No FMA anywhere: -ffp-contract=off is pinned globally and the
  *    SIMD backends use separate multiply/add intrinsics, so products
  *    round to float identically on every target.
@@ -50,8 +49,9 @@
  * when assigning lanes (lane index = tap position mod 8, padding
  * included).
  *
- * None of these kernels allocate; callers provide outputs and any
- * packing scratch comes from the caller's workspace arena.
+ * Callers provide outputs; packing scratch (gemmNN's Bᵀ panel) comes
+ * from the calling thread's workspace arena and is rewound on return,
+ * so steady state allocates nothing.
  */
 
 #ifndef PIPELAYER_TENSOR_GEMM_HH_
@@ -79,8 +79,9 @@ void gemmNT(int64_t m, int64_t n, int64_t k, const float *a,
 /**
  * C = A · B:
  *   C[i*ldc + j] = Σ_p A[i*lda + p] * B[p*ldb + j]
- * with p ascending into one double accumulator per output (held in a
- * per-chunk stack tile).  Parallel over (row, column-tile) pairs.
+ * with p distributed over the 8 contract lanes (element p into lane
+ * p mod 8, ascending per lane, pinned tree reduction), via a Bᵀ pack
+ * into arena scratch.  Parallel over columns.
  */
 void gemmNN(int64_t m, int64_t n, int64_t k, const float *a,
             int64_t lda, const float *b, int64_t ldb, float *c,

@@ -72,27 +72,6 @@ scaleF32Avx2(float *row, const float *y, float xi, int64_t n)
 }
 
 void
-widenAxpyF64Avx2(double *acc, const float *bp, float av, int64_t n)
-{
-    const __m256 a = _mm256_set1_ps(av);
-    int64_t j = 0;
-    for (; j + 8 <= n; j += 8) {
-        const __m256 prod = _mm256_mul_ps(a, _mm256_loadu_ps(bp + j));
-        const __m256d lo =
-            _mm256_cvtps_pd(_mm256_castps256_ps128(prod));
-        const __m256d hi =
-            _mm256_cvtps_pd(_mm256_extractf128_ps(prod, 1));
-        _mm256_storeu_pd(acc + j,
-                         _mm256_add_pd(_mm256_loadu_pd(acc + j), lo));
-        _mm256_storeu_pd(
-            acc + j + 4,
-            _mm256_add_pd(_mm256_loadu_pd(acc + j + 4), hi));
-    }
-    for (; j < n; ++j)
-        acc[j] += static_cast<double>(av * bp[j]);
-}
-
-void
 axpyI64Avx2(int64_t *out, const int64_t *cells, int64_t w, int64_t n)
 {
     // AVX2 has no 64x64 multiply; VPMULUDQ multiplies the low 32 bits
@@ -113,14 +92,46 @@ axpyI64Avx2(int64_t *out, const int64_t *cells, int64_t w, int64_t n)
         out[c] += w * cells[c];
 }
 
+void
+reluF32Avx2(float *out, const float *in, int64_t n)
+{
+    // Select, not max: AND with the x > 0 mask keeps the exact input
+    // bits and sends -0.0f / NaN to +0.0f like the scalar ternary
+    // (VMAXPS would pass NaN through).
+    const __m256 zero = _mm256_setzero_ps();
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        const __m256 x = _mm256_loadu_ps(in + j);
+        const __m256 keep = _mm256_cmp_ps(x, zero, _CMP_GT_OQ);
+        _mm256_storeu_ps(out + j, _mm256_and_ps(x, keep));
+    }
+    for (; j < n; ++j)
+        out[j] = in[j] > 0.0f ? in[j] : 0.0f;
+}
+
+void
+reluMaskF32Avx2(float *grad, const float *ref, int64_t n)
+{
+    const __m256 zero = _mm256_setzero_ps();
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        const __m256 keep =
+            _mm256_cmp_ps(_mm256_loadu_ps(ref + j), zero, _CMP_GT_OQ);
+        _mm256_storeu_ps(
+            grad + j, _mm256_and_ps(_mm256_loadu_ps(grad + j), keep));
+    }
+    for (; j < n; ++j)
+        grad[j] = ref[j] > 0.0f ? grad[j] : 0.0f;
+}
+
 } // namespace
 
 const Kernels &
 avx2Kernels()
 {
     static const Kernels table = {
-        dotLanesAvx2,    axpyF32Avx2, scaleF32Avx2,
-        widenAxpyF64Avx2, axpyI64Avx2,
+        dotLanesAvx2, axpyF32Avx2,  scaleF32Avx2,
+        axpyI64Avx2,  reluF32Avx2, reluMaskF32Avx2,
     };
     return table;
 }

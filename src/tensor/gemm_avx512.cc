@@ -73,21 +73,6 @@ scaleF32Avx512(float *row, const float *y, float xi, int64_t n)
 }
 
 void
-widenAxpyF64Avx512(double *acc, const float *bp, float av, int64_t n)
-{
-    const __m256 a = _mm256_set1_ps(av);
-    int64_t j = 0;
-    for (; j + 8 <= n; j += 8) {
-        const __m256 prod = _mm256_mul_ps(a, _mm256_loadu_ps(bp + j));
-        _mm512_storeu_pd(
-            acc + j, _mm512_add_pd(_mm512_loadu_pd(acc + j),
-                                   _mm512_cvtps_pd(prod)));
-    }
-    for (; j < n; ++j)
-        acc[j] += static_cast<double>(av * bp[j]);
-}
-
-void
 axpyI64Avx512(int64_t *out, const int64_t *cells, int64_t w, int64_t n)
 {
     // Both operands live in [0, 2^32) by the kernel contract, so the
@@ -107,14 +92,48 @@ axpyI64Avx512(int64_t *out, const int64_t *cells, int64_t w, int64_t n)
         out[c] += w * cells[c];
 }
 
+void
+reluF32Avx512(float *out, const float *in, int64_t n)
+{
+    // Masked move, not VMAXPS: zeroing where x > 0 fails keeps the
+    // exact input bits elsewhere and sends -0.0f / NaN to +0.0f like
+    // the scalar ternary.
+    const __m512 zero = _mm512_setzero_ps();
+    int64_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+        const __m512 x = _mm512_loadu_ps(in + j);
+        const __mmask16 keep =
+            _mm512_cmp_ps_mask(x, zero, _CMP_GT_OQ);
+        _mm512_storeu_ps(out + j, _mm512_maskz_mov_ps(keep, x));
+    }
+    for (; j < n; ++j)
+        out[j] = in[j] > 0.0f ? in[j] : 0.0f;
+}
+
+void
+reluMaskF32Avx512(float *grad, const float *ref, int64_t n)
+{
+    const __m512 zero = _mm512_setzero_ps();
+    int64_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+        const __mmask16 keep = _mm512_cmp_ps_mask(
+            _mm512_loadu_ps(ref + j), zero, _CMP_GT_OQ);
+        _mm512_storeu_ps(
+            grad + j,
+            _mm512_maskz_mov_ps(keep, _mm512_loadu_ps(grad + j)));
+    }
+    for (; j < n; ++j)
+        grad[j] = ref[j] > 0.0f ? grad[j] : 0.0f;
+}
+
 } // namespace
 
 const Kernels &
 avx512Kernels()
 {
     static const Kernels table = {
-        dotLanesAvx512,    axpyF32Avx512, scaleF32Avx512,
-        widenAxpyF64Avx512, axpyI64Avx512,
+        dotLanesAvx512, axpyF32Avx512,  scaleF32Avx512,
+        axpyI64Avx512,  reluF32Avx512, reluMaskF32Avx512,
     };
     return table;
 }

@@ -14,10 +14,14 @@
  *    then widened), each lane sees its elements in ascending t, and
  *    the lanes are reduced in the pinned tree order
  *    ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)), bias added last.
- *  - axpy_f32 / scale_f32 / widen_axpy_f64: element-wise maps over
- *    *independent* outputs — a float multiply then a float (or
- *    double) add per element, which vectorises without reordering
- *    any per-output reduction.
+ *  - axpy_f32 / scale_f32: element-wise maps over *independent*
+ *    outputs — a float multiply then a float add per element, which
+ *    vectorises without reordering any per-output reduction.
+ *  - relu_f32 / relu_mask_f32: branchless rectification primitives
+ *    behind nn::ReluLayer.  Pure selects (x > 0 keeps the exact input
+ *    bits, else +0.0f) with no arithmetic at all, so every backend is
+ *    trivially bit-identical; -0.0f and NaN inputs both rectify to
+ *    +0.0f, exactly like the scalar ternary.
  *  - axpy_i64: exact integer multiply-accumulate for the collapsed
  *    crossbar MVM; order-independent by construction.  Operand
  *    contract: 0 <= w < 2^32 and 0 <= cells[c] < 2^32 (the crossbar's
@@ -50,12 +54,13 @@ struct Kernels
     void (*axpy_f32)(float *y, const float *row, float xi, int64_t n);
     /** row[j] = xi * y[j], j in [0,n). */
     void (*scale_f32)(float *row, const float *y, float xi, int64_t n);
-    /** acc[j] += double(float(av * bp[j])), j in [0,n). */
-    void (*widen_axpy_f64)(double *acc, const float *bp, float av,
-                           int64_t n);
     /** out[c] += w * cells[c] (exact int64), c in [0,n). */
     void (*axpy_i64)(int64_t *out, const int64_t *cells, int64_t w,
                      int64_t n);
+    /** out[j] = in[j] > 0 ? in[j] : +0.0f; in == out allowed. */
+    void (*relu_f32)(float *out, const float *in, int64_t n);
+    /** grad[j] = ref[j] > 0 ? grad[j] : +0.0f (in-place mask). */
+    void (*relu_mask_f32)(float *grad, const float *ref, int64_t n);
 };
 
 const Kernels &scalarKernels();

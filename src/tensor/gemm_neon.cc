@@ -73,22 +73,6 @@ scaleF32Neon(float *row, const float *y, float xi, int64_t n)
 }
 
 void
-widenAxpyF64Neon(double *acc, const float *bp, float av, int64_t n)
-{
-    const float32x4_t a = vdupq_n_f32(av);
-    int64_t j = 0;
-    for (; j + 4 <= n; j += 4) {
-        const float32x4_t prod = vmulq_f32(a, vld1q_f32(bp + j));
-        const float64x2_t lo = vcvt_f64_f32(vget_low_f32(prod));
-        const float64x2_t hi = vcvt_f64_f32(vget_high_f32(prod));
-        vst1q_f64(acc + j, vaddq_f64(vld1q_f64(acc + j), lo));
-        vst1q_f64(acc + j + 2, vaddq_f64(vld1q_f64(acc + j + 2), hi));
-    }
-    for (; j < n; ++j)
-        acc[j] += static_cast<double>(av * bp[j]);
-}
-
-void
 axpyI64Neon(int64_t *out, const int64_t *cells, int64_t w, int64_t n)
 {
     // NEON has no 64x64 vector multiply; the scalar loop is exact and
@@ -97,14 +81,48 @@ axpyI64Neon(int64_t *out, const int64_t *cells, int64_t w, int64_t n)
         out[c] += w * cells[c];
 }
 
+void
+reluF32Neon(float *out, const float *in, int64_t n)
+{
+    // AND with the x > 0 mask (not vmaxq_f32): keeps the exact input
+    // bits and sends -0.0f / NaN to +0.0f like the scalar ternary.
+    const float32x4_t zero = vdupq_n_f32(0.0f);
+    int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        const float32x4_t x = vld1q_f32(in + j);
+        const uint32x4_t keep = vcgtq_f32(x, zero);
+        vst1q_f32(out + j,
+                  vreinterpretq_f32_u32(
+                      vandq_u32(vreinterpretq_u32_f32(x), keep)));
+    }
+    for (; j < n; ++j)
+        out[j] = in[j] > 0.0f ? in[j] : 0.0f;
+}
+
+void
+reluMaskF32Neon(float *grad, const float *ref, int64_t n)
+{
+    const float32x4_t zero = vdupq_n_f32(0.0f);
+    int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        const uint32x4_t keep = vcgtq_f32(vld1q_f32(ref + j), zero);
+        const float32x4_t g = vld1q_f32(grad + j);
+        vst1q_f32(grad + j,
+                  vreinterpretq_f32_u32(
+                      vandq_u32(vreinterpretq_u32_f32(g), keep)));
+    }
+    for (; j < n; ++j)
+        grad[j] = ref[j] > 0.0f ? grad[j] : 0.0f;
+}
+
 } // namespace
 
 const Kernels &
 neonKernels()
 {
     static const Kernels table = {
-        dotLanesNeon,    axpyF32Neon, scaleF32Neon,
-        widenAxpyF64Neon, axpyI64Neon,
+        dotLanesNeon, axpyF32Neon,  scaleF32Neon,
+        axpyI64Neon,  reluF32Neon, reluMaskF32Neon,
     };
     return table;
 }

@@ -50,17 +50,24 @@ scaleF32Scalar(float *row, const float *y, float xi, int64_t n)
 }
 
 void
-widenAxpyF64Scalar(double *acc, const float *bp, float av, int64_t n)
-{
-    for (int64_t j = 0; j < n; ++j)
-        acc[j] += static_cast<double>(av * bp[j]);
-}
-
-void
 axpyI64Scalar(int64_t *out, const int64_t *cells, int64_t w, int64_t n)
 {
     for (int64_t c = 0; c < n; ++c)
         out[c] += w * cells[c];
+}
+
+void
+reluF32Scalar(float *out, const float *in, int64_t n)
+{
+    for (int64_t j = 0; j < n; ++j)
+        out[j] = in[j] > 0.0f ? in[j] : 0.0f;
+}
+
+void
+reluMaskF32Scalar(float *grad, const float *ref, int64_t n)
+{
+    for (int64_t j = 0; j < n; ++j)
+        grad[j] = ref[j] > 0.0f ? grad[j] : 0.0f;
 }
 
 } // namespace
@@ -69,8 +76,8 @@ const Kernels &
 scalarKernels()
 {
     static const Kernels table = {
-        dotLanesScalar,    axpyF32Scalar, scaleF32Scalar,
-        widenAxpyF64Scalar, axpyI64Scalar,
+        dotLanesScalar, axpyF32Scalar,  scaleF32Scalar,
+        axpyI64Scalar,  reluF32Scalar, reluMaskF32Scalar,
     };
     return table;
 }

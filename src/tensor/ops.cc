@@ -197,8 +197,8 @@ conv2dBackwardKernel(const Tensor &input, const Tensor &delta_out,
 
     // grad[oc, (ci,ky,kx)] = Σ_(oy,ox) delta[oc, (oy,ox)] * window
     // matrix — a plain GEMM against the same im2col panel as forward
-    // (stride 1), reducing over output pixels in ascending (oy, ox)
-    // exactly like the direct tap loops.
+    // (stride 1), reducing over output pixels (oy, ox) through the
+    // 8-lane contract exactly like the reference tap loops.
     Tensor grad({co, ci, kh, kw});
     const int64_t patch = ci * kh * kw;
     const int64_t rows = ho * wo;

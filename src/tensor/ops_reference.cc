@@ -116,17 +116,28 @@ conv2dBackwardKernel(const Tensor &input, const Tensor &delta_out,
               "delta shape inconsistent with stride-1 convolution");
     (void)h;
 
+    // Lane-based reduction contract (see reference::conv2d): output
+    // pixel t = oy*wo + ox feeds double lane t mod 8 with its
+    // float-rounded product, lanes reduce in the pinned tree order,
+    // no bias.  This is gemm::gemmNN's recipe written out naively.
     Tensor grad({co, ci, kh, kw});
     for (int64_t oc = 0; oc < co; ++oc) {
         for (int64_t icn = 0; icn < ci; ++icn) {
             for (int64_t ky = 0; ky < kh; ++ky) {
                 for (int64_t kx = 0; kx < kw; ++kx) {
-                    double acc = 0.0;
+                    double lanes[8] = {};
+                    int64_t t = 0;
                     for (int64_t oy = 0; oy < ho; ++oy)
-                        for (int64_t ox = 0; ox < wo; ++ox)
-                            acc += padded(icn, oy + ky, ox + kx) *
-                                   delta_out(oc, oy, ox);
-                    grad(oc, icn, ky, kx) = static_cast<float>(acc);
+                        for (int64_t ox = 0; ox < wo; ++ox, ++t)
+                            lanes[t & 7] += static_cast<double>(
+                                delta_out(oc, oy, ox) *
+                                padded(icn, oy + ky, ox + kx));
+                    const double l01 = lanes[0] + lanes[1];
+                    const double l23 = lanes[2] + lanes[3];
+                    const double l45 = lanes[4] + lanes[5];
+                    const double l67 = lanes[6] + lanes[7];
+                    grad(oc, icn, ky, kx) = static_cast<float>(
+                        0.0 + ((l01 + l23) + (l45 + l67)));
                 }
             }
         }

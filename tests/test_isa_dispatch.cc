@@ -12,12 +12,14 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "common/isa.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "nn/layers.hh"
 #include "reram/array_group.hh"
 #include "reram/params.hh"
 #include "tensor/ops.hh"
@@ -157,6 +159,49 @@ TEST(IsaDispatch, ResultsByteIdenticalAcrossTargetsAndThreads)
         }
     }
     setThreadCount(saved);
+}
+
+TEST(IsaDispatch, ReluLayerByteIdenticalAcrossTargets)
+{
+    // The elementwise layers dispatch too (relu_f32/relu_mask_f32):
+    // forward, infer and the backward mask must be bit-identical on
+    // every target, including the -0.0f / NaN edge cases the select
+    // contract pins down (both rectify to +0.0f).
+    ScopedIsa restore;
+    Rng rng(0x2E1Fu);
+    Tensor in = Tensor::randn({3, 17, 17}, rng);
+    in.at(0) = -0.0f;
+    in.at(1) = 0.0f;
+    in.at(2) = std::numeric_limits<float>::quiet_NaN();
+    const Tensor delta = Tensor::randn({3, 17, 17}, rng);
+
+    ASSERT_TRUE(isa::setActive(isa::Target::Scalar));
+    nn::ReluLayer ref_layer;
+    const Tensor fwd0 = ref_layer.forward(in);
+    const Tensor inf0 = ref_layer.infer(in);
+    const Tensor bwd0 = ref_layer.backward(delta);
+    // The scalar ternary semantics, independently restated.
+    for (int64_t i = 0; i < in.numel(); ++i) {
+        const float x = in.at(i);
+        const float want = x > 0.0f ? x : 0.0f;
+        const float got = fwd0.at(i);
+        EXPECT_EQ(0, std::memcmp(&want, &got, sizeof(float)))
+            << "element " << i;
+    }
+
+    for (isa::Target t : isa::availableTargets()) {
+        ASSERT_TRUE(isa::setActive(t));
+        SCOPED_TRACE(std::string("isa=") + isa::name(t));
+        nn::ReluLayer layer;
+        const Tensor fwd = layer.forward(in);
+        const Tensor inf = layer.infer(in);
+        const Tensor bwd = layer.backward(delta);
+        const size_t bytes =
+            static_cast<size_t>(in.numel()) * sizeof(float);
+        EXPECT_EQ(0, std::memcmp(fwd.data(), fwd0.data(), bytes));
+        EXPECT_EQ(0, std::memcmp(inf.data(), inf0.data(), bytes));
+        EXPECT_EQ(0, std::memcmp(bwd.data(), bwd0.data(), bytes));
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -18,6 +18,14 @@
  * (common/prof.hh schema: per-site counters whose histogram counts
  * sum to the call count, plus a pool-utilization section).
  *
+ * Cluster reports (docs/scaling.md) are checked when the top-level
+ * object carries "cluster_version": the per-chip reports must match
+ * config.num_chips, total_cycles must equal chip_cycles plus the
+ * aggregation cycles, the interconnect wire bytes must reconcile with
+ * the topology formula (ring: rounds * 2(C-1) * C * ceil(W/C);
+ * parameter server: rounds * 2C * W), and the aggregation energy must
+ * equal wire_bytes * link_energy_per_byte_j.
+ *
  * Serving artifacts (docs/serving.md) are covered too: files with a
  * "job_version" member are checked against the sim::Job schema,
  * "serve_version" summaries against the pl_serve/ServingReport
@@ -326,6 +334,135 @@ checkEnvelope(const std::string &path, const Value &doc)
     if (const Value *profile = doc.find("profile")) {
         if (!checkProfile(path, *profile))
             return false;
+    }
+    return true;
+}
+
+/**
+ * sim::ClusterReport schema (docs/scaling.md): per-chip stat groups
+ * and interconnect bytes/energy that reconcile with the topology
+ * formula in arch::aggregationRoundCost.
+ */
+bool
+checkCluster(const std::string &path, const Value &doc)
+{
+    for (const char *key : {"network", "config", "chip_cycles",
+                            "aggregation", "total_cycles", "chips"}) {
+        if (!doc.find(key)) {
+            std::cerr << path << ": cluster report lacks '" << key
+                      << "'\n";
+            return false;
+        }
+    }
+    const Value &cfg = doc.at("config");
+    const Value *num_chips = cfg.find("num_chips");
+    const Value *interconnect = cfg.find("interconnect");
+    if (!num_chips || num_chips->asInt() < 1 || !interconnect) {
+        std::cerr << path << ": cluster config needs num_chips >= 1 "
+                  << "and an interconnect\n";
+        return false;
+    }
+    const int64_t chips = num_chips->asInt();
+    const Value *topology = interconnect->find("topology");
+    const Value *energy_per_byte =
+        interconnect->find("link_energy_per_byte_j");
+    if (!topology || !topology->isString() || !energy_per_byte ||
+        !energy_per_byte->isNumber()) {
+        std::cerr << path << ": cluster interconnect needs a "
+                  << "'topology' string and a numeric "
+                  << "'link_energy_per_byte_j'\n";
+        return false;
+    }
+    const std::string topo = topology->asString();
+    if (topo != "ring" && topo != "parameter_server") {
+        std::cerr << path << ": unknown interconnect topology '"
+                  << topo << "'\n";
+        return false;
+    }
+
+    // One full SimReport per chip, in chip order.
+    const Value &chip_reports = doc.at("chips");
+    if (!chip_reports.isArray() ||
+        chip_reports.size() != static_cast<size_t>(chips)) {
+        std::cerr << path << ": cluster has " << chip_reports.size()
+                  << " chip reports for num_chips=" << chips << "\n";
+        return false;
+    }
+    int64_t max_chip_cycles = 0;
+    for (size_t c = 0; c < chip_reports.size(); ++c) {
+        const Value &chip = chip_reports.at(c);
+        for (const char *key :
+             {"network", "config", "logical_cycles", "energy",
+              "energy_per_image_j"}) {
+            if (!chip.find(key)) {
+                std::cerr << path << ": chip report " << c
+                          << " lacks '" << key << "'\n";
+                return false;
+            }
+        }
+        if (chip.at("logical_cycles").asInt() > max_chip_cycles)
+            max_chip_cycles = chip.at("logical_cycles").asInt();
+    }
+    if (doc.at("chip_cycles").asInt() != max_chip_cycles) {
+        std::cerr << path << ": chip_cycles "
+                  << doc.at("chip_cycles").asInt()
+                  << " is not the per-chip maximum ("
+                  << max_chip_cycles << ")\n";
+        return false;
+    }
+
+    const Value &agg = doc.at("aggregation");
+    for (const char *key : {"rounds", "payload_bytes", "wire_bytes",
+                            "time_s", "energy_j", "cycles"}) {
+        if (!agg.find(key)) {
+            std::cerr << path << ": cluster aggregation lacks '" << key
+                      << "'\n";
+            return false;
+        }
+    }
+    if (doc.at("total_cycles").asInt() !=
+        doc.at("chip_cycles").asInt() + agg.at("cycles").asInt()) {
+        std::cerr << path << ": total_cycles "
+                  << doc.at("total_cycles").asInt()
+                  << " != chip_cycles + aggregation cycles\n";
+        return false;
+    }
+
+    // Wire bytes follow the topology formula exactly: integer
+    // arithmetic in arch::aggregationRoundCost, re-derived here.
+    const int64_t rounds = agg.at("rounds").asInt();
+    const int64_t payload = agg.at("payload_bytes").asInt();
+    int64_t round_wire = 0;
+    if (chips > 1 && payload > 0) {
+        if (topo == "ring") {
+            const int64_t chunk = (payload + chips - 1) / chips;
+            round_wire = 2 * (chips - 1) * chips * chunk;
+        } else {
+            round_wire = 2 * chips * payload;
+        }
+    }
+    if (agg.at("wire_bytes").asInt() != rounds * round_wire) {
+        std::cerr << path << ": aggregation wire_bytes "
+                  << agg.at("wire_bytes").asInt()
+                  << " does not match the " << topo << " formula ("
+                  << rounds * round_wire << " for " << rounds
+                  << " rounds of " << payload << " payload bytes on "
+                  << chips << " chips)\n";
+        return false;
+    }
+    // Energy is wire bytes times the per-byte link energy; allow for
+    // the producer multiplying per round instead of over the total.
+    const double want_energy =
+        static_cast<double>(agg.at("wire_bytes").asInt()) *
+        energy_per_byte->asNumber();
+    const double got_energy = agg.at("energy_j").asNumber();
+    const double tol = 1e-9 * (want_energy > 1.0 ? want_energy : 1.0);
+    if (got_energy < want_energy - tol ||
+        got_energy > want_energy + tol) {
+        std::cerr << path << ": aggregation energy_j " << got_energy
+                  << " != wire_bytes * link_energy_per_byte_j ("
+                  << want_energy << ")\n";
+        return false;
     }
     return true;
 }
@@ -810,6 +947,13 @@ lintFile(const std::string &path)
             return false;
         std::cout << path << ": OK (profile report, "
                   << doc.at("sites").size() << " sites)\n";
+        return true;
+    }
+    if (doc.find("cluster_version")) {
+        if (!checkCluster(path, doc))
+            return false;
+        std::cout << path << ": OK (cluster report, "
+                  << doc.at("chips").size() << " chips)\n";
         return true;
     }
     if (doc.find("job_version")) {
